@@ -1,0 +1,113 @@
+// Ablation: amplitude estimation strategies (DESIGN.md §5.2).
+//
+// The receiver must know the two amplitudes A and B before it can solve
+// Lemma 6.1.  Compared here:
+//   prefix   — measure A from the interference-free prefix, derive B
+//              from mu (the library default);
+//   mu/sigma — the paper's Eq. 5-6 estimator, blind over the overlap.
+// The deliverable is delivery rate and residual BER on the Alice-Bob
+// topology at two SNRs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/alice_bob.h"
+
+// The sim runner uses the receiver's internal estimator selection; the
+// mu_sigma_only ablation flag is plumbed through a config copy here by
+// re-running the receiver over the same air, so we reuse the scenario
+// runner twice with a process-wide switch.  To keep the runner pure, the
+// ablation instead compares across *seeds* with the two estimator
+// configurations applied via Anc_receiver_config — which the scenario
+// runner does not expose.  So this bench drives the receiver directly.
+
+#include "channel/medium.h"
+#include "core/anc_receiver.h"
+#include "core/relay.h"
+#include "core/trigger.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "net/topology.h"
+#include "util/bits.h"
+
+namespace {
+
+struct Ablation_result {
+    std::size_t attempted = 0;
+    std::size_t delivered = 0;
+    anc::Cdf ber;
+};
+
+Ablation_result run(bool mu_sigma_only, double snr_db, std::size_t exchanges,
+                    std::uint64_t seed)
+{
+    using namespace anc;
+    Ablation_result out;
+    const double noise_power = chan::noise_power_for_snr_db(snr_db);
+    Pcg32 rng{seed, 0xab1a7e};
+    chan::Medium medium{noise_power, rng.fork(1)};
+    Pcg32 link_rng = rng.fork(2);
+    net::Alice_bob_nodes nodes;
+    install_alice_bob(medium, nodes, net::Alice_bob_gains{}, link_rng);
+    net::Net_node alice{nodes.alice};
+    net::Net_node bob{nodes.bob};
+    Anc_receiver_config config;
+    config.mu_sigma_only = mu_sigma_only;
+    const Anc_receiver receiver{config, noise_power};
+    Pcg32 wrng = rng.fork(3);
+    net::Flow flow_ab{1, 3, 2048, wrng.fork(10)};
+    net::Flow flow_ba{3, 1, 2048, wrng.fork(11)};
+
+    for (std::size_t i = 0; i < exchanges; ++i) {
+        const net::Packet pa = flow_ab.next();
+        const net::Packet pb = flow_ba.next();
+        const auto [da, db] = draw_distinct_delays(Trigger_config{}, wrng);
+        chan::Transmission ta{alice.id(), alice.transmit(pa, wrng), da};
+        chan::Transmission tb{bob.id(), bob.transmit(pb, wrng), db};
+        const auto at_router = medium.receive(nodes.router, {ta, tb}, 64);
+        const auto fwd = amplify_and_forward(at_router, noise_power, 1.0);
+        if (!fwd) {
+            out.attempted += 2;
+            continue;
+        }
+        chan::Transmission tr{nodes.router, *fwd, 0};
+        for (int side = 0; side < 2; ++side) {
+            ++out.attempted;
+            const auto& node = side ? bob : alice;
+            const auto& wanted = side ? pa : pb;
+            const auto sig = medium.receive(node.id(), {tr}, 64);
+            const auto outcome = receiver.receive(sig, node.buffer());
+            if (outcome.status == Receive_status::decoded_interference
+                && outcome.frame->header.seq == wanted.seq) {
+                ++out.delivered;
+                out.ber.add(bit_error_rate(outcome.frame->payload, wanted.payload));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+int main()
+{
+    using namespace anc;
+    bench::print_header("Ablation", "amplitude estimation: prefix-refined vs mu/sigma only");
+
+    const std::size_t exchanges = bench::exchange_count() * 4;
+    std::printf("%8s %-22s %10s %10s %10s\n", "SNR(dB)", "estimator", "delivered",
+                "mean BER", "p90 BER");
+    for (const double snr : {20.0, 22.0, 25.0, 30.0}) {
+        for (const bool mu_sigma : {false, true}) {
+            const Ablation_result result = run(mu_sigma, snr, exchanges, 42);
+            std::printf("%8.0f %-22s %6zu/%-3zu %10.4f %10.4f\n", snr,
+                        mu_sigma ? "mu/sigma (paper Eq.5-6)" : "prefix-refined",
+                        result.delivered, result.attempted,
+                        result.ber.empty() ? 1.0 : result.ber.mean(),
+                        result.ber.empty() ? 1.0 : result.ber.quantile(0.90));
+        }
+    }
+    std::printf("\nBoth estimators work; the prefix refinement mainly stabilizes the\n"
+                "role assignment (which amplitude belongs to the known signal).\n");
+    return 0;
+}

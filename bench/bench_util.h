@@ -1,0 +1,66 @@
+// Shared output helpers for the figure-reproduction benches.
+//
+// Each bench prints the same rows/series the paper's figure reports, a
+// small CDF table, and a paper-vs-measured summary line, so the outputs
+// can be pasted straight into EXPERIMENTS.md.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/stats.h"
+
+namespace anc::bench {
+
+/// Number of runs (the paper repeats each experiment 40 times).  Scaled
+/// down via the ANC_BENCH_RUNS environment variable for quick checks.
+inline std::size_t run_count(std::size_t default_runs = 40)
+{
+    if (const char* env = std::getenv("ANC_BENCH_RUNS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    return default_runs;
+}
+
+/// Packet pairs (or packets) per run; the paper used 1000 per direction,
+/// which is far more than needed for stable means in a deterministic
+/// simulator.  Scaled via ANC_BENCH_EXCHANGES.
+inline std::size_t exchange_count(std::size_t default_exchanges = 20)
+{
+    if (const char* env = std::getenv("ANC_BENCH_EXCHANGES")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    return default_exchanges;
+}
+
+inline void print_cdf(const std::string& title, const Cdf& cdf, const char* unit = "")
+{
+    if (cdf.empty()) {
+        std::printf("%s: (no samples)\n", title.c_str());
+        return;
+    }
+    std::printf("%s  (n=%zu, mean=%.4f%s)\n", title.c_str(), cdf.count(), cdf.mean(), unit);
+    std::printf("  %-12s %s\n", "fraction", "value");
+    for (const double q : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 1.00})
+        std::printf("  %-12.2f %.4f\n", q, cdf.quantile(q));
+}
+
+inline void print_header(const char* figure, const char* description)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure, description);
+    std::printf("==============================================================\n");
+}
+
+inline void print_compare(const char* metric, double paper, double measured)
+{
+    std::printf("  %-44s paper %-8.3f measured %-8.3f\n", metric, paper, measured);
+}
+
+} // namespace anc::bench

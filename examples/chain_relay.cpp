@@ -1,0 +1,52 @@
+// Chain topology (Fig. 2): a single flow over N1 -> N2 -> N3 -> N4.
+//
+// ANC lets N1 and N3 transmit in the same slot: the collision at N2 is
+// harmless because N2 itself forwarded N3's packet a slot earlier and can
+// cancel it — the "hidden terminal" becomes useful.  3 slots per packet
+// drop to 2 (§2(b), §11.6).
+//
+// Usage: chain_relay [packets] [snr_db]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "phy/frame.h"
+#include "sim/chain.h"
+
+int main(int argc, char** argv)
+{
+    using namespace anc::sim;
+
+    Chain_config config;
+    config.packets = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+    config.snr_db = argc > 2 ? std::strtod(argv[2], nullptr) : 22.0;
+    config.seed = 99;
+
+    std::printf("Chain topology: %zu packets end-to-end, payload %zu bits, SNR %.0f dB\n\n",
+                config.packets, config.payload_bits, config.snr_db);
+
+    const Chain_result traditional = run_chain_traditional(config);
+    const Chain_result anc = run_chain_anc(config);
+
+    const double frame = static_cast<double>(anc::phy::frame_length(config.payload_bits) + 1);
+    std::printf("%-14s %12s %16s %14s\n", "scheme", "delivered", "slots/packet",
+                "throughput");
+    const auto row = [&](const char* name, const Run_metrics& m) {
+        std::printf("%-14s %6zu/%-5zu %16.2f %14.5f\n", name, m.packets_delivered,
+                    m.packets_attempted,
+                    m.airtime_symbols / frame / static_cast<double>(m.packets_attempted),
+                    m.throughput());
+    };
+    row("traditional", traditional.metrics);
+    row("ANC", anc.metrics);
+
+    std::printf("\nANC gain over traditional: %.3f  (paper: ~1.36, theory: 1.5)\n",
+                gain(anc.metrics, traditional.metrics));
+    if (!anc.ber_at_n2.empty()) {
+        std::printf("BER of interference decodes at N2: mean %.4f "
+                    "(lower than Alice-Bob: no re-amplified noise)\n",
+                    anc.ber_at_n2.mean());
+    }
+    std::printf("(COPE does not apply: the flow is unidirectional.)\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+// "X" topology (Fig. 11): two flows crossing a relay, where destinations
+// know the interfering packet from *overhearing* rather than from having
+// sent it.  Shows the overhear-under-interference failure mode (§11.5).
+//
+// Usage: x_overhearing [exchanges] [snr_db]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/x_topology.h"
+
+int main(int argc, char** argv)
+{
+    using namespace anc::sim;
+
+    X_config config;
+    config.exchanges = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+    config.snr_db = argc > 2 ? std::strtod(argv[2], nullptr) : 22.0;
+    config.seed = 314;
+
+    std::printf("X topology: flows N1->N4 and N3->N2 crossing at N5\n");
+    std::printf("(%zu packet pairs, payload %zu bits, SNR %.0f dB)\n\n", config.exchanges,
+                config.payload_bits, config.snr_db);
+
+    const X_result traditional = run_x_traditional(config);
+    const X_result cope = run_x_cope(config);
+    const X_result anc = run_x_anc(config);
+
+    std::printf("%-14s %12s %12s %14s %18s\n", "scheme", "delivered", "mean BER",
+                "throughput", "overhear failures");
+    const auto row = [](const char* name, const X_result& r) {
+        std::printf("%-14s %6zu/%-5zu %12.4f %14.5f %12zu/%zu\n", name,
+                    r.metrics.packets_delivered, r.metrics.packets_attempted,
+                    r.metrics.mean_ber(), r.metrics.throughput(), r.overhear_failures,
+                    r.overhear_attempts);
+    };
+    row("traditional", traditional);
+    row("COPE", cope);
+    row("ANC", anc);
+
+    std::printf("\nANC gain over traditional: %.3f  (paper: ~1.65)\n",
+                gain(anc.metrics, traditional.metrics));
+    std::printf("ANC gain over COPE:        %.3f  (paper: ~1.28)\n",
+                gain(anc.metrics, cope.metrics));
+    std::printf("\nUnder ANC the snooped transmission is itself interfered, so\n"
+                "overhearing occasionally fails — the reason the X gains sit\n"
+                "slightly below Alice-Bob's.\n");
+    return 0;
+}

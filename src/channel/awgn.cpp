@@ -1,0 +1,45 @@
+#include "channel/awgn.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/db.h"
+
+namespace anc::chan {
+
+Awgn::Awgn(double noise_power, Pcg32 rng)
+    : noise_power_{noise_power},
+      sigma_per_dim_{std::sqrt(noise_power / 2.0)},
+      rng_{rng}
+{
+    if (noise_power < 0.0)
+        throw std::invalid_argument{"Awgn: noise power must be non-negative"};
+}
+
+dsp::Sample Awgn::sample()
+{
+    return {sigma_per_dim_ * rng_.next_gaussian(),
+            sigma_per_dim_ * rng_.next_gaussian()};
+}
+
+dsp::Signal Awgn::apply(dsp::Signal_view signal)
+{
+    dsp::Signal out{signal.begin(), signal.end()};
+    add_in_place(out);
+    return out;
+}
+
+void Awgn::add_in_place(dsp::Signal& signal)
+{
+    if (noise_power_ == 0.0)
+        return;
+    for (auto& s : signal)
+        s += sample();
+}
+
+double noise_power_for_snr_db(double snr_db, double signal_power)
+{
+    return signal_power / from_db(snr_db);
+}
+
+} // namespace anc::chan

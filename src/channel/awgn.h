@@ -1,0 +1,41 @@
+// Additive white Gaussian noise.
+//
+// The capacity analysis of §8 and the whole evaluation assume an AWGN
+// channel; the receiver noise floor also anchors the detector thresholds
+// (§7.1) and the SNR sweeps.  Complex circular Gaussian noise of power
+// sigma^2 has variance sigma^2/2 per real dimension.
+
+#pragma once
+
+#include "dsp/sample.h"
+#include "util/rng.h"
+
+namespace anc::chan {
+
+class Awgn {
+public:
+    /// `noise_power` is E[|z|^2].  A dedicated RNG keeps noise independent
+    /// from every other random stream in an experiment.
+    Awgn(double noise_power, Pcg32 rng);
+
+    /// One complex noise sample.
+    dsp::Sample sample();
+
+    /// signal + noise, a fresh vector.
+    dsp::Signal apply(dsp::Signal_view signal);
+
+    /// Add noise in place over [0, len).
+    void add_in_place(dsp::Signal& signal);
+
+    double noise_power() const { return noise_power_; }
+
+private:
+    double noise_power_;
+    double sigma_per_dim_;
+    Pcg32 rng_;
+};
+
+/// Noise power that realizes a given SNR (in dB) for unit signal power P=1.
+double noise_power_for_snr_db(double snr_db, double signal_power = 1.0);
+
+} // namespace anc::chan

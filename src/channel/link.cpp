@@ -1,0 +1,27 @@
+#include "channel/link.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anc::chan {
+
+Link_channel::Link_channel(Link_params params)
+    : params_{params}
+{
+    if (params.gain < 0.0)
+        throw std::invalid_argument{"Link_channel: gain must be non-negative"};
+}
+
+dsp::Signal Link_channel::apply(dsp::Signal_view signal) const
+{
+    dsp::Signal out;
+    out.reserve(params_.delay + signal.size());
+    out.assign(params_.delay, dsp::Sample{0.0, 0.0});
+    for (std::size_t n = 0; n < signal.size(); ++n) {
+        const double rotation = params_.phase + params_.phase_drift * static_cast<double>(n);
+        out.push_back(signal[n] * std::polar(params_.gain, rotation));
+    }
+    return out;
+}
+
+} // namespace anc::chan

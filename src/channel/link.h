@@ -1,0 +1,39 @@
+// Point-to-point link channel.
+//
+// The paper approximates the wireless channel between two nodes as an
+// attenuation h plus a phase shift gamma (§5.3, citing Tse & Viswanath);
+// on top of that the substrate models a whole-symbol propagation/queueing
+// delay and an optional slow phase drift (a small carrier-frequency
+// offset), which stresses the decoder's channel-invariance exactly the way
+// real radios do.
+
+#pragma once
+
+#include "dsp/sample.h"
+
+namespace anc::chan {
+
+struct Link_params {
+    double gain = 1.0;            // amplitude attenuation h
+    double phase = 0.0;           // phase shift gamma (radians)
+    std::size_t delay = 0;        // whole-symbol delay
+    double phase_drift = 0.0;     // radians of extra rotation per sample (CFO)
+};
+
+/// y[n] = h * e^{i(gamma + drift*n)} * x[n - delay]
+class Link_channel {
+public:
+    explicit Link_channel(Link_params params = {});
+
+    dsp::Signal apply(dsp::Signal_view signal) const;
+
+    const Link_params& params() const { return params_; }
+
+    /// Power gain h^2 of the link.
+    double power_gain() const { return params_.gain * params_.gain; }
+
+private:
+    Link_params params_;
+};
+
+} // namespace anc::chan

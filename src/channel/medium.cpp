@@ -1,0 +1,51 @@
+#include "channel/medium.h"
+
+#include <stdexcept>
+
+#include "dsp/ops.h"
+
+namespace anc::chan {
+
+Medium::Medium(double noise_power, Pcg32 rng)
+    : noise_power_{noise_power}, rng_{rng}
+{
+}
+
+void Medium::set_link(Node_id from, Node_id to, Link_params params)
+{
+    links_.insert_or_assign({from, to}, Link_channel{params});
+}
+
+bool Medium::has_link(Node_id from, Node_id to) const
+{
+    return links_.count({from, to}) > 0;
+}
+
+const Link_channel& Medium::link(Node_id from, Node_id to) const
+{
+    const auto it = links_.find({from, to});
+    if (it == links_.end())
+        throw std::out_of_range{"Medium::link: no such link"};
+    return it->second;
+}
+
+dsp::Signal Medium::receive(Node_id receiver,
+                            const std::vector<Transmission>& transmissions,
+                            std::size_t trailing_noise)
+{
+    dsp::Signal mix;
+    for (const Transmission& tx : transmissions) {
+        if (tx.from == receiver)
+            continue; // half-duplex: you do not hear yourself
+        if (!has_link(tx.from, receiver))
+            continue; // out of radio range
+        const dsp::Signal through = link(tx.from, receiver).apply(tx.signal);
+        dsp::accumulate(mix, through, tx.start);
+    }
+    mix.resize(mix.size() + trailing_noise, dsp::Sample{0.0, 0.0});
+    Awgn noise{noise_power_, rng_.fork(static_cast<std::uint64_t>(receiver) + 1)};
+    noise.add_in_place(mix);
+    return mix;
+}
+
+} // namespace anc::chan

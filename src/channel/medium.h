@@ -1,0 +1,70 @@
+// Broadcast wireless medium.
+//
+// This is the core hardware substitution of the reproduction (DESIGN.md
+// §2): in place of USRP front-ends and the air, a Medium holds a link
+// channel for every ordered node pair and computes, for each receiver,
+// the *sum* of the channel-distorted signals of every node transmitting
+// in the same round, plus receiver AWGN.  "Collision of two packets means
+// that the channel adds their physical signals after applying
+// attenuations and time shifts" (§1) — this class is that sentence.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "channel/awgn.h"
+#include "channel/link.h"
+#include "dsp/sample.h"
+#include "util/rng.h"
+
+namespace anc::chan {
+
+using Node_id = std::uint32_t;
+
+/// One node's transmission within a round: a signal plus the symbol offset
+/// (MAC jitter, §7.2) at which it starts relative to the round origin.
+struct Transmission {
+    Node_id from = 0;
+    dsp::Signal signal;
+    std::size_t start = 0;
+};
+
+class Medium {
+public:
+    /// `noise_power` is the receiver noise floor (same at every node, as
+    /// assumed in §8); `rng` seeds the per-receive noise streams.
+    Medium(double noise_power, Pcg32 rng);
+
+    /// Define the channel of the ordered pair (from -> to).  Pairs without
+    /// a link are out of radio range: the receiver hears nothing from that
+    /// sender.
+    void set_link(Node_id from, Node_id to, Link_params params);
+
+    bool has_link(Node_id from, Node_id to) const;
+
+    /// The link's channel; throws if absent.
+    const Link_channel& link(Node_id from, Node_id to) const;
+
+    /// What `receiver` hears during a round in which `transmissions` are
+    /// on the air: sum over in-range senders of link(sender, receiver)
+    /// applied to the sender's signal at its start offset, plus AWGN over
+    /// the whole span.  A half-duplex node cannot hear a round it
+    /// transmits in; passing its own id among the senders is allowed (its
+    /// own signal is simply skipped, since a radio does not receive its
+    /// own transmission at baseband here).
+    dsp::Signal receive(Node_id receiver,
+                        const std::vector<Transmission>& transmissions,
+                        std::size_t trailing_noise = 0);
+
+    double noise_power() const { return noise_power_; }
+
+private:
+    std::map<std::pair<Node_id, Node_id>, Link_channel> links_;
+    double noise_power_;
+    Pcg32 rng_;
+};
+
+} // namespace anc::chan

@@ -1,0 +1,151 @@
+#include "core/amplitude_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dsp/energy_scan.h"
+
+namespace anc {
+
+namespace {
+
+struct Window_stats {
+    double mu_raw = 0.0;    // mean |y|^2 including noise
+    double sigma_raw = 0.0; // mean of |y|^2 over samples with |y|^2 > mu_raw
+};
+
+Window_stats energy_stats(dsp::Signal_view window)
+{
+    Window_stats stats;
+    const std::vector<double> e = dsp::sample_energies(window);
+    double sum = 0.0;
+    for (const double v : e)
+        sum += v;
+    stats.mu_raw = sum / static_cast<double>(e.size());
+
+    // sigma as defined in §6.2: (2/N) * sum of energies above the mean.
+    // With random phase offsets, about half the samples land above the
+    // mean, so the 2/N prefactor makes this the conditional expectation
+    // E[|y|^2 | |y|^2 > mu].
+    double above = 0.0;
+    for (const double v : e) {
+        if (v > stats.mu_raw)
+            above += v;
+    }
+    stats.sigma_raw = 2.0 * above / static_cast<double>(e.size());
+    return stats;
+}
+
+} // namespace
+
+std::optional<Amplitude_estimate> estimate_amplitudes(dsp::Signal_view overlap,
+                                                      double noise_power,
+                                                      std::size_t min_window)
+{
+    if (overlap.size() < min_window)
+        return std::nullopt;
+
+    const Window_stats stats = energy_stats(overlap);
+    const double mu = stats.mu_raw - noise_power;
+    const double sigma = stats.sigma_raw - noise_power;
+    if (mu <= 0.0)
+        return std::nullopt;
+
+    // 4AB/pi = sigma - mu  =>  AB = pi (sigma - mu) / 4.
+    const double product = std::max(std::numbers::pi * (sigma - mu) / 4.0, 0.0);
+    // A^2 and B^2 are the roots of z^2 - mu z + (AB)^2 = 0.
+    double discriminant = mu * mu - 4.0 * product * product;
+    if (discriminant < 0.0)
+        discriminant = 0.0; // estimation noise near A == B
+    const double root = std::sqrt(discriminant);
+    const double a2 = (mu + root) / 2.0;
+    const double b2 = (mu - root) / 2.0;
+    if (b2 < 0.0)
+        return std::nullopt;
+
+    Amplitude_estimate estimate;
+    estimate.a = std::sqrt(a2);
+    estimate.b = std::sqrt(b2);
+    estimate.mu = mu;
+    estimate.sigma = sigma;
+    if (estimate.a <= 0.0 || estimate.b <= 0.0)
+        return std::nullopt;
+    return estimate;
+}
+
+std::optional<Amplitude_estimate> estimate_with_known_amplitude(dsp::Signal_view overlap,
+                                                                double noise_power,
+                                                                double known_amplitude,
+                                                                std::size_t min_window)
+{
+    if (overlap.size() < min_window || known_amplitude <= 0.0)
+        return std::nullopt;
+
+    const Window_stats stats = energy_stats(overlap);
+    const double mu = stats.mu_raw - noise_power;
+    const double b2 = mu - known_amplitude * known_amplitude;
+    if (b2 <= 0.0)
+        return std::nullopt;
+
+    Amplitude_estimate estimate;
+    estimate.a = known_amplitude;
+    estimate.b = std::sqrt(b2);
+    estimate.mu = mu;
+    estimate.sigma = stats.sigma_raw - noise_power;
+    return estimate;
+}
+
+std::optional<Amplitude_estimate> estimate_amplitudes_by_variance(dsp::Signal_view overlap,
+                                                                  double noise_power,
+                                                                  std::size_t min_window)
+{
+    if (overlap.size() < min_window)
+        return std::nullopt;
+
+    const std::vector<double> e = dsp::sample_energies(overlap);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const double v : e) {
+        sum += v;
+        sum_sq += v * v;
+    }
+    const auto n = static_cast<double>(e.size());
+    const double mean = sum / n;
+    const double variance = std::max(sum_sq / n - mean * mean, 0.0);
+
+    const double mu = mean - noise_power;
+    if (mu <= 0.0)
+        return std::nullopt;
+    // Noise contributes 2*mean_signal*sigma^2 (cross term) + sigma^4 to
+    // the energy variance; remove it before reading off 2(AB)^2.
+    const double noise_variance = 2.0 * mu * noise_power + noise_power * noise_power;
+    const double signal_variance = std::max(variance - noise_variance, 0.0);
+    const double product = std::sqrt(signal_variance / 2.0);
+
+    double discriminant = mu * mu - 4.0 * product * product;
+    if (discriminant < 0.0)
+        discriminant = 0.0;
+    const double root = std::sqrt(discriminant);
+    const double a2 = (mu + root) / 2.0;
+    const double b2 = (mu - root) / 2.0;
+    if (b2 < 0.0)
+        return std::nullopt;
+
+    Amplitude_estimate estimate;
+    estimate.a = std::sqrt(a2);
+    estimate.b = std::sqrt(b2);
+    estimate.mu = mu;
+    estimate.sigma = mu + 4.0 * product / std::numbers::pi; // Eq. 6 equivalent
+    if (estimate.a <= 0.0 || estimate.b <= 0.0)
+        return std::nullopt;
+    return estimate;
+}
+
+double amplitude_from_clean_region(dsp::Signal_view region, double noise_power)
+{
+    const double power = std::max(dsp::mean_energy(region) - noise_power, 0.0);
+    return std::sqrt(power);
+}
+
+} // namespace anc

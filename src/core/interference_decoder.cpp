@@ -1,0 +1,106 @@
+#include "core/interference_decoder.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/phase_solver.h"
+#include "util/phase.h"
+
+namespace anc {
+
+std::pair<std::vector<double>, std::vector<double>>
+Interference_decoder::estimate_phi_differences(dsp::Signal_view samples,
+                                               std::span<const double> known_diffs,
+                                               double a,
+                                               double b) const
+{
+    if (a <= 0.0 || b <= 0.0)
+        throw std::invalid_argument{"Interference_decoder: amplitudes must be positive"};
+
+    std::vector<double> phi_differences;
+    std::vector<double> match_errors;
+    if (samples.size() < 2)
+        return {phi_differences, match_errors};
+    const std::size_t transitions = samples.size() - 1;
+    phi_differences.reserve(transitions);
+
+    // Solve each sample once; reuse across the two transitions touching it.
+    Phase_solutions current = solve_phases(samples[0], a, b);
+    for (std::size_t n = 0; n < transitions; ++n) {
+        const Phase_solutions next = solve_phases(samples[n + 1], a, b);
+
+        if (n < known_diffs.size()) {
+            // Four candidate (delta theta, delta phi) pairs (Eq. 7); pick
+            // the one matching the known signal's step (Eq. 8).
+            double best_error = 0.0;
+            double best_phi_diff = 0.0;
+            bool first = true;
+            for (const Phase_pair& p_next : next.pair) {
+                for (const Phase_pair& p_cur : current.pair) {
+                    const double theta_diff = wrap_phase(p_next.theta - p_cur.theta);
+                    const double error = phase_distance(theta_diff, known_diffs[n]);
+                    if (first || error < best_error) {
+                        best_error = error;
+                        best_phi_diff = wrap_phase(p_next.phi - p_cur.phi);
+                        first = false;
+                    }
+                }
+            }
+            phi_differences.push_back(best_phi_diff);
+            match_errors.push_back(best_error);
+        } else {
+            // Known signal over: standard differential demodulation (§5.3).
+            phi_differences.push_back(std::arg(samples[n + 1] * std::conj(samples[n])));
+        }
+        current = next;
+    }
+    return {phi_differences, match_errors};
+}
+
+Interference_decode_result Interference_decoder::decode(dsp::Signal_view samples,
+                                                        std::span<const double> known_diffs,
+                                                        double a,
+                                                        double b) const
+{
+    Interference_decode_result result;
+    auto [phi_differences, match_errors] =
+        estimate_phi_differences(samples, known_diffs, a, b);
+    result.bits.reserve(phi_differences.size());
+    for (const double diff : phi_differences)
+        result.bits.push_back(diff >= 0.0 ? 1 : 0); // MSK rule (§6.4)
+    result.phi_differences = std::move(phi_differences);
+    result.match_errors = std::move(match_errors);
+    return result;
+}
+
+Symbol_decode_result Interference_decoder::decode_symbols(
+    dsp::Signal_view samples,
+    std::span<const double> known_diffs,
+    double a,
+    double b,
+    std::span<const double> alphabet) const
+{
+    if (alphabet.empty())
+        throw std::invalid_argument{"decode_symbols: alphabet must not be empty"};
+    Symbol_decode_result result;
+    auto [phi_differences, match_errors] =
+        estimate_phi_differences(samples, known_diffs, a, b);
+    result.symbols.reserve(phi_differences.size());
+    for (const double diff : phi_differences) {
+        std::size_t best = 0;
+        double best_distance = phase_distance(diff, alphabet[0]);
+        for (std::size_t s = 1; s < alphabet.size(); ++s) {
+            const double distance = phase_distance(diff, alphabet[s]);
+            if (distance < best_distance) {
+                best_distance = distance;
+                best = s;
+            }
+        }
+        result.symbols.push_back(best);
+    }
+    result.phi_differences = std::move(phi_differences);
+    result.match_errors = std::move(match_errors);
+    return result;
+}
+
+} // namespace anc

@@ -1,0 +1,80 @@
+// Decoding the unknown signal out of a two-signal collision (§6.3-6.4).
+//
+// For every consecutive pair of received samples, Lemma 6.1 yields two
+// candidate phases per sample, hence four candidate phase-difference pairs
+// (delta theta, delta phi) (Eq. 7).  The receiver knows the phase
+// differences its own (or an overheard) packet must have produced — MSK
+// maps bits to +-pi/2 steps — so it picks the candidate whose delta theta
+// best matches the known step (Eq. 8) and reads the unknown signal's bit
+// off the matching delta phi: bit = (delta phi >= 0).
+//
+// Beyond the end of the known signal the collision is over and the
+// decoder falls back to standard differential demodulation — that region
+// is the unknown packet's interference-free tail (§7.2).
+
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dsp/sample.h"
+#include "util/bits.h"
+
+namespace anc {
+
+struct Interference_decode_result {
+    /// One hard decision per sample transition: the unknown signal's bits.
+    /// Positions where the unknown signal had not yet started carry noise
+    /// decisions; the caller locates the packet via its pilot.
+    Bits bits;
+    /// Estimated delta phi per transition (soft output).
+    std::vector<double> phi_differences;
+    /// |delta theta_chosen - delta theta_known| per transition within the
+    /// known signal's extent; diagnostics for tests and benches.
+    std::vector<double> match_errors;
+};
+
+/// Result of the generic-alphabet variant: per-transition symbol indices
+/// into the caller's alphabet instead of MSK bits.
+struct Symbol_decode_result {
+    std::vector<std::size_t> symbols;
+    std::vector<double> phi_differences;
+    std::vector<double> match_errors;
+};
+
+class Interference_decoder {
+public:
+    /// `samples`: the received stream, aligned so samples[k] carries the
+    /// known signal's k-th sample (alignment is the pilot matcher's job).
+    /// `known_diffs`: the known signal's per-transition phase differences
+    /// (length = number of known frame bits).  Transitions at or past
+    /// known_diffs.size() are demodulated as a single signal.
+    /// `a`, `b`: amplitudes of the known and unknown signal.
+    Interference_decode_result decode(dsp::Signal_view samples,
+                                      std::span<const double> known_diffs,
+                                      double a,
+                                      double b) const;
+
+    /// Generic PSK variant (§4: the algorithm "is applicable to any phase
+    /// shift keying modulation").  The unknown signal's per-transition
+    /// phase-step alphabet is supplied by the caller; each estimated
+    /// delta-phi snaps to the nearest alphabet entry.  The *known* signal
+    /// may use any scheme — only its expected phase differences matter.
+    Symbol_decode_result decode_symbols(dsp::Signal_view samples,
+                                        std::span<const double> known_diffs,
+                                        double a,
+                                        double b,
+                                        std::span<const double> alphabet) const;
+
+    /// The shared core: per-transition estimated delta-phi of the unknown
+    /// signal (Eq. 7-8 candidate selection), plus Eq. 8 match errors over
+    /// the known signal's extent.
+    std::pair<std::vector<double>, std::vector<double>> estimate_phi_differences(
+        dsp::Signal_view samples,
+        std::span<const double> known_diffs,
+        double a,
+        double b) const;
+};
+
+} // namespace anc

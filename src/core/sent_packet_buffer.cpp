@@ -1,0 +1,45 @@
+#include "core/sent_packet_buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anc {
+
+Sent_packet_buffer::Sent_packet_buffer(std::size_t capacity)
+    : capacity_{capacity}
+{
+    if (capacity == 0)
+        throw std::invalid_argument{"Sent_packet_buffer: capacity must be positive"};
+}
+
+Sent_packet_buffer::Key Sent_packet_buffer::key_of(const phy::Frame_header& header)
+{
+    return {header.src, header.dst, header.seq};
+}
+
+void Sent_packet_buffer::store(Stored_frame frame)
+{
+    const Key key = key_of(frame.header);
+    const auto [it, inserted] = frames_.insert_or_assign(key, std::move(frame));
+    (void)it;
+    if (inserted) {
+        order_.push_back(key);
+        if (order_.size() > capacity_) {
+            frames_.erase(order_.front());
+            order_.pop_front();
+        }
+    }
+}
+
+const Stored_frame* Sent_packet_buffer::lookup(const phy::Frame_header& header) const
+{
+    const auto it = frames_.find(key_of(header));
+    return it == frames_.end() ? nullptr : &it->second;
+}
+
+bool Sent_packet_buffer::contains(const phy::Frame_header& header) const
+{
+    return frames_.count(key_of(header)) > 0;
+}
+
+} // namespace anc

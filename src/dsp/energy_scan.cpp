@@ -1,0 +1,63 @@
+#include "dsp/energy_scan.h"
+
+#include <stdexcept>
+
+namespace anc::dsp {
+
+std::vector<double> sample_energies(Signal_view signal)
+{
+    std::vector<double> energies;
+    energies.reserve(signal.size());
+    for (const Sample& s : signal)
+        energies.push_back(std::norm(s));
+    return energies;
+}
+
+double mean_energy(Signal_view signal)
+{
+    if (signal.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const Sample& s : signal)
+        total += std::norm(s);
+    return total / static_cast<double>(signal.size());
+}
+
+Energy_scan scan_energy(Signal_view signal, std::size_t window)
+{
+    if (window == 0)
+        throw std::invalid_argument{"scan_energy: window must be positive"};
+    Energy_scan scan;
+    scan.window = window;
+    if (signal.size() < window)
+        return scan;
+
+    const std::vector<double> e = sample_energies(signal);
+    const std::size_t windows = e.size() - window + 1;
+    scan.window_mean.reserve(windows);
+    scan.window_variance.reserve(windows);
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < window; ++i) {
+        sum += e[i];
+        sum_sq += e[i] * e[i];
+    }
+    const auto w = static_cast<double>(window);
+    for (std::size_t start = 0;; ++start) {
+        const double mean = sum / w;
+        // Population variance; clamp tiny negatives from cancellation.
+        double variance = sum_sq / w - mean * mean;
+        if (variance < 0.0)
+            variance = 0.0;
+        scan.window_mean.push_back(mean);
+        scan.window_variance.push_back(variance);
+        if (start + window >= e.size())
+            break;
+        sum += e[start + window] - e[start];
+        sum_sq += e[start + window] * e[start + window] - e[start] * e[start];
+    }
+    return scan;
+}
+
+} // namespace anc::dsp

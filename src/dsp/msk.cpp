@@ -1,0 +1,69 @@
+#include "dsp/msk.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/phase.h"
+
+namespace anc::dsp {
+
+double msk_phase_step(std::uint8_t bit)
+{
+    constexpr double half_pi = std::numbers::pi / 2.0;
+    return bit ? half_pi : -half_pi;
+}
+
+std::vector<double> phase_differences_for_bits(std::span<const std::uint8_t> bits)
+{
+    std::vector<double> steps;
+    steps.reserve(bits.size());
+    for (const std::uint8_t bit : bits)
+        steps.push_back(msk_phase_step(bit));
+    return steps;
+}
+
+Msk_modulator::Msk_modulator(double amplitude, double initial_phase)
+    : amplitude_{amplitude}, initial_phase_{initial_phase}
+{
+}
+
+Signal Msk_modulator::modulate(std::span<const std::uint8_t> bits) const
+{
+    Signal signal;
+    signal.reserve(bits.size() + 1);
+    double phase = initial_phase_;
+    signal.push_back(std::polar(amplitude_, phase));
+    for (const std::uint8_t bit : bits) {
+        phase = wrap_phase(phase + msk_phase_step(bit));
+        signal.push_back(std::polar(amplitude_, phase));
+    }
+    return signal;
+}
+
+Bits Msk_demodulator::demodulate(Signal_view signal) const
+{
+    Bits bits;
+    if (signal.size() < 2)
+        return bits;
+    bits.reserve(signal.size() - 1);
+    for (std::size_t n = 0; n + 1 < signal.size(); ++n) {
+        // arg(y[n+1] * conj(y[n])) = theta[n+1] - theta[n]; h and gamma
+        // cancel (Eq. 1), so no channel estimate is needed.
+        const Sample ratio = signal[n + 1] * std::conj(signal[n]);
+        bits.push_back(std::arg(ratio) >= 0.0 ? 1 : 0);
+    }
+    return bits;
+}
+
+std::vector<double> Msk_demodulator::phase_differences(Signal_view signal) const
+{
+    std::vector<double> diffs;
+    if (signal.size() < 2)
+        return diffs;
+    diffs.reserve(signal.size() - 1);
+    for (std::size_t n = 0; n + 1 < signal.size(); ++n)
+        diffs.push_back(std::arg(signal[n + 1] * std::conj(signal[n])));
+    return diffs;
+}
+
+} // namespace anc::dsp

@@ -1,0 +1,98 @@
+#include "dsp/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/energy_scan.h"
+
+namespace anc::dsp {
+
+Signal scaled(Signal_view signal, double scale)
+{
+    Signal out;
+    out.reserve(signal.size());
+    for (const Sample& s : signal)
+        out.push_back(s * scale);
+    return out;
+}
+
+Signal rotated(Signal_view signal, double phase)
+{
+    const Sample rotor = std::polar(1.0, phase);
+    Signal out;
+    out.reserve(signal.size());
+    for (const Sample& s : signal)
+        out.push_back(s * rotor);
+    return out;
+}
+
+Signal delayed(Signal_view signal, std::size_t count)
+{
+    Signal out(count, Sample{0.0, 0.0});
+    out.insert(out.end(), signal.begin(), signal.end());
+    return out;
+}
+
+Signal added(Signal_view a, Signal_view b)
+{
+    Signal out(std::max(a.size(), b.size()), Sample{0.0, 0.0});
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] += a[i];
+    for (std::size_t i = 0; i < b.size(); ++i)
+        out[i] += b[i];
+    return out;
+}
+
+void accumulate(Signal& acc, Signal_view signal, std::size_t offset)
+{
+    if (acc.size() < offset + signal.size())
+        acc.resize(offset + signal.size(), Sample{0.0, 0.0});
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        acc[offset + i] += signal[i];
+}
+
+Signal reversed(Signal_view signal)
+{
+    return Signal{signal.rbegin(), signal.rend()};
+}
+
+Signal conjugated(Signal_view signal)
+{
+    Signal out;
+    out.reserve(signal.size());
+    for (const Sample& s : signal)
+        out.push_back(std::conj(s));
+    return out;
+}
+
+Signal time_reversed(Signal_view signal)
+{
+    Signal out;
+    out.reserve(signal.size());
+    for (auto it = signal.rbegin(); it != signal.rend(); ++it)
+        out.push_back(std::conj(*it));
+    return out;
+}
+
+Signal slice(Signal_view signal, std::size_t begin, std::size_t end)
+{
+    begin = std::min(begin, signal.size());
+    end = std::clamp(end, begin, signal.size());
+    return Signal{signal.begin() + static_cast<std::ptrdiff_t>(begin),
+                  signal.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+double power(Signal_view signal)
+{
+    return mean_energy(signal);
+}
+
+Signal normalized_to_power(Signal_view signal, double target_power)
+{
+    const double current = power(signal);
+    if (current <= 0.0)
+        return Signal{signal.begin(), signal.end()};
+    return scaled(signal, std::sqrt(target_power / current));
+}
+
+} // namespace anc::dsp

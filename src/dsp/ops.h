@@ -1,0 +1,55 @@
+// Elementary signal operations shared by the channel and the decoders.
+
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/sample.h"
+
+namespace anc::dsp {
+
+/// signal * scale (amplitude scaling).
+Signal scaled(Signal_view signal, double scale);
+
+/// signal rotated by e^{i phase} (a channel phase shift).
+Signal rotated(Signal_view signal, double phase);
+
+/// `count` zero samples prepended (an integer whole-symbol delay).
+Signal delayed(Signal_view signal, std::size_t count);
+
+/// Sample-wise sum; the shorter signal is zero-extended.  This is what the
+/// wireless medium does to concurrent transmissions: it *adds* them.
+Signal added(Signal_view a, Signal_view b);
+
+/// In-place accumulate: acc[offset + i] += signal[i], growing acc if
+/// needed.  Used by the medium to mix any number of transmitters.
+void accumulate(Signal& acc, Signal_view signal, std::size_t offset);
+
+/// Copy of the sample order reversed.  Reversing negates every MSK phase
+/// difference, which is the basis of backward decoding (§7.4).
+Signal reversed(Signal_view signal);
+
+/// Sample-wise complex conjugate.
+Signal conjugated(Signal_view signal);
+
+/// Reverse the sample order *and* conjugate.  The resulting stream has
+/// exactly the phase differences of the original read backwards — i.e. a
+/// frame seen through this transform demodulates to its forward bits in
+/// reverse order, with its mirrored trailing pilot/header appearing as a
+/// normal leading pilot/header.  This is what makes Bob's backward
+/// decoding (§7.4) run through the *same* machinery as Alice's forward
+/// decoding.
+Signal time_reversed(Signal_view signal);
+
+/// Sub-range [begin, end) as a fresh signal (clamped to bounds).
+Signal slice(Signal_view signal, std::size_t begin, std::size_t end);
+
+/// Mean power of the signal (alias of mean |y|^2).
+double power(Signal_view signal);
+
+/// Scale so the mean power becomes `target_power`.  A zero signal is
+/// returned unchanged.  This is the relay's re-amplification (§7.5): the
+/// amplification factor is chosen so the transmit power equals P.
+Signal normalized_to_power(Signal_view signal, double target_power);
+
+} // namespace anc::dsp

@@ -1,0 +1,22 @@
+// Complex-baseband sample types.
+//
+// A wireless signal is a stream of complex samples A[n] * e^{i theta[n]}
+// spaced by the symbol time T (§5.1 of the paper).  The whole substrate
+// operates at one sample per symbol: that is exactly the granularity the
+// paper's decoding algorithm is defined at, and timing offsets between
+// unsynchronized senders are modelled at whole-symbol resolution (the
+// paper aligns packets at bit granularity via the 64-bit pilot, §7.2).
+
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace anc::dsp {
+
+using Sample = std::complex<double>;
+using Signal = std::vector<Sample>;
+using Signal_view = std::span<const Sample>;
+
+} // namespace anc::dsp

@@ -1,0 +1,81 @@
+#include "dsp/sampling.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/phase.h"
+
+namespace anc::dsp {
+
+Signal upsampled(Signal_view signal, std::size_t factor)
+{
+    if (factor == 0)
+        throw std::invalid_argument{"upsampled: factor must be positive"};
+    Signal out;
+    out.reserve(signal.size() * factor);
+    for (const Sample& s : signal) {
+        for (std::size_t i = 0; i < factor; ++i)
+            out.push_back(s);
+    }
+    return out;
+}
+
+Signal boxcar_filtered(Signal_view signal, std::size_t taps)
+{
+    if (taps == 0)
+        throw std::invalid_argument{"boxcar_filtered: taps must be positive"};
+    Signal out;
+    out.reserve(signal.size());
+    Sample acc{0.0, 0.0};
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        acc += signal[i];
+        if (i >= taps)
+            acc -= signal[i - taps];
+        const auto window = static_cast<double>(i < taps ? i + 1 : taps);
+        out.push_back(acc / window);
+    }
+    return out;
+}
+
+Signal decimated(Signal_view signal, std::size_t factor, std::size_t phase)
+{
+    if (factor == 0)
+        throw std::invalid_argument{"decimated: factor must be positive"};
+    Signal out;
+    out.reserve(signal.size() / factor + 1);
+    for (std::size_t i = phase; i < signal.size(); i += factor)
+        out.push_back(signal[i]);
+    return out;
+}
+
+double msk_lattice_fit(Signal_view symbol_spaced)
+{
+    if (symbol_spaced.size() < 2)
+        return std::numbers::pi / 4.0;
+    constexpr double half_pi = std::numbers::pi / 2.0;
+    double total = 0.0;
+    for (std::size_t n = 0; n + 1 < symbol_spaced.size(); ++n) {
+        const double diff = std::arg(symbol_spaced[n + 1] * std::conj(symbol_spaced[n]));
+        total += std::min(phase_distance(diff, half_pi), phase_distance(diff, -half_pi));
+    }
+    return total / static_cast<double>(symbol_spaced.size() - 1);
+}
+
+std::size_t recover_symbol_phase(Signal_view oversampled, std::size_t factor)
+{
+    if (factor == 0)
+        throw std::invalid_argument{"recover_symbol_phase: factor must be positive"};
+    std::size_t best_phase = 0;
+    double best_fit = 0.0;
+    for (std::size_t phase = 0; phase < factor; ++phase) {
+        const double fit = msk_lattice_fit(decimated(oversampled, factor, phase));
+        if (phase == 0 || fit < best_fit) {
+            best_fit = fit;
+            best_phase = phase;
+        }
+    }
+    return best_phase;
+}
+
+} // namespace anc::dsp

@@ -1,0 +1,43 @@
+// Oversampling and symbol-clock recovery.
+//
+// Real SDR front-ends (the paper's USRP) sample several times per symbol
+// and must recover the symbol clock before the symbol-spaced algorithms
+// of §5-§6 can run ("we have to dive into the physical layer and adapt
+// channel acquisition, modulation, clock recovery...", §2).  This module
+// provides the rectangular-pulse version of that chain:
+//
+//   TX: upsample (sample-and-hold)  ->  channel at L samples/symbol
+//   RX: boxcar matched filter  ->  pick the decimation phase where the
+//       differential phase steps sit closest to the MSK lattice  ->
+//       decimate to 1 sample/symbol.
+
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/sample.h"
+
+namespace anc::dsp {
+
+/// Each input sample repeated `factor` times (rectangular pulse shaping).
+Signal upsampled(Signal_view signal, std::size_t factor);
+
+/// Moving-average filter of `taps` samples (the matched filter for a
+/// rectangular pulse); output[i] = mean(input[i - taps + 1 .. i]), with
+/// the warm-up region averaged over what exists.
+Signal boxcar_filtered(Signal_view signal, std::size_t taps);
+
+/// Every `factor`-th sample starting at `phase`.
+Signal decimated(Signal_view signal, std::size_t factor, std::size_t phase);
+
+/// How well a symbol-spaced stream fits MSK: mean circular distance of
+/// consecutive-sample phase differences from the nearest of +-pi/2.
+/// 0 for ideal MSK; ~pi/4 for an unsynchronized or non-MSK stream.
+double msk_lattice_fit(Signal_view symbol_spaced);
+
+/// Symbol-clock recovery: the decimation phase in [0, factor) whose
+/// decimated stream best fits the MSK lattice.  Run on the matched-
+/// filtered stream.
+std::size_t recover_symbol_phase(Signal_view oversampled, std::size_t factor);
+
+} // namespace anc::dsp

@@ -1,0 +1,28 @@
+#include "dsp/scrambler.h"
+
+#include <stdexcept>
+
+namespace anc::dsp {
+
+Scrambler::Scrambler(std::uint16_t seed)
+    : seed_{seed}
+{
+    if (seed == 0)
+        throw std::invalid_argument{"Scrambler: LFSR seed must be non-zero"};
+}
+
+Bits Scrambler::apply(std::span<const std::uint8_t> bits) const
+{
+    Bits out(bits.size());
+    std::uint16_t lfsr = seed_;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        // Fibonacci LFSR, taps 16,14,13,11 (V.41).
+        const std::uint16_t feedback = static_cast<std::uint16_t>(
+            ((lfsr >> 0u) ^ (lfsr >> 2u) ^ (lfsr >> 3u) ^ (lfsr >> 5u)) & 1u);
+        lfsr = static_cast<std::uint16_t>((lfsr >> 1u) | (feedback << 15u));
+        out[i] = static_cast<std::uint8_t>(bits[i] ^ (feedback & 1u));
+    }
+    return out;
+}
+
+} // namespace anc::dsp

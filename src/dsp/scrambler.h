@@ -1,0 +1,33 @@
+// Additive scrambler (payload whitening).
+//
+// The amplitude estimator of §6.2 relies on E[cos(theta - phi)] ~ 0, which
+// holds only if the transmitted bits look random.  The paper's fix: "we
+// XOR them with a pseudo-random sequence at the sender, and XOR them again
+// with the same sequence at the receiver" — a classic additive scrambler.
+// We generate the keystream with a 16-bit Fibonacci LFSR (x^16 + x^14 +
+// x^13 + x^11 + 1, the CCITT V.41 polynomial), seeded identically at both
+// ends.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bits.h"
+
+namespace anc::dsp {
+
+/// Self-inverse whitening transform: scramble(scramble(x)) == x.
+class Scrambler {
+public:
+    explicit Scrambler(std::uint16_t seed = 0xACE1u);
+
+    /// XOR the bits with the keystream (restarted from the seed on every
+    /// call, so each packet is whitened independently).
+    Bits apply(std::span<const std::uint8_t> bits) const;
+
+private:
+    std::uint16_t seed_;
+};
+
+} // namespace anc::dsp

@@ -1,0 +1,81 @@
+#include "net/cope.h"
+
+#include <algorithm>
+
+namespace anc::net {
+
+Bits cope_encode(const Packet& a, const Packet& b)
+{
+    const Bits header_a = phy::encode_header(header_for(a));
+    const Bits header_b = phy::encode_header(header_for(b));
+    const std::size_t body = std::max(a.payload.size(), b.payload.size());
+
+    Bits out;
+    out.reserve(2 * phy::header_length + body);
+    out.insert(out.end(), header_a.begin(), header_a.end());
+    out.insert(out.end(), header_b.begin(), header_b.end());
+    for (std::size_t i = 0; i < body; ++i) {
+        const std::uint8_t bit_a = i < a.payload.size() ? a.payload[i] : 0;
+        const std::uint8_t bit_b = i < b.payload.size() ? b.payload[i] : 0;
+        out.push_back(bit_a ^ bit_b);
+    }
+    return out;
+}
+
+std::optional<Cope_coded> cope_parse(std::span<const std::uint8_t> payload)
+{
+    if (payload.size() < 2 * phy::header_length)
+        return std::nullopt;
+    const auto first = phy::decode_header(payload.first(phy::header_length));
+    const auto second =
+        phy::decode_header(payload.subspan(phy::header_length, phy::header_length));
+    if (!first || !second)
+        return std::nullopt;
+
+    const std::size_t body = payload.size() - 2 * phy::header_length;
+    if (body != std::max<std::size_t>(first->payload_bits, second->payload_bits))
+        return std::nullopt;
+
+    Cope_coded coded;
+    coded.first = *first;
+    coded.second = *second;
+    const auto xored = payload.subspan(2 * phy::header_length);
+    coded.xored.assign(xored.begin(), xored.end());
+    return coded;
+}
+
+namespace {
+
+bool same_identity(const phy::Frame_header& x, const phy::Frame_header& y)
+{
+    return x.src == y.src && x.dst == y.dst && x.seq == y.seq;
+}
+
+} // namespace
+
+std::optional<Packet> cope_decode(const Cope_coded& coded,
+                                  const phy::Frame_header& known_header,
+                                  std::span<const std::uint8_t> known_payload)
+{
+    const phy::Frame_header* wanted = nullptr;
+    if (same_identity(known_header, coded.first))
+        wanted = &coded.second;
+    else if (same_identity(known_header, coded.second))
+        wanted = &coded.first;
+    else
+        return std::nullopt;
+
+    Packet packet;
+    packet.src = wanted->src;
+    packet.dst = wanted->dst;
+    packet.seq = wanted->seq;
+    packet.payload.resize(wanted->payload_bits);
+    for (std::size_t i = 0; i < packet.payload.size(); ++i) {
+        const std::uint8_t known_bit = i < known_payload.size() ? known_payload[i] : 0;
+        const std::uint8_t mixed = i < coded.xored.size() ? coded.xored[i] : 0;
+        packet.payload[i] = known_bit ^ mixed;
+    }
+    return packet;
+}
+
+} // namespace anc::net

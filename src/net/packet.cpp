@@ -1,0 +1,34 @@
+#include "net/packet.h"
+
+#include <stdexcept>
+
+namespace anc::net {
+
+phy::Frame_header header_for(const Packet& packet)
+{
+    if (packet.payload.size() > 0xffff)
+        throw std::invalid_argument{"header_for: payload too large for a frame"};
+    phy::Frame_header header;
+    header.src = packet.src;
+    header.dst = packet.dst;
+    header.seq = packet.seq;
+    header.payload_bits = static_cast<std::uint16_t>(packet.payload.size());
+    return header;
+}
+
+Flow::Flow(std::uint8_t src, std::uint8_t dst, std::size_t payload_bits, Pcg32 rng)
+    : src_{src}, dst_{dst}, payload_bits_{payload_bits}, rng_{rng}
+{
+}
+
+Packet Flow::next()
+{
+    Packet packet;
+    packet.src = src_;
+    packet.dst = dst_;
+    packet.seq = next_seq_++;
+    packet.payload = random_bits(payload_bits_, rng_);
+    return packet;
+}
+
+} // namespace anc::net

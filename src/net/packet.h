@@ -1,0 +1,51 @@
+// Network-layer packets and traffic generation.
+//
+// Packets carry *end-to-end* (flow) addresses: in the chain topology a
+// router forwards a packet with its original header, which is exactly
+// what lets the previous hop recognize — and regenerate — the forwarded
+// signal when it interferes (§2(b), §7.5).  Hop-by-hop addressing is the
+// scheduler's business, not the frame's.
+
+#pragma once
+
+#include <cstdint>
+
+#include "phy/header.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace anc::net {
+
+struct Packet {
+    std::uint8_t src = 0;
+    std::uint8_t dst = 0;
+    std::uint16_t seq = 0;
+    Bits payload;
+
+    friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+/// PHY header for a packet.
+phy::Frame_header header_for(const Packet& packet);
+
+/// A unidirectional flow emitting packets with sequential sequence numbers
+/// and pseudo-random payloads.
+class Flow {
+public:
+    Flow(std::uint8_t src, std::uint8_t dst, std::size_t payload_bits, Pcg32 rng);
+
+    Packet next();
+
+    std::uint8_t src() const { return src_; }
+    std::uint8_t dst() const { return dst_; }
+    std::size_t payload_bits() const { return payload_bits_; }
+
+private:
+    std::uint8_t src_;
+    std::uint8_t dst_;
+    std::size_t payload_bits_;
+    std::uint16_t next_seq_ = 1;
+    Pcg32 rng_;
+};
+
+} // namespace anc::net

@@ -1,0 +1,106 @@
+#include "phy/detector.h"
+
+#include <algorithm>
+
+#include "dsp/energy_scan.h"
+#include "util/db.h"
+
+namespace anc::phy {
+
+Packet_detector::Packet_detector(double noise_power, Config config)
+    : noise_power_{noise_power}, config_{config}
+{
+}
+
+std::optional<Packet_bounds> Packet_detector::detect(dsp::Signal_view signal) const
+{
+    if (signal.size() < config_.window)
+        return std::nullopt;
+    const dsp::Energy_scan scan = dsp::scan_energy(signal, config_.window);
+    const double threshold = noise_power_ * from_db(config_.energy_threshold_db);
+
+    // First window above threshold marks the packet head.
+    std::size_t first = scan.window_mean.size();
+    for (std::size_t i = 0; i < scan.window_mean.size(); ++i) {
+        if (scan.window_mean[i] > threshold) {
+            first = i;
+            break;
+        }
+    }
+    if (first == scan.window_mean.size())
+        return std::nullopt;
+
+    // Last window above threshold marks the tail.
+    std::size_t last = first;
+    for (std::size_t i = scan.window_mean.size(); i-- > first;) {
+        if (scan.window_mean[i] > threshold) {
+            last = i;
+            break;
+        }
+    }
+
+    Packet_bounds bounds;
+    bounds.begin = first;
+    bounds.end = std::min(last + config_.window, signal.size());
+    return bounds;
+}
+
+Interference_detector::Interference_detector(double noise_power, Config config)
+    : noise_power_{noise_power}, config_{config}
+{
+}
+
+Interference_report Interference_detector::analyze(dsp::Signal_view packet) const
+{
+    Interference_report report;
+    if (packet.size() < config_.window)
+        return report;
+
+    const dsp::Energy_scan scan = dsp::scan_energy(packet, config_.window);
+    const double threshold = from_db(config_.variance_threshold_db);
+    const double sigma2 = noise_power_;
+
+    // The overlap region is the *envelope* of every sustained
+    // above-threshold run.  A single collision can show transient dips:
+    // when the two carriers' relative phase drifts through +-pi/2 (CFO),
+    // cos(theta - phi) passes zero and the envelope is momentarily
+    // near-constant.  Taking the envelope instead of the longest run
+    // keeps those dips from splitting one collision into two.
+    std::size_t run = 0;
+    std::size_t run_start = 0;
+    std::size_t first_begin = 0;
+    std::size_t last_end = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < scan.window_variance.size(); ++i) {
+        // Variance a clean constant-envelope signal of this power would
+        // show: cross term 2*|s|^2*sigma^2 plus the noise-energy variance
+        // sigma^4.  (|s|^2 ~ window mean minus the noise floor.)
+        const double signal_power = std::max(scan.window_mean[i] - sigma2, 1e-12);
+        const double clean_variance = 2.0 * signal_power * sigma2 + sigma2 * sigma2;
+        const double ratio = scan.window_variance[i] / clean_variance;
+        report.peak_ratio_db = std::max(report.peak_ratio_db, to_db(std::max(ratio, 1e-12)));
+        if (ratio > threshold) {
+            if (run == 0)
+                run_start = i;
+            ++run;
+            if (run >= config_.min_run) {
+                if (!found) {
+                    first_begin = run_start;
+                    found = true;
+                }
+                last_end = i + 1;
+            }
+        } else {
+            run = 0;
+        }
+    }
+
+    if (found) {
+        report.interfered = true;
+        report.overlap_begin = first_begin;
+        report.overlap_end = std::min(last_end + config_.window, packet.size());
+    }
+    return report;
+}
+
+} // namespace anc::phy

@@ -1,0 +1,36 @@
+#include "phy/header.h"
+
+#include "util/crc.h"
+
+namespace anc::phy {
+
+Bits encode_header(const Frame_header& header)
+{
+    Bits bits;
+    bits.reserve(header_length);
+    append_uint(bits, header.src, 8);
+    append_uint(bits, header.dst, 8);
+    append_uint(bits, header.seq, 16);
+    append_uint(bits, header.payload_bits, 16);
+    const std::uint16_t crc = crc16(bits);
+    append_uint(bits, crc, 16);
+    return bits;
+}
+
+std::optional<Frame_header> decode_header(std::span<const std::uint8_t> bits)
+{
+    if (bits.size() < header_length)
+        return std::nullopt;
+    const auto body = bits.first(48);
+    const auto crc_read = static_cast<std::uint16_t>(read_uint(bits, 48, 16));
+    if (crc16(body) != crc_read)
+        return std::nullopt;
+    Frame_header header;
+    header.src = static_cast<std::uint8_t>(read_uint(bits, 0, 8));
+    header.dst = static_cast<std::uint8_t>(read_uint(bits, 8, 8));
+    header.seq = static_cast<std::uint16_t>(read_uint(bits, 16, 16));
+    header.payload_bits = static_cast<std::uint16_t>(read_uint(bits, 32, 16));
+    return header;
+}
+
+} // namespace anc::phy

@@ -1,0 +1,37 @@
+// Frame header (Fig. 6): source, destination, sequence number.
+//
+// The ANC receiver uses the header to pick the right packet out of its
+// sent-packet buffer (§7.3), so the header must be self-checking: a
+// CRC-16 guards against trusting a garbled header.  The header also
+// carries the payload length so the receiver knows the frame extent.
+//
+// Wire layout (64 bits):  src:8  dst:8  seq:16  payload_bits:16  crc16:16
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bits.h"
+
+namespace anc::phy {
+
+inline constexpr std::size_t header_length = 64;
+
+struct Frame_header {
+    std::uint8_t src = 0;
+    std::uint8_t dst = 0;
+    std::uint16_t seq = 0;
+    std::uint16_t payload_bits = 0;
+
+    friend bool operator==(const Frame_header&, const Frame_header&) = default;
+};
+
+/// Serialize to 64 bits including the CRC.
+Bits encode_header(const Frame_header& header);
+
+/// Parse 64 bits; nothing if the span is short or the CRC fails.
+std::optional<Frame_header> decode_header(std::span<const std::uint8_t> bits);
+
+} // namespace anc::phy

@@ -1,0 +1,60 @@
+#include "phy/modem.h"
+
+#include "phy/pilot.h"
+
+namespace anc::phy {
+
+Modem::Modem(Modem_config config)
+    : config_{config}, scrambler_{config.scrambler_seed}
+{
+}
+
+Bits Modem::frame_bits(const Frame_header& header, std::span<const std::uint8_t> payload) const
+{
+    const Bits whitened = scrambler_.apply(payload);
+    return build_frame(header, whitened);
+}
+
+dsp::Signal Modem::modulate(std::span<const std::uint8_t> frame_bits,
+                            double initial_phase) const
+{
+    const dsp::Msk_modulator modulator{config_.amplitude, initial_phase};
+    return modulator.modulate(frame_bits);
+}
+
+dsp::Signal Modem::modulate_frame(const Frame_header& header,
+                                  std::span<const std::uint8_t> payload,
+                                  double initial_phase) const
+{
+    return modulate(frame_bits(header, payload), initial_phase);
+}
+
+Bits Modem::demodulate_bits(dsp::Signal_view signal) const
+{
+    return demodulator_.demodulate(signal);
+}
+
+Bits Modem::descramble(std::span<const std::uint8_t> payload) const
+{
+    return scrambler_.apply(payload);
+}
+
+std::optional<Received_frame> Modem::receive(dsp::Signal_view signal) const
+{
+    const Bits bits = demodulate_bits(signal);
+    const auto match = find_pilot(bits, config_.pilot_max_errors);
+    if (!match)
+        return std::nullopt;
+    const auto parsed = parse_frame_at(bits, match->position);
+    if (!parsed || !parsed->crc_ok)
+        return std::nullopt;
+
+    Received_frame frame;
+    frame.header = parsed->header;
+    frame.payload = descramble(parsed->payload);
+    frame.pilot_errors = match->errors;
+    frame.pilot_position = match->position;
+    return frame;
+}
+
+} // namespace anc::phy

@@ -1,0 +1,63 @@
+#include "phy/pilot.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace anc::phy {
+
+const Bits& pilot_sequence()
+{
+    // Generated once from a fixed seed: the pilot is part of the protocol,
+    // identical at every node, chosen pseudo-randomly (§7.2) so it is
+    // unlikely to appear inside scrambled payload.
+    static const Bits pilot = [] {
+        Pcg32 rng{0x414e435f50494c4full /* "ANC_PILO" */, 7};
+        return random_bits(pilot_length, rng);
+    }();
+    return pilot;
+}
+
+const Bits& pilot_mirrored()
+{
+    static const Bits mirror = mirrored(pilot_sequence());
+    return mirror;
+}
+
+std::optional<Pattern_match> find_pattern(std::span<const std::uint8_t> bits,
+                                          std::span<const std::uint8_t> pattern,
+                                          std::size_t from,
+                                          std::size_t to,
+                                          std::size_t max_errors)
+{
+    if (pattern.empty() || bits.size() < pattern.size())
+        return std::nullopt;
+    const std::size_t last_start = bits.size() - pattern.size();
+    from = std::min(from, last_start);
+    to = std::min(to, last_start);
+    if (from > to)
+        return std::nullopt;
+
+    std::optional<Pattern_match> best;
+    for (std::size_t start = from; start <= to; ++start) {
+        std::size_t errors = 0;
+        for (std::size_t i = 0; i < pattern.size() && errors <= max_errors; ++i)
+            errors += (bits[start + i] != pattern[i]);
+        if (errors <= max_errors && (!best || errors < best->errors)) {
+            best = Pattern_match{start, errors};
+            if (errors == 0)
+                break;
+        }
+    }
+    return best;
+}
+
+std::optional<Pattern_match> find_pilot(std::span<const std::uint8_t> bits,
+                                        std::size_t max_errors)
+{
+    if (bits.size() < pilot_length)
+        return std::nullopt;
+    return find_pattern(bits, pilot_sequence(), 0, bits.size() - pilot_length, max_errors);
+}
+
+} // namespace anc::phy

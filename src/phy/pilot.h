@@ -1,0 +1,46 @@
+// Pilot sequence and tolerant bit-pattern search (§7.2).
+//
+// Every frame starts with a known 64-bit pseudo-random pilot and ends with
+// the mirrored pilot.  A receiver locates a frame inside a sample stream
+// by demodulating the interference-free part and sliding the pilot over
+// the decoded bits.  The search tolerates a few bit errors, since the
+// clean region is still subject to noise.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "util/bits.h"
+
+namespace anc::phy {
+
+inline constexpr std::size_t pilot_length = 64;
+
+/// The fixed 64-bit pseudo-random pilot (identical at all nodes).
+const Bits& pilot_sequence();
+
+/// The pilot reversed (what a frame carries at its tail).
+const Bits& pilot_mirrored();
+
+struct Pattern_match {
+    std::size_t position = 0; // start index of the match in the haystack
+    std::size_t errors = 0;   // Hamming distance at that position
+};
+
+/// Best (fewest-errors) alignment of `pattern` inside `bits`, scanning
+/// start positions in [from, to]; `to` is clamped so the pattern fits.
+/// Returns nothing if the pattern cannot fit or no alignment has at most
+/// `max_errors` mismatches.  Ties resolve to the earliest position.
+std::optional<Pattern_match> find_pattern(std::span<const std::uint8_t> bits,
+                                          std::span<const std::uint8_t> pattern,
+                                          std::size_t from,
+                                          std::size_t to,
+                                          std::size_t max_errors);
+
+/// Convenience: search the pilot across the whole sequence.
+std::optional<Pattern_match> find_pilot(std::span<const std::uint8_t> bits,
+                                        std::size_t max_errors = 6);
+
+} // namespace anc::phy

@@ -1,0 +1,266 @@
+#include "sim/alice_bob.h"
+
+#include <algorithm>
+
+#include "channel/awgn.h"
+#include "channel/medium.h"
+#include "core/anc_receiver.h"
+#include "core/relay.h"
+#include "net/cope.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "util/bits.h"
+
+namespace anc::sim {
+
+namespace {
+
+constexpr std::size_t rx_guard = 64; // trailing noise so detectors see the edge
+
+struct World {
+    chan::Medium medium;
+    net::Net_node alice;
+    net::Net_node router;
+    net::Net_node bob;
+    Anc_receiver receiver;
+    double noise_power;
+    Pcg32 rng;
+};
+
+World make_world(const Alice_bob_config& config)
+{
+    Pcg32 rng{config.seed, 0x0a11ce0bu};
+    const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
+    chan::Medium medium{noise_power, rng.fork(1)};
+    Pcg32 link_rng = rng.fork(2);
+    install_alice_bob(medium, config.nodes, config.gains, link_rng);
+
+    phy::Modem_config alice_modem;
+    alice_modem.amplitude = config.alice_amplitude;
+    phy::Modem_config bob_modem;
+    bob_modem.amplitude = config.bob_amplitude;
+
+    return World{std::move(medium),
+                 net::Net_node{config.nodes.alice, alice_modem},
+                 net::Net_node{config.nodes.router},
+                 net::Net_node{config.nodes.bob, bob_modem},
+                 Anc_receiver{Anc_receiver_config{}, noise_power},
+                 noise_power,
+                 rng.fork(3)};
+}
+
+/// One clean (collision-free) transmission from `from` to `to`; returns
+/// the decoded frame if the receiver got it.  Airtime is charged for the
+/// transmission length regardless of success.
+std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
+                                             chan::Node_id to, const net::Packet& packet,
+                                             Run_metrics& metrics)
+{
+    chan::Transmission tx;
+    tx.from = from.id();
+    tx.signal = from.transmit(packet, world.rng);
+    tx.start = 0;
+    metrics.airtime_symbols += static_cast<double>(tx.signal.size());
+    const dsp::Signal received = world.medium.receive(to, {tx}, rx_guard);
+    const Receive_outcome outcome = world.receiver.receive(received, Sent_packet_buffer{1});
+    if (outcome.status != Receive_status::clean)
+        return std::nullopt;
+    return outcome.frame;
+}
+
+net::Packet packet_from_frame(const phy::Received_frame& frame)
+{
+    net::Packet packet;
+    packet.src = frame.header.src;
+    packet.dst = frame.header.dst;
+    packet.seq = frame.header.seq;
+    packet.payload = frame.payload;
+    return packet;
+}
+
+bool identity_matches(const phy::Frame_header& header, const net::Packet& packet)
+{
+    return header.src == packet.src && header.dst == packet.dst && header.seq == packet.seq;
+}
+
+void record_delivery(Run_metrics& metrics, Cdf& side_ber, const Bits& decoded,
+                     const net::Packet& truth)
+{
+    const double ber = bit_error_rate(decoded, truth.payload);
+    ++metrics.packets_delivered;
+    metrics.payload_bits_delivered += truth.payload.size();
+    metrics.packet_ber.add(ber);
+    side_ber.add(ber);
+}
+
+} // namespace
+
+Alice_bob_result run_alice_bob_traditional(const Alice_bob_config& config)
+{
+    World world = make_world(config);
+    Alice_bob_result result;
+    net::Flow flow_ab{static_cast<std::uint8_t>(config.nodes.alice),
+                      static_cast<std::uint8_t>(config.nodes.bob), config.payload_bits,
+                      world.rng.fork(10)};
+    net::Flow flow_ba{static_cast<std::uint8_t>(config.nodes.bob),
+                      static_cast<std::uint8_t>(config.nodes.alice), config.payload_bits,
+                      world.rng.fork(11)};
+
+    for (std::size_t i = 0; i < config.exchanges; ++i) {
+        // Alice -> Router -> Bob.
+        const net::Packet pa = flow_ab.next();
+        ++result.metrics.packets_attempted;
+        if (const auto at_router = clean_hop(world, world.alice, world.router.id(), pa,
+                                             result.metrics)) {
+            if (const auto at_bob = clean_hop(world, world.router, world.bob.id(),
+                                              packet_from_frame(*at_router), result.metrics)) {
+                if (identity_matches(at_bob->header, pa))
+                    record_delivery(result.metrics, result.ber_at_bob, at_bob->payload, pa);
+            }
+        }
+        // Bob -> Router -> Alice.
+        const net::Packet pb = flow_ba.next();
+        ++result.metrics.packets_attempted;
+        if (const auto at_router = clean_hop(world, world.bob, world.router.id(), pb,
+                                             result.metrics)) {
+            if (const auto at_alice = clean_hop(world, world.router, world.alice.id(),
+                                                packet_from_frame(*at_router),
+                                                result.metrics)) {
+                if (identity_matches(at_alice->header, pb))
+                    record_delivery(result.metrics, result.ber_at_alice, at_alice->payload,
+                                    pb);
+            }
+        }
+    }
+    return result;
+}
+
+Alice_bob_result run_alice_bob_cope(const Alice_bob_config& config)
+{
+    World world = make_world(config);
+    Alice_bob_result result;
+    net::Flow flow_ab{static_cast<std::uint8_t>(config.nodes.alice),
+                      static_cast<std::uint8_t>(config.nodes.bob), config.payload_bits,
+                      world.rng.fork(10)};
+    net::Flow flow_ba{static_cast<std::uint8_t>(config.nodes.bob),
+                      static_cast<std::uint8_t>(config.nodes.alice), config.payload_bits,
+                      world.rng.fork(11)};
+
+    std::uint16_t coded_seq = 1;
+    for (std::size_t i = 0; i < config.exchanges; ++i) {
+        const net::Packet pa = flow_ab.next();
+        const net::Packet pb = flow_ba.next();
+        result.metrics.packets_attempted += 2;
+
+        // Two sequential uploads.
+        const auto pa_at_router =
+            clean_hop(world, world.alice, world.router.id(), pa, result.metrics);
+        const auto pb_at_router =
+            clean_hop(world, world.bob, world.router.id(), pb, result.metrics);
+        if (!pa_at_router || !pb_at_router)
+            continue; // an upload failed; the coded broadcast is pointless
+
+        // One XOR broadcast.
+        net::Packet coded;
+        coded.src = static_cast<std::uint8_t>(config.nodes.router);
+        coded.dst = 0xff;
+        coded.seq = coded_seq++;
+        coded.payload = net::cope_encode(packet_from_frame(*pa_at_router),
+                                         packet_from_frame(*pb_at_router));
+
+        chan::Transmission tx;
+        tx.from = world.router.id();
+        tx.signal = world.router.transmit(coded, world.rng);
+        tx.start = 0;
+        result.metrics.airtime_symbols += static_cast<double>(tx.signal.size());
+
+        const dsp::Signal at_alice = world.medium.receive(world.alice.id(), {tx}, rx_guard);
+        const dsp::Signal at_bob = world.medium.receive(world.bob.id(), {tx}, rx_guard);
+
+        const auto decode_side = [&](const dsp::Signal& received, const net::Packet& own,
+                                     const net::Packet& wanted, Cdf& side_ber) {
+            const Receive_outcome outcome =
+                world.receiver.receive(received, Sent_packet_buffer{1});
+            if (outcome.status != Receive_status::clean)
+                return;
+            const auto parsed = net::cope_parse(outcome.frame->payload);
+            if (!parsed)
+                return;
+            const auto other = net::cope_decode(*parsed, net::header_for(own), own.payload);
+            if (!other || !identity_matches(net::header_for(*other), wanted))
+                return;
+            record_delivery(result.metrics, side_ber, other->payload, wanted);
+        };
+        decode_side(at_alice, pa, pb, result.ber_at_alice);
+        decode_side(at_bob, pb, pa, result.ber_at_bob);
+    }
+    return result;
+}
+
+Alice_bob_result run_alice_bob_anc(const Alice_bob_config& config)
+{
+    World world = make_world(config);
+    Alice_bob_result result;
+    net::Flow flow_ab{static_cast<std::uint8_t>(config.nodes.alice),
+                      static_cast<std::uint8_t>(config.nodes.bob), config.payload_bits,
+                      world.rng.fork(10)};
+    net::Flow flow_ba{static_cast<std::uint8_t>(config.nodes.bob),
+                      static_cast<std::uint8_t>(config.nodes.alice), config.payload_bits,
+                      world.rng.fork(11)};
+
+    for (std::size_t i = 0; i < config.exchanges; ++i) {
+        const net::Packet pa = flow_ab.next();
+        const net::Packet pb = flow_ba.next();
+        result.metrics.packets_attempted += 2;
+
+        // Round 1: triggered, deliberately colliding uploads (§7.6).
+        const auto [delay_a, delay_b] = draw_distinct_delays(config.trigger, world.rng);
+        chan::Transmission ta;
+        ta.from = world.alice.id();
+        ta.signal = world.alice.transmit(pa, world.rng);
+        ta.start = delay_a;
+        chan::Transmission tb;
+        tb.from = world.bob.id();
+        tb.signal = world.bob.transmit(pb, world.rng);
+        tb.start = delay_b;
+
+        const std::size_t end_a = delay_a + ta.signal.size();
+        const std::size_t end_b = delay_b + tb.signal.size();
+        result.metrics.airtime_symbols += static_cast<double>(
+            std::max(end_a, end_b) - std::min(delay_a, delay_b));
+        result.metrics.overlaps.add(overlap_fraction(delay_a, ta.signal.size(), delay_b,
+                                                     tb.signal.size()));
+
+        const dsp::Signal at_router = world.medium.receive(world.router.id(), {ta, tb},
+                                                           rx_guard);
+
+        // Round 2: the router amplifies the raw interfered signal and
+        // broadcasts it (§7.5) — no decoding at the relay.
+        const auto forwarded = amplify_and_forward(at_router, world.noise_power, 1.0);
+        if (!forwarded)
+            continue;
+        chan::Transmission tr;
+        tr.from = world.router.id();
+        tr.signal = *forwarded;
+        tr.start = 0;
+        result.metrics.airtime_symbols += static_cast<double>(forwarded->size());
+
+        const dsp::Signal at_alice = world.medium.receive(world.alice.id(), {tr}, rx_guard);
+        const dsp::Signal at_bob = world.medium.receive(world.bob.id(), {tr}, rx_guard);
+
+        const auto decode_side = [&](const dsp::Signal& received, const net::Net_node& node,
+                                     const net::Packet& wanted, Cdf& side_ber) {
+            const Receive_outcome outcome = world.receiver.receive(received, node.buffer());
+            if (outcome.status != Receive_status::decoded_interference)
+                return;
+            if (!identity_matches(outcome.frame->header, wanted))
+                return;
+            record_delivery(result.metrics, side_ber, outcome.frame->payload, wanted);
+        };
+        decode_side(at_alice, world.alice, pb, result.ber_at_alice);
+        decode_side(at_bob, world.bob, pa, result.ber_at_bob);
+    }
+    return result;
+}
+
+} // namespace anc::sim

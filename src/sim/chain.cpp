@@ -1,0 +1,230 @@
+#include "sim/chain.h"
+
+#include <algorithm>
+#include <map>
+
+#include "channel/medium.h"
+#include "core/anc_receiver.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "util/bits.h"
+
+namespace anc::sim {
+
+namespace {
+
+constexpr std::size_t rx_guard = 64;
+
+struct World {
+    chan::Medium medium;
+    net::Net_node n1;
+    net::Net_node n2;
+    net::Net_node n3;
+    net::Net_node n4;
+    Anc_receiver receiver;
+    double noise_power;
+    Pcg32 rng;
+};
+
+World make_world(const Chain_config& config)
+{
+    Pcg32 rng{config.seed, 0xc4a17u};
+    const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
+    chan::Medium medium{noise_power, rng.fork(1)};
+    Pcg32 link_rng = rng.fork(2);
+    install_chain(medium, config.nodes, config.gains, link_rng);
+    return World{std::move(medium),
+                 net::Net_node{config.nodes.n1},
+                 net::Net_node{config.nodes.n2},
+                 net::Net_node{config.nodes.n3},
+                 net::Net_node{config.nodes.n4},
+                 Anc_receiver{Anc_receiver_config{}, noise_power},
+                 noise_power,
+                 rng.fork(3)};
+}
+
+std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
+                                             chan::Node_id to, const net::Packet& packet,
+                                             Run_metrics& metrics)
+{
+    chan::Transmission tx;
+    tx.from = from.id();
+    tx.signal = from.transmit(packet, world.rng);
+    tx.start = 0;
+    metrics.airtime_symbols += static_cast<double>(tx.signal.size());
+    const dsp::Signal received = world.medium.receive(to, {tx}, rx_guard);
+    const Receive_outcome outcome = world.receiver.receive(received, Sent_packet_buffer{1});
+    if (outcome.status != Receive_status::clean)
+        return std::nullopt;
+    return outcome.frame;
+}
+
+net::Packet packet_from_frame(const phy::Received_frame& frame)
+{
+    net::Packet packet;
+    packet.src = frame.header.src;
+    packet.dst = frame.header.dst;
+    packet.seq = frame.header.seq;
+    packet.payload = frame.payload;
+    return packet;
+}
+
+} // namespace
+
+Chain_result run_chain_traditional(const Chain_config& config)
+{
+    World world = make_world(config);
+    Chain_result result;
+    net::Flow flow{static_cast<std::uint8_t>(config.nodes.n1),
+                   static_cast<std::uint8_t>(config.nodes.n4), config.payload_bits,
+                   world.rng.fork(10)};
+
+    for (std::size_t i = 0; i < config.packets; ++i) {
+        const net::Packet packet = flow.next();
+        ++result.metrics.packets_attempted;
+        const auto at_n2 = clean_hop(world, world.n1, world.n2.id(), packet, result.metrics);
+        if (!at_n2)
+            continue;
+        const auto at_n3 = clean_hop(world, world.n2, world.n3.id(),
+                                     packet_from_frame(*at_n2), result.metrics);
+        if (!at_n3)
+            continue;
+        const auto at_n4 = clean_hop(world, world.n3, world.n4.id(),
+                                     packet_from_frame(*at_n3), result.metrics);
+        if (!at_n4)
+            continue;
+        const double ber = bit_error_rate(at_n4->payload, packet.payload);
+        ++result.metrics.packets_delivered;
+        result.metrics.payload_bits_delivered += packet.payload.size();
+        result.metrics.packet_ber.add(ber);
+    }
+    return result;
+}
+
+Chain_result run_chain_anc(const Chain_config& config)
+{
+    World world = make_world(config);
+    Chain_result result;
+    net::Flow flow{static_cast<std::uint8_t>(config.nodes.n1),
+                   static_cast<std::uint8_t>(config.nodes.n4), config.payload_bits,
+                   world.rng.fork(10)};
+
+    // Ground truth per sequence number, to measure end-to-end BER.
+    std::map<std::uint16_t, Bits> truth;
+
+    // The packet N2 currently holds (as received — bit errors propagate).
+    std::optional<net::Packet> held;
+    std::size_t produced = 0;
+
+    const auto next_packet = [&]() {
+        net::Packet packet = flow.next();
+        truth.emplace(packet.seq, packet.payload);
+        ++produced;
+        ++result.metrics.packets_attempted;
+        return packet;
+    };
+
+    const auto deliver = [&](const phy::Received_frame& frame) {
+        const auto it = truth.find(frame.header.seq);
+        if (it == truth.end())
+            return;
+        const double ber = bit_error_rate(frame.payload, it->second);
+        ++result.metrics.packets_delivered;
+        result.metrics.payload_bits_delivered += it->second.size();
+        result.metrics.packet_ber.add(ber);
+    };
+
+    while (produced < config.packets || held) {
+        if (!held) {
+            if (produced >= config.packets)
+                break;
+            // Pipeline bootstrap (or restart after a loss): a clean
+            // N1 -> N2 hop.
+            const net::Packet packet = next_packet();
+            const auto at_n2 = clean_hop(world, world.n1, world.n2.id(), packet,
+                                         result.metrics);
+            if (at_n2)
+                held = packet_from_frame(*at_n2);
+            continue;
+        }
+
+        // Slot A: N2 forwards its held packet to N3 (clean); this
+        // transmission carries the trigger for N1 and N3 (§7.6).
+        const net::Packet current = *held;
+        held.reset();
+        const auto at_n3 = clean_hop(world, world.n2, world.n3.id(), current,
+                                     result.metrics);
+
+        // Slot B: N1 sends the next packet while N3 forwards `current` to
+        // N4 — simultaneously, with distinct trigger slots.
+        const bool have_next = produced < config.packets;
+        std::optional<net::Packet> next;
+        if (have_next)
+            next = next_packet();
+
+        const auto [delay_1, delay_3] = draw_distinct_delays(config.trigger, world.rng);
+        std::vector<chan::Transmission> on_air;
+        if (next) {
+            chan::Transmission t1;
+            t1.from = world.n1.id();
+            t1.signal = world.n1.transmit(*next, world.rng);
+            t1.start = delay_1;
+            on_air.push_back(std::move(t1));
+        }
+        if (at_n3) {
+            chan::Transmission t3;
+            t3.from = world.n3.id();
+            t3.signal = world.n3.transmit(packet_from_frame(*at_n3), world.rng);
+            t3.start = delay_3;
+            on_air.push_back(std::move(t3));
+        }
+        if (on_air.empty())
+            continue;
+
+        std::size_t span_begin = on_air.front().start;
+        std::size_t span_end = 0;
+        for (const auto& tx : on_air) {
+            span_begin = std::min(span_begin, tx.start);
+            span_end = std::max(span_end, tx.start + tx.signal.size());
+        }
+        result.metrics.airtime_symbols += static_cast<double>(span_end - span_begin);
+        if (on_air.size() == 2) {
+            result.metrics.overlaps.add(overlap_fraction(on_air[0].start,
+                                                         on_air[0].signal.size(),
+                                                         on_air[1].start,
+                                                         on_air[1].signal.size()));
+        }
+
+        // N4 hears only N3 (N1 is out of range) and decodes `current`.
+        if (at_n3) {
+            const dsp::Signal at_n4 = world.medium.receive(world.n4.id(), on_air, rx_guard);
+            const Receive_outcome outcome =
+                world.receiver.receive(at_n4, Sent_packet_buffer{1});
+            if (outcome.status == Receive_status::clean)
+                deliver(*outcome.frame);
+        }
+
+        // N2 hears the collision; N3's half is known (N2 sent it in slot
+        // A), so N2 decodes N1's new packet out of the interference.
+        if (next) {
+            const dsp::Signal at_n2 = world.medium.receive(world.n2.id(), on_air, rx_guard);
+            const Receive_outcome outcome = world.receiver.receive(at_n2,
+                                                                   world.n2.buffer());
+            const bool decoded =
+                (outcome.status == Receive_status::decoded_interference
+                 || outcome.status == Receive_status::clean)
+                && outcome.frame && outcome.frame->header.seq == next->seq;
+            if (decoded) {
+                if (outcome.status == Receive_status::decoded_interference) {
+                    result.ber_at_n2.add(
+                        bit_error_rate(outcome.frame->payload, next->payload));
+                }
+                held = packet_from_frame(*outcome.frame);
+            }
+            // else: the new packet is lost; the pipeline restarts.
+        }
+    }
+    return result;
+}
+
+} // namespace anc::sim

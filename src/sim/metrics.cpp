@@ -1,0 +1,46 @@
+#include "sim/metrics.h"
+
+#include <stdexcept>
+
+#include "fec/codec.h"
+
+namespace anc::sim {
+
+double Run_metrics::mean_ber() const
+{
+    return packet_ber.empty() ? 0.0 : packet_ber.mean();
+}
+
+double Run_metrics::delivery_rate() const
+{
+    if (packets_attempted == 0)
+        return 0.0;
+    return static_cast<double>(packets_delivered) / static_cast<double>(packets_attempted);
+}
+
+double Run_metrics::raw_throughput() const
+{
+    if (airtime_symbols <= 0.0)
+        return 0.0;
+    return static_cast<double>(payload_bits_delivered) / airtime_symbols;
+}
+
+double Run_metrics::throughput() const
+{
+    return raw_throughput() * fec::throughput_factor(mean_ber());
+}
+
+double Run_metrics::mean_overlap() const
+{
+    return overlaps.empty() ? 0.0 : overlaps.mean();
+}
+
+double gain(const Run_metrics& scheme, const Run_metrics& baseline)
+{
+    const double base = baseline.throughput();
+    if (base <= 0.0)
+        throw std::domain_error{"gain: baseline throughput is zero"};
+    return scheme.throughput() / base;
+}
+
+} // namespace anc::sim

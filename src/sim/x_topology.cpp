@@ -1,0 +1,299 @@
+#include "sim/x_topology.h"
+
+#include <algorithm>
+
+#include "channel/medium.h"
+#include "core/anc_receiver.h"
+#include "core/relay.h"
+#include "net/cope.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "util/bits.h"
+
+namespace anc::sim {
+
+namespace {
+
+constexpr std::size_t rx_guard = 64;
+
+struct World {
+    chan::Medium medium;
+    net::Net_node n1;
+    net::Net_node n2;
+    net::Net_node n3;
+    net::Net_node n4;
+    net::Net_node n5;
+    Anc_receiver receiver;
+    double noise_power;
+    Pcg32 rng;
+};
+
+World make_world(const X_config& config)
+{
+    Pcg32 rng{config.seed, 0x0f2a9u};
+    const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
+    chan::Medium medium{noise_power, rng.fork(1)};
+    Pcg32 link_rng = rng.fork(2);
+    install_x(medium, config.nodes, config.gains, link_rng);
+    return World{std::move(medium),
+                 net::Net_node{config.nodes.n1},
+                 net::Net_node{config.nodes.n2},
+                 net::Net_node{config.nodes.n3},
+                 net::Net_node{config.nodes.n4},
+                 net::Net_node{config.nodes.n5},
+                 Anc_receiver{Anc_receiver_config{}, noise_power},
+                 noise_power,
+                 rng.fork(3)};
+}
+
+std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
+                                             chan::Node_id to, const net::Packet& packet,
+                                             Run_metrics& metrics,
+                                             dsp::Signal* also_heard_at = nullptr,
+                                             chan::Node_id overhearer = 0)
+{
+    chan::Transmission tx;
+    tx.from = from.id();
+    tx.signal = from.transmit(packet, world.rng);
+    tx.start = 0;
+    metrics.airtime_symbols += static_cast<double>(tx.signal.size());
+    if (also_heard_at)
+        *also_heard_at = world.medium.receive(overhearer, {tx}, rx_guard);
+    const dsp::Signal received = world.medium.receive(to, {tx}, rx_guard);
+    const Receive_outcome outcome = world.receiver.receive(received, Sent_packet_buffer{1});
+    if (outcome.status != Receive_status::clean)
+        return std::nullopt;
+    return outcome.frame;
+}
+
+net::Packet packet_from_frame(const phy::Received_frame& frame)
+{
+    net::Packet packet;
+    packet.src = frame.header.src;
+    packet.dst = frame.header.dst;
+    packet.seq = frame.header.seq;
+    packet.payload = frame.payload;
+    return packet;
+}
+
+bool identity_matches(const phy::Frame_header& header, const net::Packet& packet)
+{
+    return header.src == packet.src && header.dst == packet.dst && header.seq == packet.seq;
+}
+
+void record_delivery(Run_metrics& metrics, Cdf& side_ber, const Bits& decoded,
+                     const net::Packet& truth)
+{
+    const double ber = bit_error_rate(decoded, truth.payload);
+    ++metrics.packets_delivered;
+    metrics.payload_bits_delivered += truth.payload.size();
+    metrics.packet_ber.add(ber);
+    side_ber.add(ber);
+}
+
+} // namespace
+
+X_result run_x_traditional(const X_config& config)
+{
+    World world = make_world(config);
+    X_result result;
+    net::Flow flow_14{static_cast<std::uint8_t>(config.nodes.n1),
+                      static_cast<std::uint8_t>(config.nodes.n4), config.payload_bits,
+                      world.rng.fork(10)};
+    net::Flow flow_32{static_cast<std::uint8_t>(config.nodes.n3),
+                      static_cast<std::uint8_t>(config.nodes.n2), config.payload_bits,
+                      world.rng.fork(11)};
+
+    for (std::size_t i = 0; i < config.exchanges; ++i) {
+        const net::Packet pa = flow_14.next();
+        ++result.metrics.packets_attempted;
+        if (const auto at_n5 = clean_hop(world, world.n1, world.n5.id(), pa,
+                                         result.metrics)) {
+            if (const auto at_n4 = clean_hop(world, world.n5, world.n4.id(),
+                                             packet_from_frame(*at_n5), result.metrics)) {
+                if (identity_matches(at_n4->header, pa))
+                    record_delivery(result.metrics, result.ber_at_n4, at_n4->payload, pa);
+            }
+        }
+        const net::Packet pb = flow_32.next();
+        ++result.metrics.packets_attempted;
+        if (const auto at_n5 = clean_hop(world, world.n3, world.n5.id(), pb,
+                                         result.metrics)) {
+            if (const auto at_n2 = clean_hop(world, world.n5, world.n2.id(),
+                                             packet_from_frame(*at_n5), result.metrics)) {
+                if (identity_matches(at_n2->header, pb))
+                    record_delivery(result.metrics, result.ber_at_n2, at_n2->payload, pb);
+            }
+        }
+    }
+    return result;
+}
+
+X_result run_x_cope(const X_config& config)
+{
+    World world = make_world(config);
+    X_result result;
+    net::Flow flow_14{static_cast<std::uint8_t>(config.nodes.n1),
+                      static_cast<std::uint8_t>(config.nodes.n4), config.payload_bits,
+                      world.rng.fork(10)};
+    net::Flow flow_32{static_cast<std::uint8_t>(config.nodes.n3),
+                      static_cast<std::uint8_t>(config.nodes.n2), config.payload_bits,
+                      world.rng.fork(11)};
+
+    std::uint16_t coded_seq = 1;
+    for (std::size_t i = 0; i < config.exchanges; ++i) {
+        const net::Packet pa = flow_14.next();
+        const net::Packet pb = flow_32.next();
+        result.metrics.packets_attempted += 2;
+
+        // Upload 1: n1 -> n5; n2 snoops the clean transmission.
+        dsp::Signal heard_at_n2;
+        const auto pa_at_n5 = clean_hop(world, world.n1, world.n5.id(), pa, result.metrics,
+                                        &heard_at_n2, world.n2.id());
+        std::optional<net::Packet> pa_overheard;
+        {
+            ++result.overhear_attempts;
+            const Receive_outcome snoop =
+                world.receiver.receive(heard_at_n2, Sent_packet_buffer{1});
+            if (snoop.status == Receive_status::clean)
+                pa_overheard = packet_from_frame(*snoop.frame);
+            else
+                ++result.overhear_failures;
+        }
+
+        // Upload 2: n3 -> n5; n4 snoops.
+        dsp::Signal heard_at_n4;
+        const auto pb_at_n5 = clean_hop(world, world.n3, world.n5.id(), pb, result.metrics,
+                                        &heard_at_n4, world.n4.id());
+        std::optional<net::Packet> pb_overheard;
+        {
+            ++result.overhear_attempts;
+            const Receive_outcome snoop =
+                world.receiver.receive(heard_at_n4, Sent_packet_buffer{1});
+            if (snoop.status == Receive_status::clean)
+                pb_overheard = packet_from_frame(*snoop.frame);
+            else
+                ++result.overhear_failures;
+        }
+
+        if (!pa_at_n5 || !pb_at_n5)
+            continue;
+
+        // XOR broadcast.
+        net::Packet coded;
+        coded.src = static_cast<std::uint8_t>(config.nodes.n5);
+        coded.dst = 0xff;
+        coded.seq = coded_seq++;
+        coded.payload = net::cope_encode(packet_from_frame(*pa_at_n5),
+                                         packet_from_frame(*pb_at_n5));
+        chan::Transmission tx;
+        tx.from = world.n5.id();
+        tx.signal = world.n5.transmit(coded, world.rng);
+        tx.start = 0;
+        result.metrics.airtime_symbols += static_cast<double>(tx.signal.size());
+
+        const auto decode_side = [&](chan::Node_id at, const std::optional<net::Packet>& known,
+                                     const net::Packet& wanted, Cdf& side_ber) {
+            if (!known)
+                return;
+            const dsp::Signal received = world.medium.receive(at, {tx}, rx_guard);
+            const Receive_outcome outcome =
+                world.receiver.receive(received, Sent_packet_buffer{1});
+            if (outcome.status != Receive_status::clean)
+                return;
+            const auto parsed = net::cope_parse(outcome.frame->payload);
+            if (!parsed)
+                return;
+            const auto other =
+                net::cope_decode(*parsed, net::header_for(*known), known->payload);
+            if (!other || !identity_matches(net::header_for(*other), wanted))
+                return;
+            record_delivery(result.metrics, side_ber, other->payload, wanted);
+        };
+        decode_side(world.n2.id(), pa_overheard, pb, result.ber_at_n2);
+        decode_side(world.n4.id(), pb_overheard, pa, result.ber_at_n4);
+    }
+    return result;
+}
+
+X_result run_x_anc(const X_config& config)
+{
+    World world = make_world(config);
+    X_result result;
+    net::Flow flow_14{static_cast<std::uint8_t>(config.nodes.n1),
+                      static_cast<std::uint8_t>(config.nodes.n4), config.payload_bits,
+                      world.rng.fork(10)};
+    net::Flow flow_32{static_cast<std::uint8_t>(config.nodes.n3),
+                      static_cast<std::uint8_t>(config.nodes.n2), config.payload_bits,
+                      world.rng.fork(11)};
+
+    for (std::size_t i = 0; i < config.exchanges; ++i) {
+        const net::Packet pa = flow_14.next();
+        const net::Packet pb = flow_32.next();
+        result.metrics.packets_attempted += 2;
+
+        // Round 1: n1 and n3 collide on purpose.  The destinations snoop
+        // under interference (capture decode).
+        const auto [delay_1, delay_3] = draw_distinct_delays(config.trigger, world.rng);
+        chan::Transmission t1;
+        t1.from = world.n1.id();
+        t1.signal = world.n1.transmit(pa, world.rng);
+        t1.start = delay_1;
+        chan::Transmission t3;
+        t3.from = world.n3.id();
+        t3.signal = world.n3.transmit(pb, world.rng);
+        t3.start = delay_3;
+
+        const std::size_t end_1 = delay_1 + t1.signal.size();
+        const std::size_t end_3 = delay_3 + t3.signal.size();
+        result.metrics.airtime_symbols += static_cast<double>(
+            std::max(end_1, end_3) - std::min(delay_1, delay_3));
+        result.metrics.overlaps.add(
+            overlap_fraction(delay_1, t1.signal.size(), delay_3, t3.signal.size()));
+
+        const std::vector<chan::Transmission> on_air{t1, t3};
+        const dsp::Signal at_n5 = world.medium.receive(world.n5.id(), on_air, rx_guard);
+
+        const auto snoop = [&](chan::Node_id at, net::Net_node& node,
+                               const net::Packet& expected) {
+            ++result.overhear_attempts;
+            const dsp::Signal heard = world.medium.receive(at, on_air, rx_guard);
+            const Receive_outcome outcome =
+                world.receiver.receive(heard, Sent_packet_buffer{1});
+            if (outcome.status == Receive_status::clean
+                && identity_matches(outcome.frame->header, expected)) {
+                node.remember(packet_from_frame(*outcome.frame));
+            } else {
+                ++result.overhear_failures;
+            }
+        };
+        snoop(world.n2.id(), world.n2, pa);
+        snoop(world.n4.id(), world.n4, pb);
+
+        // Round 2: amplify-and-forward at n5.
+        const auto forwarded = amplify_and_forward(at_n5, world.noise_power, 1.0);
+        if (!forwarded)
+            continue;
+        chan::Transmission t5;
+        t5.from = world.n5.id();
+        t5.signal = *forwarded;
+        t5.start = 0;
+        result.metrics.airtime_symbols += static_cast<double>(forwarded->size());
+
+        const auto decode_side = [&](chan::Node_id at, const net::Net_node& node,
+                                     const net::Packet& wanted, Cdf& side_ber) {
+            const dsp::Signal received = world.medium.receive(at, {t5}, rx_guard);
+            const Receive_outcome outcome = world.receiver.receive(received, node.buffer());
+            if (outcome.status != Receive_status::decoded_interference)
+                return;
+            if (!identity_matches(outcome.frame->header, wanted))
+                return;
+            record_delivery(result.metrics, side_ber, outcome.frame->payload, wanted);
+        };
+        decode_side(world.n2.id(), world.n2, pb, result.ber_at_n2);
+        decode_side(world.n4.id(), world.n4, pa, result.ber_at_n4);
+    }
+    return result;
+}
+
+} // namespace anc::sim

@@ -1,0 +1,100 @@
+#include "util/bits.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anc {
+
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits)
+{
+    if (bits.size() % 8 != 0)
+        throw std::invalid_argument{"pack_bits: bit count must be a multiple of 8"};
+    std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (bits[i])
+            bytes[i / 8] |= static_cast<std::uint8_t>(1u << (7 - i % 8));
+    }
+    return bytes;
+}
+
+Bits unpack_bytes(std::span<const std::uint8_t> bytes)
+{
+    Bits bits;
+    bits.reserve(bytes.size() * 8);
+    for (const std::uint8_t byte : bytes) {
+        for (int bit = 7; bit >= 0; --bit)
+            bits.push_back((byte >> bit) & 1u);
+    }
+    return bits;
+}
+
+void append_uint(Bits& bits, std::uint64_t value, int width)
+{
+    if (width < 0 || width > 64)
+        throw std::invalid_argument{"append_uint: width out of range"};
+    for (int bit = width - 1; bit >= 0; --bit)
+        bits.push_back(static_cast<std::uint8_t>((value >> bit) & 1u));
+}
+
+std::uint64_t read_uint(std::span<const std::uint8_t> bits, std::size_t offset, int width)
+{
+    if (width < 0 || width > 64 || offset + static_cast<std::size_t>(width) > bits.size())
+        throw std::out_of_range{"read_uint: request exceeds bit sequence"};
+    std::uint64_t value = 0;
+    for (int i = 0; i < width; ++i)
+        value = (value << 1u) | bits[offset + static_cast<std::size_t>(i)];
+    return value;
+}
+
+Bits xor_bits(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument{"xor_bits: length mismatch"};
+    Bits out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] ^ b[i];
+    return out;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b)
+{
+    const std::size_t common = std::min(a.size(), b.size());
+    std::size_t distance = std::max(a.size(), b.size()) - common;
+    for (std::size_t i = 0; i < common; ++i) {
+        if (a[i] != b[i])
+            ++distance;
+    }
+    return distance;
+}
+
+double bit_error_rate(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b)
+{
+    const std::size_t denom = std::max(a.size(), b.size());
+    if (denom == 0)
+        return 0.0;
+    return static_cast<double>(hamming_distance(a, b)) / static_cast<double>(denom);
+}
+
+Bits random_bits(std::size_t count, Pcg32& rng)
+{
+    Bits bits(count);
+    for (auto& bit : bits)
+        bit = static_cast<std::uint8_t>(rng.next_u32() & 1u);
+    return bits;
+}
+
+Bits mirrored(std::span<const std::uint8_t> bits)
+{
+    return Bits{bits.rbegin(), bits.rend()};
+}
+
+std::string to_string(std::span<const std::uint8_t> bits)
+{
+    std::string text;
+    text.reserve(bits.size());
+    for (const std::uint8_t bit : bits)
+        text.push_back(bit ? '1' : '0');
+    return text;
+}
+
+} // namespace anc

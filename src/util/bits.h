@@ -1,0 +1,59 @@
+// Bit-sequence utilities.
+//
+// Frames, pilots, headers, and payloads are all sequences of bits.  We
+// represent a bit sequence as std::vector<std::uint8_t> with one bit per
+// element (value 0 or 1).  That costs 8x the memory of a packed
+// representation but makes every algorithm in the PHY and the decoder
+// (alignment searches, mirroring, per-bit comparison) direct and
+// index-stable, which matters far more here than footprint.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace anc {
+
+using Bits = std::vector<std::uint8_t>;
+
+/// Pack bits (MSB-first within each byte) into bytes.  The bit count must
+/// be a multiple of 8.
+std::vector<std::uint8_t> pack_bits(std::span<const std::uint8_t> bits);
+
+/// Unpack bytes into bits, MSB-first.
+Bits unpack_bytes(std::span<const std::uint8_t> bytes);
+
+/// Append an unsigned value MSB-first as `width` bits.
+void append_uint(Bits& bits, std::uint64_t value, int width);
+
+/// Read `width` bits MSB-first starting at `offset`.  The caller must
+/// ensure offset + width is in range.
+std::uint64_t read_uint(std::span<const std::uint8_t> bits, std::size_t offset, int width);
+
+/// Element-wise XOR; the spans must have equal length.
+Bits xor_bits(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+/// Number of positions where the two sequences differ, compared over the
+/// shorter length, plus the length difference (a missing bit is an error).
+std::size_t hamming_distance(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+/// Fraction of differing bits over max(len(a), len(b)); 0 for two empty
+/// sequences.
+double bit_error_rate(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+/// `count` random bits from `rng`.
+Bits random_bits(std::size_t count, Pcg32& rng);
+
+/// The sequence reversed.  A frame carries a mirrored pilot/header at its
+/// end so that a receiver scanning the samples backwards (§7.4) sees them
+/// in forward order.
+Bits mirrored(std::span<const std::uint8_t> bits);
+
+/// "0"/"1" rendering for diagnostics.
+std::string to_string(std::span<const std::uint8_t> bits);
+
+} // namespace anc

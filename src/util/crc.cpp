@@ -1,0 +1,29 @@
+#include "util/crc.h"
+
+namespace anc {
+
+std::uint32_t crc32(std::span<const std::uint8_t> bits)
+{
+    // Bitwise reflected CRC-32 (poly 0xedb88320).  Operating bit-by-bit is
+    // plenty fast for header/payload sizes here and avoids a table.
+    std::uint32_t crc = 0xffffffffu;
+    for (const std::uint8_t bit : bits) {
+        crc ^= static_cast<std::uint32_t>(bit & 1u);
+        crc = (crc >> 1u) ^ (0xedb88320u & (0u - (crc & 1u)));
+    }
+    return ~crc;
+}
+
+std::uint16_t crc16(std::span<const std::uint8_t> bits)
+{
+    std::uint16_t crc = 0xffffu;
+    for (const std::uint8_t bit : bits) {
+        const bool msb = (crc & 0x8000u) != 0;
+        crc = static_cast<std::uint16_t>(crc << 1u);
+        if (msb != ((bit & 1u) != 0))
+            crc ^= 0x1021u;
+    }
+    return crc;
+}
+
+} // namespace anc

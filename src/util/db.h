@@ -1,0 +1,31 @@
+// Decibel conversions.
+//
+// The paper quotes every operating point in dB (SNR 25-40 dB, detection
+// threshold 20 dB, SIR -3..+4 dB), while the signal substrate works in
+// linear power.  These helpers are the single place the conversion lives.
+
+#pragma once
+
+#include <cmath>
+
+namespace anc {
+
+/// Linear power ratio -> decibels.
+inline double to_db(double linear)
+{
+    return 10.0 * std::log10(linear);
+}
+
+/// Decibels -> linear power ratio.
+inline double from_db(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+/// Amplitude ratio implied by a power ratio in dB (20 dB -> 10x amplitude).
+inline double amplitude_from_db(double db)
+{
+    return std::pow(10.0, db / 20.0);
+}
+
+} // namespace anc

@@ -1,0 +1,32 @@
+// Phase arithmetic on the circle.
+//
+// The decoder of §6 compares phase *differences*; all comparisons must be
+// done modulo 2*pi with the representative in (-pi, pi], otherwise the
+// error metric of Eq. 8 is wrong near the wrap-around.
+
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace anc {
+
+/// Map an angle to its representative in (-pi, pi].
+inline double wrap_phase(double angle)
+{
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    angle = std::fmod(angle, two_pi);
+    if (angle > std::numbers::pi)
+        angle -= two_pi;
+    else if (angle <= -std::numbers::pi)
+        angle += two_pi;
+    return angle;
+}
+
+/// Circular distance |a - b| after wrapping; always in [0, pi].
+inline double phase_distance(double a, double b)
+{
+    return std::abs(wrap_phase(a - b));
+}
+
+} // namespace anc

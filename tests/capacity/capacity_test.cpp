@@ -1,0 +1,182 @@
+#include "capacity/capacity.h"
+
+#include <gtest/gtest.h>
+
+#include "util/db.h"
+
+namespace anc::cap {
+namespace {
+
+TEST(Capacity, TraditionalFormula)
+{
+    // alpha * (log2(1+2s) + log2(1+s)) at s = 10, alpha = 1/8.
+    const double expected = 0.125 * (std::log2(21.0) + std::log2(11.0));
+    EXPECT_NEAR(traditional_upper_bound(10.0), expected, 1e-12);
+}
+
+TEST(Capacity, AncFormula)
+{
+    // 4 alpha * log2(1 + s^2/(3s+1)) at s = 10.
+    const double expected = 0.5 * std::log2(1.0 + 100.0 / 31.0);
+    EXPECT_NEAR(anc_lower_bound(10.0), expected, 1e-12);
+}
+
+TEST(Capacity, ZeroSnrIsZeroCapacity)
+{
+    EXPECT_DOUBLE_EQ(traditional_upper_bound(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(anc_lower_bound(0.0), 0.0);
+}
+
+TEST(Capacity, NegativeSnrRejected)
+{
+    EXPECT_THROW(traditional_upper_bound(-1.0), std::invalid_argument);
+    EXPECT_THROW(anc_lower_bound(-1.0), std::invalid_argument);
+}
+
+TEST(Capacity, GainApproachesTwoAsymptotically)
+{
+    // Theorem 8.1: the ratio tends to 2 as SNR grows (the convergence is
+    // logarithmic, so it is slow in dB).
+    const double g40 = capacity_gain(from_db(40.0));
+    const double g80 = capacity_gain(from_db(80.0));
+    const double g160 = capacity_gain(from_db(160.0));
+    EXPECT_LT(g40, g80);
+    EXPECT_LT(g80, g160);
+    EXPECT_LT(g160, 2.0); // approaches from below
+    EXPECT_GT(g160, 1.90);
+    EXPECT_GT(capacity_gain(from_db(400.0)), 1.96);
+}
+
+TEST(Capacity, TraditionalWinsAtLowSnr)
+{
+    // Fig. 7's low-SNR region (0-8 dB): amplified relay noise makes ANC
+    // worse than routing.
+    for (const double snr_db : {0.0, 2.0, 4.0, 6.0}) {
+        const double snr = from_db(snr_db);
+        EXPECT_LT(anc_lower_bound(snr), traditional_upper_bound(snr)) << snr_db << " dB";
+    }
+}
+
+TEST(Capacity, AncWinsAtOperatingSnr)
+{
+    // WLAN operating points (20-40 dB, §8): ANC clearly ahead, and the
+    // margin widens with SNR.
+    for (const double snr_db : {20.0, 25.0, 30.0, 40.0}) {
+        const double snr = from_db(snr_db);
+        EXPECT_GT(anc_lower_bound(snr), 1.35 * traditional_upper_bound(snr))
+            << snr_db << " dB";
+    }
+    EXPECT_GT(anc_lower_bound(from_db(40.0)), 1.6 * traditional_upper_bound(from_db(40.0)));
+}
+
+TEST(Capacity, CrossoverNearEightDb)
+{
+    const double crossover = crossover_snr_db();
+    EXPECT_GT(crossover, 5.0);
+    EXPECT_LT(crossover, 11.0);
+}
+
+TEST(Capacity, Fig7AbsoluteScale)
+{
+    // Spot values read off Fig. 7 (b/s/Hz): traditional ~2.2 and ANC ~3.4
+    // at 25 dB; traditional ~4.4 and ANC ~8.3 at 55 dB.
+    EXPECT_NEAR(traditional_upper_bound(from_db(25.0)), 2.2, 0.25);
+    EXPECT_NEAR(anc_lower_bound(from_db(25.0)), 3.4, 0.3);
+    EXPECT_NEAR(traditional_upper_bound(from_db(55.0)), 4.5, 0.3);
+    EXPECT_NEAR(anc_lower_bound(from_db(55.0)), 8.3, 0.4);
+}
+
+TEST(Capacity, SweepShape)
+{
+    const auto points = sweep(0.0, 55.0, 5.0);
+    ASSERT_EQ(points.size(), 12u);
+    EXPECT_DOUBLE_EQ(points.front().snr_db, 0.0);
+    EXPECT_DOUBLE_EQ(points.back().snr_db, 55.0);
+    // Both curves are monotone increasing in SNR.
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GT(points[i].traditional, points[i - 1].traditional);
+        EXPECT_GT(points[i].anc, points[i - 1].anc);
+    }
+    // The gain column matches the ratio.
+    for (const auto& p : points) {
+        if (p.traditional > 0.0) {
+            EXPECT_NEAR(p.gain, p.anc / p.traditional, 1e-12);
+        }
+    }
+}
+
+TEST(Capacity, SweepRejectsBadStep)
+{
+    EXPECT_THROW(sweep(0.0, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Capacity, RelayAmplificationMatchesAppendixC)
+{
+    // A = sqrt(P / (P h1^2 + P h2^2 + 1)).
+    const double amp = relay_amplification(4.0, 0.5, 0.5);
+    EXPECT_NEAR(amp, std::sqrt(4.0 / (4.0 * 0.25 + 4.0 * 0.25 + 1.0)), 1e-12);
+}
+
+TEST(Capacity, ReceiverSnrGrowsWithPower)
+{
+    const double low = anc_receiver_snr(1.0, 1.0, 1.0, 1.0);
+    const double high = anc_receiver_snr(100.0, 1.0, 1.0, 1.0);
+    EXPECT_GT(high, low);
+}
+
+TEST(Capacity, SumRateSymmetricChannelsMatchTheorem)
+{
+    // With unit gains the Appendix C sum rate must equal the Theorem 8.1
+    // lower bound at the same SNR (alpha folding aside): check the SNR
+    // expression SNR_rx = P^2 / (3P + 1) directly.
+    const double p = 50.0;
+    const double snr_rx = anc_receiver_snr(p, 1.0, 1.0, 1.0);
+    EXPECT_NEAR(snr_rx, p * p / (3.0 * p + 1.0), 1e-9);
+}
+
+TEST(Capacity, AsymmetricChannelsPenalizeWeakSide)
+{
+    const double symmetric = anc_sum_rate(10.0, 1.0, 1.0, 1.0, 1.0);
+    const double asymmetric = anc_sum_rate(10.0, 1.0, 0.3, 1.0, 0.3);
+    EXPECT_GT(symmetric, asymmetric);
+}
+
+TEST(Capacity, CutsetBoundIsMinOfCuts)
+{
+    const Cutset_bound bound = routing_cutset_bound(100.0, 0.5, 1.0, 1.0);
+    EXPECT_LE(bound.value(), bound.c1 + 1e-12);
+    EXPECT_LE(bound.value(), bound.c2 + 1e-12);
+    EXPECT_GT(bound.value(), 0.0);
+}
+
+TEST(Capacity, CutsetBoundGrowsWithPower)
+{
+    const double low = routing_cutset_bound(10.0, 0.5, 1.0, 1.0).value();
+    const double high = routing_cutset_bound(1000.0, 0.5, 1.0, 1.0).value();
+    EXPECT_GT(high, low);
+}
+
+TEST(Capacity, CutsetBetterRelayHelps)
+{
+    // Stronger relay links raise the bound (until the direct link caps it).
+    const double weak = routing_cutset_bound(100.0, 0.3, 0.5, 0.5).value();
+    const double strong = routing_cutset_bound(100.0, 0.3, 1.5, 1.5).value();
+    EXPECT_GE(strong, weak);
+}
+
+TEST(Capacity, CutsetDominatesSimpleTimeSharing)
+{
+    // The cut-set bound is an *upper* bound: it must be at least the
+    // trivially achievable two-hop time-shared rate
+    // 1/4 min(log(1+h_sr^2 P), log(1+h_rd^2 P)).
+    const double p = 316.0;
+    const double h_sr = 0.9;
+    const double h_rd = 0.9;
+    const double trivial =
+        0.25 * std::min(std::log2(1.0 + h_sr * h_sr * p), std::log2(1.0 + h_rd * h_rd * p));
+    const double bound = routing_cutset_bound(p, 0.05, h_sr, h_rd).value();
+    EXPECT_GE(bound, trivial * 0.99);
+}
+
+} // namespace
+} // namespace anc::cap

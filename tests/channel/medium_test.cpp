@@ -1,0 +1,167 @@
+#include "channel/medium.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/energy_scan.h"
+#include "dsp/msk.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace anc::chan {
+namespace {
+
+Medium make_noiseless_medium()
+{
+    return Medium{0.0, Pcg32{321}};
+}
+
+TEST(Medium, SingleLinkDelivery)
+{
+    Medium medium = make_noiseless_medium();
+    Link_params params;
+    params.gain = 0.5;
+    medium.set_link(1, 2, params);
+
+    Transmission tx;
+    tx.from = 1;
+    tx.signal = {dsp::Sample{2.0, 0.0}};
+    const dsp::Signal rx = medium.receive(2, {tx});
+    ASSERT_EQ(rx.size(), 1u);
+    EXPECT_NEAR(rx[0].real(), 1.0, 1e-12);
+}
+
+TEST(Medium, OutOfRangeSenderIsSilent)
+{
+    Medium medium = make_noiseless_medium();
+    // no link 1 -> 2
+    Transmission tx;
+    tx.from = 1;
+    tx.signal = {dsp::Sample{1.0, 0.0}};
+    const dsp::Signal rx = medium.receive(2, {tx});
+    for (const auto& s : rx)
+        EXPECT_EQ(s, (dsp::Sample{0.0, 0.0}));
+}
+
+TEST(Medium, HalfDuplexSkipsOwnTransmission)
+{
+    Medium medium = make_noiseless_medium();
+    medium.set_link(1, 1, {}); // even with a pathological self-link
+    Transmission tx;
+    tx.from = 1;
+    tx.signal = {dsp::Sample{1.0, 0.0}};
+    const dsp::Signal rx = medium.receive(1, {tx});
+    for (const auto& s : rx)
+        EXPECT_EQ(s, (dsp::Sample{0.0, 0.0}));
+}
+
+TEST(Medium, ConcurrentTransmissionsAdd)
+{
+    // The paper's core physical fact: the channel *adds* interfering
+    // signals (§1, §6).
+    Medium medium = make_noiseless_medium();
+    medium.set_link(1, 3, {});
+    medium.set_link(2, 3, {});
+    Transmission a;
+    a.from = 1;
+    a.signal = {dsp::Sample{1.0, 0.0}, dsp::Sample{1.0, 0.0}};
+    Transmission b;
+    b.from = 2;
+    b.signal = {dsp::Sample{0.0, 1.0}, dsp::Sample{0.0, 1.0}};
+    const dsp::Signal rx = medium.receive(3, {a, b});
+    ASSERT_EQ(rx.size(), 2u);
+    EXPECT_NEAR(rx[0].real(), 1.0, 1e-12);
+    EXPECT_NEAR(rx[0].imag(), 1.0, 1e-12);
+}
+
+TEST(Medium, StartOffsetsShiftSignals)
+{
+    Medium medium = make_noiseless_medium();
+    medium.set_link(1, 3, {});
+    medium.set_link(2, 3, {});
+    Transmission a;
+    a.from = 1;
+    a.signal = {dsp::Sample{1.0, 0.0}};
+    a.start = 0;
+    Transmission b;
+    b.from = 2;
+    b.signal = {dsp::Sample{0.0, 1.0}};
+    b.start = 2;
+    const dsp::Signal rx = medium.receive(3, {a, b});
+    ASSERT_EQ(rx.size(), 3u);
+    EXPECT_NEAR(rx[0].real(), 1.0, 1e-12);
+    EXPECT_EQ(rx[1], (dsp::Sample{0.0, 0.0}));
+    EXPECT_NEAR(rx[2].imag(), 1.0, 1e-12);
+}
+
+TEST(Medium, NoiseAddedAtReceiver)
+{
+    Medium medium{0.1, Pcg32{322}};
+    medium.set_link(1, 2, {});
+    Transmission tx;
+    tx.from = 1;
+    tx.signal = dsp::Signal(20000, dsp::Sample{1.0, 0.0});
+    const dsp::Signal rx = medium.receive(2, {tx});
+    EXPECT_NEAR(dsp::mean_energy(rx), 1.1, 0.02);
+}
+
+TEST(Medium, TrailingNoisePadding)
+{
+    Medium medium{0.1, Pcg32{323}};
+    medium.set_link(1, 2, {});
+    Transmission tx;
+    tx.from = 1;
+    tx.signal = dsp::Signal(10, dsp::Sample{1.0, 0.0});
+    const dsp::Signal rx = medium.receive(2, {tx}, 32);
+    EXPECT_EQ(rx.size(), 42u);
+}
+
+TEST(Medium, MissingLinkThrowsOnQuery)
+{
+    Medium medium = make_noiseless_medium();
+    EXPECT_THROW(medium.link(1, 2), std::out_of_range);
+    medium.set_link(1, 2, {});
+    EXPECT_NO_THROW(medium.link(1, 2));
+    EXPECT_TRUE(medium.has_link(1, 2));
+    EXPECT_FALSE(medium.has_link(2, 1));
+}
+
+TEST(Medium, InterferedMskStreamsDecodeAfterCancellation)
+{
+    // Noiseless sanity check of the full collision path at the sample
+    // level: receive a collision, subtract one channel-distorted signal,
+    // demodulate the other.
+    Pcg32 rng{324};
+    const Bits bits_a = random_bits(100, rng);
+    const Bits bits_b = random_bits(100, rng);
+    const dsp::Msk_modulator modulator{1.0, 0.0};
+
+    Medium medium = make_noiseless_medium();
+    Link_params link_a;
+    link_a.gain = 0.9;
+    link_a.phase = 0.7;
+    Link_params link_b;
+    link_b.gain = 0.6;
+    link_b.phase = -1.1;
+    medium.set_link(1, 3, link_a);
+    medium.set_link(2, 3, link_b);
+
+    Transmission a;
+    a.from = 1;
+    a.signal = modulator.modulate(bits_a);
+    Transmission b;
+    b.from = 2;
+    b.signal = modulator.modulate(bits_b);
+    const dsp::Signal rx = medium.receive(3, {a, b});
+
+    // Genie cancellation of A's contribution.
+    const dsp::Signal a_at_rx = medium.link(1, 3).apply(a.signal);
+    dsp::Signal residual = rx;
+    for (std::size_t i = 0; i < a_at_rx.size(); ++i)
+        residual[i] -= a_at_rx[i];
+
+    const dsp::Msk_demodulator demodulator;
+    EXPECT_EQ(demodulator.demodulate(residual), bits_b);
+}
+
+} // namespace
+} // namespace anc::chan

@@ -1,0 +1,178 @@
+// The generic-PSK claim of §4: the interference decoding machinery works
+// for any phase-shift keying, not just MSK.  These tests collide DQPSK
+// and MSK signals in every combination and decode the unknown one via
+// Interference_decoder::decode_symbols.
+
+#include <gtest/gtest.h>
+
+#include "channel/awgn.h"
+#include "channel/link.h"
+#include "core/interference_decoder.h"
+#include "dsp/dpsk.h"
+#include "dsp/msk.h"
+#include "dsp/ops.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+dsp::Signal add_with_drift(dsp::Signal known, const dsp::Signal& unknown,
+                           std::size_t offset, double noise_power, Pcg32& rng)
+{
+    chan::Link_params drift;
+    drift.phase_drift = 0.004;
+    dsp::accumulate(known, chan::Link_channel{drift}.apply(unknown), offset);
+    if (noise_power > 0.0) {
+        chan::Awgn noise{noise_power, rng.fork(5)};
+        noise.add_in_place(known);
+    }
+    return known;
+}
+
+TEST(DecodeSymbols, DqpskUnknownMskKnown)
+{
+    // An MSK packet (known) collides with a DQPSK packet (unknown).
+    Pcg32 rng{171};
+    const Bits known_bits = random_bits(800, rng);
+    const Bits unknown_bits = random_bits(800, rng); // 400 DQPSK symbols
+    const dsp::Msk_modulator msk{1.0, 0.3};
+    const dsp::Dqpsk_modulator dqpsk{0.9, 1.2};
+
+    const dsp::Signal mix = add_with_drift(
+        msk.modulate(known_bits), dqpsk.modulate(unknown_bits), 0,
+        chan::noise_power_for_snr_db(25.0), rng);
+
+    const auto known_diffs = dsp::phase_differences_for_bits(known_bits);
+    const Interference_decoder decoder;
+    const auto result = decoder.decode_symbols(mix, known_diffs, 1.0, 0.9,
+                                               dsp::dqpsk_steps);
+
+    Bits decoded;
+    for (const std::size_t s : result.symbols) {
+        const auto [b0, b1] = dsp::dqpsk_bits_for_symbol(s);
+        decoded.push_back(b0);
+        decoded.push_back(b1);
+    }
+    decoded.resize(unknown_bits.size());
+    EXPECT_LT(bit_error_rate(decoded, unknown_bits), 0.05);
+}
+
+TEST(DecodeSymbols, MskUnknownDqpskKnown)
+{
+    // The reverse: cancel a known DQPSK packet, decode the MSK one.
+    Pcg32 rng{172};
+    const Bits known_bits = random_bits(800, rng);   // 400 DQPSK symbols
+    const Bits unknown_bits = random_bits(400, rng); // 400 MSK bits
+    const dsp::Dqpsk_modulator dqpsk{1.0, 0.5};
+    const dsp::Msk_modulator msk{0.85, 2.0};
+
+    const dsp::Signal mix = add_with_drift(
+        dqpsk.modulate(known_bits), msk.modulate(unknown_bits), 0,
+        chan::noise_power_for_snr_db(25.0), rng);
+
+    const auto known_diffs = dsp::dqpsk_phase_steps_for_bits(known_bits);
+    const Interference_decoder decoder;
+    constexpr double msk_alphabet[] = {-1.5707963267948966, 1.5707963267948966};
+    const auto result =
+        decoder.decode_symbols(mix, known_diffs, 1.0, 0.85, msk_alphabet);
+
+    Bits decoded;
+    for (const std::size_t s : result.symbols)
+        decoded.push_back(static_cast<std::uint8_t>(s)); // index 1 = +pi/2 = bit 1
+    decoded.resize(unknown_bits.size());
+    EXPECT_LT(bit_error_rate(decoded, unknown_bits), 0.05);
+}
+
+TEST(DecodeSymbols, DqpskBothSides)
+{
+    Pcg32 rng{173};
+    const Bits known_bits = random_bits(1000, rng);
+    const Bits unknown_bits = random_bits(1000, rng);
+    const dsp::Dqpsk_modulator mod_known{1.0, 0.1};
+    const dsp::Dqpsk_modulator mod_unknown{0.9, 1.9};
+
+    const dsp::Signal mix = add_with_drift(
+        mod_known.modulate(known_bits), mod_unknown.modulate(unknown_bits), 0,
+        chan::noise_power_for_snr_db(28.0), rng);
+
+    const auto known_diffs = dsp::dqpsk_phase_steps_for_bits(known_bits);
+    const Interference_decoder decoder;
+    const auto result = decoder.decode_symbols(mix, known_diffs, 1.0, 0.9,
+                                               dsp::dqpsk_steps);
+    Bits decoded;
+    for (const std::size_t s : result.symbols) {
+        const auto [b0, b1] = dsp::dqpsk_bits_for_symbol(s);
+        decoded.push_back(b0);
+        decoded.push_back(b1);
+    }
+    decoded.resize(unknown_bits.size());
+    // pi/4 margins are tighter than MSK's pi/2; allow a higher BER.
+    EXPECT_LT(bit_error_rate(decoded, unknown_bits), 0.10);
+}
+
+TEST(DecodeSymbols, MskAlphabetMatchesLegacyDecode)
+{
+    // decode() must be exactly decode_symbols() with the MSK alphabet.
+    Pcg32 rng{174};
+    const Bits known_bits = random_bits(400, rng);
+    const Bits unknown_bits = random_bits(400, rng);
+    const dsp::Msk_modulator mod_known{1.0, 0.0};
+    const dsp::Msk_modulator mod_unknown{0.8, 0.7};
+    const dsp::Signal mix = add_with_drift(mod_known.modulate(known_bits),
+                                           mod_unknown.modulate(unknown_bits), 0,
+                                           chan::noise_power_for_snr_db(25.0), rng);
+    const auto known_diffs = dsp::phase_differences_for_bits(known_bits);
+    const Interference_decoder decoder;
+    const auto legacy = decoder.decode(mix, known_diffs, 1.0, 0.8);
+    constexpr double msk_alphabet[] = {-1.5707963267948966, 1.5707963267948966};
+    const auto generic =
+        decoder.decode_symbols(mix, known_diffs, 1.0, 0.8, msk_alphabet);
+    ASSERT_EQ(legacy.bits.size(), generic.symbols.size());
+    for (std::size_t i = 0; i < legacy.bits.size(); ++i)
+        EXPECT_EQ(legacy.bits[i], static_cast<std::uint8_t>(generic.symbols[i])) << i;
+}
+
+TEST(DecodeSymbols, EmptyAlphabetRejected)
+{
+    const Interference_decoder decoder;
+    const dsp::Signal two(2, dsp::Sample{1.0, 0.0});
+    const std::vector<double> no_diffs;
+    EXPECT_THROW(decoder.decode_symbols(two, no_diffs, 1.0, 1.0, {}),
+                 std::invalid_argument);
+}
+
+TEST(DecodeSymbols, PartialOverlapTailUsesAlphabet)
+{
+    // Past the known signal's end the decoder falls back to plain
+    // differential demodulation; symbol snapping must still apply.
+    Pcg32 rng{175};
+    const Bits known_bits = random_bits(300, rng);
+    const Bits unknown_bits = random_bits(600, rng);
+    const dsp::Msk_modulator msk{1.0, 0.3};
+    const dsp::Dqpsk_modulator dqpsk{0.9, 1.0};
+    const dsp::Signal mix = add_with_drift(msk.modulate(known_bits),
+                                           dqpsk.modulate(unknown_bits), 100,
+                                           chan::noise_power_for_snr_db(25.0), rng);
+    const auto known_diffs = dsp::phase_differences_for_bits(known_bits);
+    const Interference_decoder decoder;
+    const auto result = decoder.decode_symbols(mix, known_diffs, 1.0, 0.9,
+                                               dsp::dqpsk_steps);
+    // Transitions 301.. are single-signal DQPSK: symbols beyond the known
+    // extent must decode the unknown's tail correctly.
+    std::size_t errors = 0;
+    std::size_t total = 0;
+    for (std::size_t k = 0; k < unknown_bits.size() / 2; ++k) {
+        const std::size_t transition = 100 + k;
+        if (transition < known_diffs.size() || transition >= result.symbols.size())
+            continue;
+        const auto [b0, b1] = dsp::dqpsk_bits_for_symbol(result.symbols[transition]);
+        errors += (b0 != unknown_bits[2 * k]) + (b1 != unknown_bits[2 * k + 1]);
+        total += 2;
+    }
+    ASSERT_GT(total, 100u);
+    EXPECT_LT(static_cast<double>(errors) / static_cast<double>(total), 0.02);
+}
+
+} // namespace
+} // namespace anc

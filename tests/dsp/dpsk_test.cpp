@@ -1,0 +1,143 @@
+#include "dsp/dpsk.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "channel/awgn.h"
+#include "dsp/ops.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace anc::dsp {
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+TEST(Dqpsk, SymbolBitMappingRoundTrip)
+{
+    for (std::uint8_t b0 = 0; b0 < 2; ++b0) {
+        for (std::uint8_t b1 = 0; b1 < 2; ++b1) {
+            const std::size_t symbol = dqpsk_symbol_for_bits(b0, b1);
+            const auto [r0, r1] = dqpsk_bits_for_symbol(symbol);
+            EXPECT_EQ(r0, b0);
+            EXPECT_EQ(r1, b1);
+        }
+    }
+}
+
+TEST(Dqpsk, StepsAreGrayCoded)
+{
+    // Adjacent constellation steps differ in exactly one bit: +pi/4 and
+    // +3pi/4 are neighbours, etc.
+    const auto hamming = [](std::size_t s, std::size_t t) {
+        const auto [a0, a1] = dqpsk_bits_for_symbol(s);
+        const auto [b0, b1] = dqpsk_bits_for_symbol(t);
+        return (a0 != b0) + (a1 != b1);
+    };
+    EXPECT_EQ(hamming(0, 1), 1); // +pi/4 vs +3pi/4
+    EXPECT_EQ(hamming(1, 2), 1); // +3pi/4 vs -3pi/4
+    EXPECT_EQ(hamming(2, 3), 1); // -3pi/4 vs -pi/4
+    EXPECT_EQ(hamming(3, 0), 1); // -pi/4 vs +pi/4
+}
+
+TEST(Dqpsk, NearestSymbol)
+{
+    EXPECT_EQ(dqpsk_nearest_symbol(pi / 4.0), 0u);
+    EXPECT_EQ(dqpsk_nearest_symbol(3.0 * pi / 4.0), 1u);
+    EXPECT_EQ(dqpsk_nearest_symbol(-3.0 * pi / 4.0), 2u);
+    EXPECT_EQ(dqpsk_nearest_symbol(-pi / 4.0), 3u);
+    // Slightly off-lattice values snap to the nearest step.
+    EXPECT_EQ(dqpsk_nearest_symbol(pi / 4.0 + 0.3), 0u);
+    EXPECT_EQ(dqpsk_nearest_symbol(pi / 2.0 + 0.05), 1u);
+}
+
+TEST(Dqpsk, RoundTripCleanChannel)
+{
+    Pcg32 rng{151};
+    const Bits bits = random_bits(512, rng);
+    const Dqpsk_modulator modulator{1.0, 0.8};
+    const Dqpsk_demodulator demodulator;
+    EXPECT_EQ(demodulator.demodulate(modulator.modulate(bits)), bits);
+}
+
+TEST(Dqpsk, TwoBitsPerSample)
+{
+    const Dqpsk_modulator modulator;
+    const Bits bits{0, 0, 1, 1, 1, 0};
+    EXPECT_EQ(modulator.modulate(bits).size(), 4u); // 3 symbols + reference
+}
+
+TEST(Dqpsk, OddBitCountRejected)
+{
+    const Dqpsk_modulator modulator;
+    EXPECT_THROW(modulator.modulate(Bits{1, 0, 1}), std::invalid_argument);
+}
+
+TEST(Dqpsk, ChannelInvariance)
+{
+    Pcg32 rng{152};
+    const Bits bits = random_bits(256, rng);
+    const Dqpsk_modulator modulator;
+    const Dqpsk_demodulator demodulator;
+    Signal signal = modulator.modulate(bits);
+    signal = scaled(signal, 0.05);
+    signal = rotated(signal, 2.7);
+    EXPECT_EQ(demodulator.demodulate(signal), bits);
+}
+
+TEST(Dqpsk, ConstantEnvelope)
+{
+    Pcg32 rng{153};
+    const Bits bits = random_bits(128, rng);
+    const Dqpsk_modulator modulator{1.7, 0.0};
+    for (const Sample& s : modulator.modulate(bits))
+        EXPECT_NEAR(std::abs(s), 1.7, 1e-12);
+}
+
+TEST(Dqpsk, SurvivesModerateNoise)
+{
+    // DQPSK has pi/4 decision margins (vs MSK's pi/2), so it needs a few
+    // dB more SNR; at 25 dB it should still be almost error-free.
+    Pcg32 rng{154};
+    const Bits bits = random_bits(2000, rng);
+    const Dqpsk_modulator modulator;
+    const Dqpsk_demodulator demodulator;
+    Signal signal = modulator.modulate(bits);
+    chan::Awgn noise{chan::noise_power_for_snr_db(25.0), rng.fork(1)};
+    noise.add_in_place(signal);
+    EXPECT_LT(bit_error_rate(demodulator.demodulate(signal), bits), 0.01);
+}
+
+TEST(Dqpsk, PhaseStepsForBitsMatchModulator)
+{
+    Pcg32 rng{155};
+    const Bits bits = random_bits(64, rng);
+    const auto steps = dqpsk_phase_steps_for_bits(bits);
+    const Dqpsk_modulator modulator{1.0, 0.2};
+    const Signal signal = modulator.modulate(bits);
+    ASSERT_EQ(steps.size(), signal.size() - 1);
+    for (std::size_t n = 0; n + 1 < signal.size(); ++n) {
+        EXPECT_NEAR(std::arg(signal[n + 1] * std::conj(signal[n])), steps[n], 1e-9);
+    }
+}
+
+TEST(Dqpsk, TimeReversedDemodulatesToPerTransitionInverse)
+{
+    // Reversal+conjugation preserves phase-difference *signs*, so a
+    // reversed DQPSK stream demodulates to the per-transition steps in
+    // reverse order — the property backward decoding relies on.
+    Pcg32 rng{156};
+    const Bits bits = random_bits(100, rng);
+    const Dqpsk_modulator modulator;
+    const Signal reversed_signal = time_reversed(modulator.modulate(bits));
+    const auto forward_steps = dqpsk_phase_steps_for_bits(bits);
+    for (std::size_t n = 0; n + 1 < reversed_signal.size(); ++n) {
+        const double diff =
+            std::arg(reversed_signal[n + 1] * std::conj(reversed_signal[n]));
+        EXPECT_NEAR(diff, forward_steps[forward_steps.size() - 1 - n], 1e-9);
+    }
+}
+
+} // namespace
+} // namespace anc::dsp

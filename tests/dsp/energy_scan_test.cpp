@@ -1,0 +1,94 @@
+#include "dsp/energy_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "dsp/msk.h"
+#include "dsp/ops.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace anc::dsp {
+namespace {
+
+TEST(EnergyScan, SampleEnergies)
+{
+    const Signal signal{{3.0, 4.0}, {0.0, 2.0}};
+    const auto energies = sample_energies(signal);
+    ASSERT_EQ(energies.size(), 2u);
+    EXPECT_DOUBLE_EQ(energies[0], 25.0);
+    EXPECT_DOUBLE_EQ(energies[1], 4.0);
+}
+
+TEST(EnergyScan, MeanEnergy)
+{
+    const Signal signal{{1.0, 0.0}, {0.0, 3.0}};
+    EXPECT_DOUBLE_EQ(mean_energy(signal), 5.0);
+    EXPECT_DOUBLE_EQ(mean_energy(Signal{}), 0.0);
+}
+
+TEST(EnergyScan, ConstantEnvelopeHasZeroVariance)
+{
+    Pcg32 rng{121};
+    const Bits bits = random_bits(200, rng);
+    const Msk_modulator modulator{2.0, 0.1};
+    const Signal signal = modulator.modulate(bits);
+    const Energy_scan scan = scan_energy(signal, 32);
+    for (std::size_t i = 0; i < scan.window_mean.size(); ++i) {
+        EXPECT_NEAR(scan.window_mean[i], 4.0, 1e-9);
+        EXPECT_NEAR(scan.window_variance[i], 0.0, 1e-9);
+    }
+}
+
+TEST(EnergyScan, InterferedSignalHasLargeVariance)
+{
+    // Two equal-amplitude MSK signals: |y|^2 swings between 0 and (2A)^2;
+    // the windowed variance must be far from zero (the §7.1 detector
+    // insight).
+    Pcg32 rng{122};
+    const Bits bits_a = random_bits(300, rng);
+    const Bits bits_b = random_bits(300, rng);
+    const Msk_modulator modulator{1.0, 0.0};
+    const Signal mix = added(modulator.modulate(bits_a),
+                             rotated(modulator.modulate(bits_b), 1.1));
+    const Energy_scan scan = scan_energy(mix, 64);
+    double max_variance = 0.0;
+    for (const double v : scan.window_variance)
+        max_variance = std::max(max_variance, v);
+    // Theoretical variance of |y|^2 for A=B=1 is E[(2cos d)^2]^2-ish ~ 2.
+    EXPECT_GT(max_variance, 0.5);
+}
+
+TEST(EnergyScan, WindowCountAndOrder)
+{
+    Signal signal(10, Sample{1.0, 0.0});
+    const Energy_scan scan = scan_energy(signal, 4);
+    EXPECT_EQ(scan.window_mean.size(), 7u);
+    EXPECT_EQ(scan.window_variance.size(), 7u);
+    EXPECT_EQ(scan.window, 4u);
+}
+
+TEST(EnergyScan, ShortSignalYieldsEmptyScan)
+{
+    Signal signal(3, Sample{1.0, 0.0});
+    const Energy_scan scan = scan_energy(signal, 8);
+    EXPECT_TRUE(scan.window_mean.empty());
+}
+
+TEST(EnergyScan, ZeroWindowThrows)
+{
+    EXPECT_THROW(scan_energy(Signal{}, 0), std::invalid_argument);
+}
+
+TEST(EnergyScan, DetectsEnergyStep)
+{
+    // Silence then a strong signal: window means must rise at the step.
+    Signal signal(64, Sample{0.0, 0.0});
+    for (int i = 0; i < 64; ++i)
+        signal.push_back(Sample{2.0, 0.0});
+    const Energy_scan scan = scan_energy(signal, 16);
+    EXPECT_NEAR(scan.window_mean.front(), 0.0, 1e-12);
+    EXPECT_NEAR(scan.window_mean.back(), 4.0, 1e-12);
+}
+
+} // namespace
+} // namespace anc::dsp

@@ -1,0 +1,75 @@
+#include "dsp/scrambler.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace anc::dsp {
+namespace {
+
+TEST(Scrambler, SelfInverse)
+{
+    Pcg32 rng{111};
+    const Bits data = random_bits(1000, rng);
+    const Scrambler scrambler{0x1234};
+    EXPECT_EQ(scrambler.apply(scrambler.apply(data)), data);
+}
+
+TEST(Scrambler, WhitensConstantInput)
+{
+    // The whole point (§6.2): even an all-zero payload must look random on
+    // the air so that E[cos(theta - phi)] ~ 0.
+    const Bits zeros(4096, 0);
+    const Scrambler scrambler;
+    const Bits whitened = scrambler.apply(zeros);
+    std::size_t ones = 0;
+    for (const auto b : whitened)
+        ones += b;
+    const double balance = static_cast<double>(ones) / static_cast<double>(whitened.size());
+    EXPECT_NEAR(balance, 0.5, 0.05);
+}
+
+TEST(Scrambler, BreaksRuns)
+{
+    const Bits ones_in(1024, 1);
+    const Scrambler scrambler;
+    const Bits whitened = scrambler.apply(ones_in);
+    std::size_t longest_run = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < whitened.size(); ++i) {
+        run = (i > 0 && whitened[i] == whitened[i - 1]) ? run + 1 : 1;
+        longest_run = std::max(longest_run, run);
+    }
+    EXPECT_LT(longest_run, 20u);
+}
+
+TEST(Scrambler, DifferentSeedsDifferentKeystreams)
+{
+    const Bits zeros(256, 0);
+    const Scrambler a{0x0001};
+    const Scrambler b{0x8000};
+    EXPECT_NE(a.apply(zeros), b.apply(zeros));
+}
+
+TEST(Scrambler, DeterministicAcrossCalls)
+{
+    Pcg32 rng{112};
+    const Bits data = random_bits(128, rng);
+    const Scrambler scrambler{0x4242};
+    EXPECT_EQ(scrambler.apply(data), scrambler.apply(data));
+}
+
+TEST(Scrambler, ZeroSeedRejected)
+{
+    EXPECT_THROW(Scrambler{0}, std::invalid_argument);
+}
+
+TEST(Scrambler, EmptyInput)
+{
+    const Scrambler scrambler;
+    EXPECT_TRUE(scrambler.apply(Bits{}).empty());
+}
+
+} // namespace
+} // namespace anc::dsp

@@ -1,0 +1,137 @@
+#include "phy/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "phy/pilot.h"
+#include "util/rng.h"
+
+namespace anc::phy {
+namespace {
+
+Frame_header test_header(std::uint16_t payload_bits)
+{
+    Frame_header header;
+    header.src = 1;
+    header.dst = 2;
+    header.seq = 77;
+    header.payload_bits = payload_bits;
+    return header;
+}
+
+TEST(Frame, LayoutLengths)
+{
+    EXPECT_EQ(frame_length(0), 320u);
+    EXPECT_EQ(frame_length(1000), 1320u);
+    const Frame_offsets o = frame_offsets(500);
+    EXPECT_EQ(o.pilot, 0u);
+    EXPECT_EQ(o.header, 64u);
+    EXPECT_EQ(o.crc, 128u);
+    EXPECT_EQ(o.payload, 160u);
+    EXPECT_EQ(o.tail_crc, 660u);
+    EXPECT_EQ(o.tail_header, 692u);
+    EXPECT_EQ(o.tail_pilot, 756u);
+    EXPECT_EQ(o.end, 820u);
+}
+
+TEST(Frame, BuildPlacesFields)
+{
+    Pcg32 rng{421};
+    const Bits payload = random_bits(200, rng);
+    const Bits frame = build_frame(test_header(200), payload);
+    ASSERT_EQ(frame.size(), frame_length(200));
+
+    const Frame_offsets o = frame_offsets(200);
+    const Bits head_pilot{frame.begin(), frame.begin() + 64};
+    EXPECT_EQ(head_pilot, pilot_sequence());
+    const Bits tail_pilot{frame.begin() + static_cast<long>(o.tail_pilot), frame.end()};
+    EXPECT_EQ(tail_pilot, pilot_mirrored());
+    const Bits body{frame.begin() + static_cast<long>(o.payload),
+                    frame.begin() + static_cast<long>(o.payload + 200)};
+    EXPECT_EQ(body, payload);
+}
+
+TEST(Frame, ParseRoundTrip)
+{
+    Pcg32 rng{422};
+    const Bits payload = random_bits(333, rng);
+    const Frame_header header = test_header(333);
+    const Bits frame = build_frame(header, payload);
+    const auto parsed = parse_frame_at(frame, 0);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header, header);
+    EXPECT_EQ(parsed->payload, payload);
+    EXPECT_TRUE(parsed->crc_ok);
+}
+
+TEST(Frame, CrcReportsPayloadCorruption)
+{
+    Pcg32 rng{427};
+    const Bits payload = random_bits(200, rng);
+    Bits frame = build_frame(test_header(200), payload);
+    const Frame_offsets o = frame_offsets(200);
+    frame[o.payload + 77] ^= 1u;
+    const auto parsed = parse_frame_at(frame, 0);
+    ASSERT_TRUE(parsed.has_value()); // header intact, frame parses
+    EXPECT_FALSE(parsed->crc_ok);    // but the payload check flags it
+}
+
+TEST(Frame, ParseWithLeadingGarbage)
+{
+    Pcg32 rng{423};
+    const Bits payload = random_bits(64, rng);
+    const Bits frame = build_frame(test_header(64), payload);
+    Bits stream = random_bits(50, rng);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    const auto parsed = parse_frame_at(stream, 50);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->payload, payload);
+}
+
+TEST(Frame, ParseRejectsTruncatedFrame)
+{
+    Pcg32 rng{424};
+    const Bits payload = random_bits(100, rng);
+    Bits frame = build_frame(test_header(100), payload);
+    frame.resize(150); // cut inside the payload
+    EXPECT_FALSE(parse_frame_at(frame, 0).has_value());
+}
+
+TEST(Frame, ParseRejectsCorruptHeader)
+{
+    Pcg32 rng{425};
+    const Bits payload = random_bits(100, rng);
+    Bits frame = build_frame(test_header(100), payload);
+    frame[70] ^= 1u; // inside the header
+    EXPECT_FALSE(parse_frame_at(frame, 0).has_value());
+}
+
+TEST(Frame, ReversedFrameIsAValidFrameWithReversedPayload)
+{
+    // The mirror structure (§7.4): a time-reversed frame parses as a
+    // frame whose payload is reversed.  Its CRC field refers to the
+    // *forward* payload, so crc_ok is false in the reversed domain —
+    // which is fine: backward decoding is an ANC path and ignores it.
+    Pcg32 rng{426};
+    const Bits payload = random_bits(128, rng);
+    const Frame_header header = test_header(128);
+    const Bits frame = build_frame(header, payload);
+    const Bits reversed_frame = mirrored(frame);
+    const auto parsed = parse_frame_at(reversed_frame, 0);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header, header);
+    EXPECT_EQ(parsed->payload, mirrored(payload));
+    EXPECT_FALSE(parsed->crc_ok);
+}
+
+TEST(Frame, EmptyPayload)
+{
+    const Bits frame = build_frame(test_header(0), Bits{});
+    EXPECT_EQ(frame.size(), 320u);
+    const auto parsed = parse_frame_at(frame, 0);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->payload.empty());
+    EXPECT_TRUE(parsed->crc_ok);
+}
+
+} // namespace
+} // namespace anc::phy

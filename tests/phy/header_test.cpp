@@ -1,0 +1,75 @@
+#include "phy/header.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace anc::phy {
+namespace {
+
+TEST(Header, EncodeDecodeRoundTrip)
+{
+    Frame_header header;
+    header.src = 3;
+    header.dst = 7;
+    header.seq = 4242;
+    header.payload_bits = 1024;
+    const Bits bits = encode_header(header);
+    EXPECT_EQ(bits.size(), header_length);
+    const auto decoded = decode_header(bits);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, header);
+}
+
+TEST(Header, AllFieldBoundaries)
+{
+    Frame_header header;
+    header.src = 255;
+    header.dst = 0;
+    header.seq = 65535;
+    header.payload_bits = 65535;
+    const auto decoded = decode_header(encode_header(header));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, header);
+}
+
+TEST(Header, CrcRejectsCorruption)
+{
+    Frame_header header;
+    header.src = 1;
+    header.dst = 2;
+    header.seq = 99;
+    header.payload_bits = 500;
+    Bits bits = encode_header(header);
+    int rejected = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        bits[i] ^= 1u;
+        if (!decode_header(bits))
+            ++rejected;
+        bits[i] ^= 1u;
+    }
+    // Every single-bit flip (including within the CRC itself) must be
+    // rejected.
+    EXPECT_EQ(rejected, static_cast<int>(bits.size()));
+}
+
+TEST(Header, ShortInputRejected)
+{
+    const Bits short_bits(32, 0);
+    EXPECT_FALSE(decode_header(short_bits).has_value());
+}
+
+TEST(Header, RandomBitsRarelyValidate)
+{
+    Pcg32 rng{411};
+    int accepted = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Bits bits = random_bits(header_length, rng);
+        accepted += decode_header(bits).has_value();
+    }
+    // 16-bit CRC: acceptance probability ~ 2^-16 per trial.
+    EXPECT_LE(accepted, 1);
+}
+
+} // namespace
+} // namespace anc::phy

@@ -1,0 +1,92 @@
+#include "sim/x_topology.h"
+
+#include <gtest/gtest.h>
+
+namespace anc::sim {
+namespace {
+
+X_config small_config(std::uint64_t seed)
+{
+    X_config config;
+    config.payload_bits = 1024;
+    config.exchanges = 6;
+    config.seed = seed;
+    return config;
+}
+
+TEST(XSim, TraditionalDeliversEverything)
+{
+    const X_result result = run_x_traditional(small_config(1));
+    EXPECT_EQ(result.metrics.packets_attempted, 12u);
+    EXPECT_EQ(result.metrics.packets_delivered, 12u);
+}
+
+TEST(XSim, CopeDeliversNearlyEverything)
+{
+    const X_result result = run_x_cope(small_config(2));
+    // Overhearing happens on clean transmissions under COPE; losses should
+    // be rare.
+    EXPECT_GE(result.metrics.packets_delivered, 11u);
+    EXPECT_LE(result.overhear_failures, 1u);
+}
+
+TEST(XSim, AncDeliversMost)
+{
+    X_config config = small_config(3);
+    config.exchanges = 10;
+    const X_result result = run_x_anc(config);
+    EXPECT_EQ(result.metrics.packets_attempted, 20u);
+    // Overhearing under interference occasionally fails (§11.5).
+    EXPECT_GE(result.metrics.packets_delivered, 14u);
+}
+
+TEST(XSim, AncBeatsTraditional)
+{
+    const X_config config = small_config(4);
+    const X_result anc = run_x_anc(config);
+    const X_result traditional = run_x_traditional(config);
+    const double g = gain(anc.metrics, traditional.metrics);
+    EXPECT_GT(g, 1.2);
+    EXPECT_LT(g, 2.0);
+}
+
+TEST(XSim, AncBeatsCope)
+{
+    X_config config = small_config(5);
+    config.exchanges = 10;
+    const X_result anc = run_x_anc(config);
+    const X_result cope = run_x_cope(config);
+    EXPECT_GT(gain(anc.metrics, cope.metrics), 1.0);
+}
+
+TEST(XSim, OverhearingFailuresTracked)
+{
+    X_config config = small_config(6);
+    config.exchanges = 15;
+    const X_result result = run_x_anc(config);
+    EXPECT_EQ(result.overhear_attempts, 30u);
+    // Failure rate should be modest but can be non-zero.
+    EXPECT_LT(result.overhear_failure_rate(), 0.4);
+}
+
+TEST(XSim, WeakerOverhearLinkHurtsDelivery)
+{
+    X_config good = small_config(7);
+    good.exchanges = 12;
+    X_config bad = good;
+    bad.gains.overhear = 0.30; // barely above the packet detector floor
+    const X_result strong = run_x_anc(good);
+    const X_result weak = run_x_anc(bad);
+    EXPECT_GE(strong.metrics.packets_delivered, weak.metrics.packets_delivered);
+}
+
+TEST(XSim, DeterministicForSeed)
+{
+    const X_result a = run_x_anc(small_config(8));
+    const X_result b = run_x_anc(small_config(8));
+    EXPECT_EQ(a.metrics.packets_delivered, b.metrics.packets_delivered);
+    EXPECT_EQ(a.overhear_failures, b.overhear_failures);
+}
+
+} // namespace
+} // namespace anc::sim

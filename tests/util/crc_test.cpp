@@ -1,0 +1,75 @@
+#include "util/crc.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/rng.h"
+
+namespace anc {
+namespace {
+
+TEST(Crc32, KnownVector)
+{
+    // CRC-32/IEEE of the ASCII string "123456789" is 0xCBF43926.  The
+    // reflected algorithm consumes each byte least-significant-bit first.
+    const std::vector<std::uint8_t> ascii{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    Bits bits;
+    for (const std::uint8_t byte : ascii) {
+        for (int bit = 0; bit < 8; ++bit)
+            bits.push_back((byte >> bit) & 1u);
+    }
+    EXPECT_EQ(crc32(bits), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput)
+{
+    EXPECT_EQ(crc32(Bits{}), 0u); // init ^ final-xor cancel
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    Pcg32 rng{21};
+    Bits bits = random_bits(512, rng);
+    const std::uint32_t original = crc32(bits);
+    for (std::size_t i = 0; i < bits.size(); i += 37) {
+        bits[i] ^= 1u;
+        EXPECT_NE(crc32(bits), original) << "flip at " << i;
+        bits[i] ^= 1u;
+    }
+    EXPECT_EQ(crc32(bits), original);
+}
+
+TEST(Crc16, KnownVector)
+{
+    // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+    const std::vector<std::uint8_t> ascii{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+    const Bits bits = unpack_bytes(ascii);
+    EXPECT_EQ(crc16(bits), 0x29B1u);
+}
+
+TEST(Crc16, DetectsBurstErrors)
+{
+    Pcg32 rng{22};
+    Bits bits = random_bits(256, rng);
+    const std::uint16_t original = crc16(bits);
+    // Flip a burst of up to 16 consecutive bits: CRC-16 must catch all
+    // bursts shorter than its width.
+    for (std::size_t burst = 1; burst <= 16; ++burst) {
+        for (std::size_t i = 0; i < burst; ++i)
+            bits[64 + i] ^= 1u;
+        EXPECT_NE(crc16(bits), original) << "burst length " << burst;
+        for (std::size_t i = 0; i < burst; ++i)
+            bits[64 + i] ^= 1u;
+    }
+}
+
+TEST(Crc16, DifferentDataDifferentCrc)
+{
+    Pcg32 rng{23};
+    const Bits a = random_bits(128, rng);
+    const Bits b = random_bits(128, rng);
+    EXPECT_NE(crc16(a), crc16(b));
+}
+
+} // namespace
+} // namespace anc

@@ -1,0 +1,63 @@
+#include "util/phase.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "util/db.h"
+
+namespace anc {
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+TEST(Phase, WrapIdentityInRange)
+{
+    EXPECT_DOUBLE_EQ(wrap_phase(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(wrap_phase(1.5), 1.5);
+    EXPECT_DOUBLE_EQ(wrap_phase(-1.5), -1.5);
+    EXPECT_DOUBLE_EQ(wrap_phase(pi), pi);
+}
+
+TEST(Phase, WrapLargeAngles)
+{
+    EXPECT_NEAR(wrap_phase(2.0 * pi), 0.0, 1e-12);
+    EXPECT_NEAR(wrap_phase(3.0 * pi), pi, 1e-12);
+    EXPECT_NEAR(wrap_phase(-3.0 * pi), pi, 1e-12);
+    EXPECT_NEAR(wrap_phase(7.5 * pi), -0.5 * pi, 1e-12);
+}
+
+TEST(Phase, WrapResultAlwaysInInterval)
+{
+    for (double angle = -50.0; angle <= 50.0; angle += 0.173) {
+        const double w = wrap_phase(angle);
+        EXPECT_GT(w, -pi - 1e-12);
+        EXPECT_LE(w, pi + 1e-12);
+    }
+}
+
+TEST(Phase, DistanceHandlesWrapAround)
+{
+    EXPECT_NEAR(phase_distance(pi - 0.1, -pi + 0.1), 0.2, 1e-12);
+    EXPECT_NEAR(phase_distance(0.0, pi), pi, 1e-12);
+    EXPECT_NEAR(phase_distance(0.3, 0.1), 0.2, 1e-12);
+}
+
+TEST(Db, RoundTrip)
+{
+    for (const double db : {-10.0, 0.0, 3.0, 20.0, 25.0, 40.0})
+        EXPECT_NEAR(to_db(from_db(db)), db, 1e-12);
+}
+
+TEST(Db, KnownValues)
+{
+    EXPECT_NEAR(from_db(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(from_db(10.0), 10.0, 1e-12);
+    EXPECT_NEAR(from_db(20.0), 100.0, 1e-12);
+    EXPECT_NEAR(from_db(-3.0), 0.5011872, 1e-6);
+    EXPECT_NEAR(amplitude_from_db(20.0), 10.0, 1e-12);
+    EXPECT_NEAR(amplitude_from_db(6.0), 1.995262, 1e-6);
+}
+
+} // namespace
+} // namespace anc
