@@ -7,51 +7,78 @@
 // working range, ANC loses *packets* (pilot/header failures), not just
 // rate.  This bench sweeps the operating SNR and reports where the
 // practical system stops winning.
+//
+// Runs on the sweep engine: one grid over (topology x scheme x SNR),
+// all cells in parallel.
 
 #include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "sim/alice_bob.h"
-#include "sim/chain.h"
+#include "engine/engine.h"
+
+namespace {
+
+using namespace anc;
+using namespace anc::engine;
+
+/// Mean per-run gain of anc over traditional at one grid point, or 0
+/// when the baseline delivered nothing (at the bottom of the SNR range
+/// whole runs can fail).
+double mean_gain(const std::vector<Task_result>& tasks, const Point_key& anc_key)
+{
+    Point_key traditional_key = anc_key;
+    traditional_key.scheme = "traditional";
+    const Cdf gains =
+        paired_gain(tasks, anc_key, traditional_key, Baseline_policy::skip_failed);
+    return gains.empty() ? 0.0 : gains.mean();
+}
+
+const Point_summary& point_at(const std::vector<Point_summary>& points,
+                              const std::string& scenario, const std::string& scheme,
+                              double snr_db)
+{
+    for (const Point_summary& point : points) {
+        if (point.key.scenario == scenario && point.key.scheme == scheme
+            && point.key.snr_db == snr_db)
+            return point;
+    }
+    throw std::out_of_range{"ablation_snr: missing grid point"};
+}
+
+} // namespace
 
 int main()
 {
-    using namespace anc;
-    using namespace anc::sim;
     bench::print_header("Ablation", "measured ANC gain vs operating SNR");
 
     const std::size_t runs = bench::run_count(6);
     const std::size_t exchanges = bench::exchange_count();
+    const std::vector<double> snrs{16.0, 18.0, 20.0, 22.0, 25.0, 30.0, 35.0};
+
+    Sweep_grid grid;
+    grid.scenarios = {"alice_bob", "chain"};
+    grid.schemes = {"anc", "traditional"};
+    grid.snr_db = snrs;
+    grid.exchanges = {exchanges};
+    grid.repetitions = runs;
+
+    Executor_config exec;
+    exec.base_seed = 8000;
+    const Sweep_outcome outcome = run_grid(grid, exec);
+    bench::print_engine_note(outcome.tasks.size(), exec);
 
     std::printf("%8s %14s %12s %12s %14s %12s\n", "SNR(dB)", "AB gain", "AB deliv",
                 "AB BER", "chain gain", "chain deliv");
-    for (const double snr : {16.0, 18.0, 20.0, 22.0, 25.0, 30.0, 35.0}) {
-        Cdf ab_gain, ab_deliv, ab_ber, ch_gain, ch_deliv;
-        for (std::size_t run = 0; run < runs; ++run) {
-            Alice_bob_config ab;
-            ab.snr_db = snr;
-            ab.exchanges = exchanges;
-            ab.seed = 8000 + run;
-            const auto anc_r = run_alice_bob_anc(ab);
-            const auto trad_r = run_alice_bob_traditional(ab);
-            if (trad_r.metrics.throughput() > 0.0)
-                ab_gain.add(gain(anc_r.metrics, trad_r.metrics));
-            ab_deliv.add(anc_r.metrics.delivery_rate());
-            ab_ber.add(anc_r.metrics.mean_ber());
-
-            Chain_config ch;
-            ch.snr_db = snr;
-            ch.packets = exchanges;
-            ch.seed = 8000 + run;
-            const auto chain_anc = run_chain_anc(ch);
-            const auto chain_trad = run_chain_traditional(ch);
-            if (chain_trad.metrics.throughput() > 0.0)
-                ch_gain.add(gain(chain_anc.metrics, chain_trad.metrics));
-            ch_deliv.add(chain_anc.metrics.delivery_rate());
-        }
+    for (const double snr : snrs) {
+        const Point_summary& ab = point_at(outcome.points, "alice_bob", "anc", snr);
+        const Point_summary& chain = point_at(outcome.points, "chain", "anc", snr);
         std::printf("%8.0f %14.3f %12.2f %12.4f %14.3f %12.2f\n", snr,
-                    ab_gain.empty() ? 0.0 : ab_gain.mean(), ab_deliv.mean(), ab_ber.mean(),
-                    ch_gain.empty() ? 0.0 : ch_gain.mean(), ch_deliv.mean());
+                    mean_gain(outcome.tasks, ab.key), ab.delivery_rate.mean(),
+                    ab.run_mean_ber.mean(), mean_gain(outcome.tasks, chain.key),
+                    chain.delivery_rate.mean());
     }
     std::printf("\nAbove ~22 dB the gains sit at their asymptotes (Fig. 9/12); below\n"
                 "~18 dB the Alice-Bob path collapses first — its effective SNR is cut\n"

@@ -6,13 +6,26 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "engine/engine.h"
 #include "util/stats.h"
 
 namespace anc::bench {
+
+/// One line describing how the engine ran a sweep, so bench output
+/// records the parallelism it used (results are identical either way).
+inline void print_engine_note(std::size_t tasks, const engine::Executor_config& config)
+{
+    // Mirror the executor's cap: it never spawns more workers than tasks.
+    const std::size_t threads =
+        std::min(engine::resolve_thread_count(config), std::max<std::size_t>(tasks, 1));
+    std::printf("[engine: %zu tasks on %zu threads, base seed %llu]\n", tasks, threads,
+                static_cast<unsigned long long>(config.base_seed));
+}
 
 /// Number of runs (the paper repeats each experiment 40 times).  Scaled
 /// down via the ANC_BENCH_RUNS environment variable for quick checks.

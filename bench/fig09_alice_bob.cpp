@@ -6,39 +6,44 @@
 // Operating point: 22 dB SNR — inside the paper's 20-40 dB WLAN band, at
 // the lower end so that the relay's amplified noise (the mechanism behind
 // the paper's 2-4% BER) is visible above the decoder's own error floor.
+//
+// Runs on the sweep engine: one grid over the three schemes, executed
+// across all cores (ANC_ENGINE_THREADS overrides; ANC_ENGINE_JSON /
+// ANC_ENGINE_CSV emit machine-readable results).
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "sim/alice_bob.h"
+#include "engine/engine.h"
 
 int main()
 {
     using namespace anc;
-    using namespace anc::sim;
+    using namespace anc::engine;
     bench::print_header("Figure 9", "Alice-Bob topology: throughput gains and BER");
 
     const std::size_t runs = bench::run_count();
     const std::size_t exchanges = bench::exchange_count();
 
-    Cdf gain_over_traditional;
-    Cdf gain_over_cope;
-    Cdf packet_ber;
-    Cdf overlaps;
+    Sweep_grid grid;
+    grid.scenarios = {"alice_bob"};
+    grid.schemes = {"traditional", "cope", "anc"};
+    grid.snr_db = {22.0};
+    grid.exchanges = {exchanges};
+    grid.repetitions = runs;
 
-    for (std::size_t run = 0; run < runs; ++run) {
-        Alice_bob_config config;
-        config.snr_db = 22.0;
-        config.exchanges = exchanges;
-        config.seed = 1000 + run;
-        const Alice_bob_result anc = run_alice_bob_anc(config);
-        const Alice_bob_result traditional = run_alice_bob_traditional(config);
-        const Alice_bob_result cope = run_alice_bob_cope(config);
-        gain_over_traditional.add(gain(anc.metrics, traditional.metrics));
-        gain_over_cope.add(gain(anc.metrics, cope.metrics));
-        packet_ber.add_all(anc.metrics.packet_ber.sorted_samples());
-        overlaps.add(anc.metrics.mean_overlap());
-    }
+    Executor_config exec;
+    exec.base_seed = 1000;
+    const Sweep_outcome outcome = run_grid(grid, exec);
+    bench::print_engine_note(outcome.tasks.size(), exec);
+
+    const Point_summary& anc_point = summary_for(outcome.points, "alice_bob", "anc");
+    const Cdf gain_over_traditional =
+        paired_gain(outcome.tasks, outcome.points, "alice_bob", "anc", "traditional");
+    const Cdf gain_over_cope =
+        paired_gain(outcome.tasks, outcome.points, "alice_bob", "anc", "cope");
+    const Cdf& packet_ber = anc_point.totals.packet_ber;
+    const Cdf& overlaps = anc_point.run_mean_overlap;
 
     std::printf("(%zu runs x %zu packet pairs, payload 2048 bits, SNR 22 dB)\n\n",
                 runs, exchanges);

@@ -3,41 +3,44 @@
 //       over COPE;
 //   (b) CDF of per-packet BER — with the heavier tail caused by packets
 //       whose overhearing failed (§11.5).
+//
+// Runs on the sweep engine (see fig09 for the engine knobs).
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "sim/x_topology.h"
+#include "engine/engine.h"
 
 int main()
 {
     using namespace anc;
-    using namespace anc::sim;
+    using namespace anc::engine;
     bench::print_header("Figure 10", "X topology: gains with overheard packets");
 
     const std::size_t runs = bench::run_count();
     const std::size_t exchanges = bench::exchange_count();
 
-    Cdf gain_over_traditional;
-    Cdf gain_over_cope;
-    Cdf packet_ber;
-    std::size_t overhear_attempts = 0;
-    std::size_t overhear_failures = 0;
+    Sweep_grid grid;
+    grid.scenarios = {"x_topology"};
+    grid.schemes = {"traditional", "cope", "anc"};
+    grid.snr_db = {22.0};
+    grid.exchanges = {exchanges};
+    grid.repetitions = runs;
 
-    for (std::size_t run = 0; run < runs; ++run) {
-        X_config config;
-        config.snr_db = 22.0;
-        config.exchanges = exchanges;
-        config.seed = 2000 + run;
-        const X_result anc = run_x_anc(config);
-        const X_result traditional = run_x_traditional(config);
-        const X_result cope = run_x_cope(config);
-        gain_over_traditional.add(gain(anc.metrics, traditional.metrics));
-        gain_over_cope.add(gain(anc.metrics, cope.metrics));
-        packet_ber.add_all(anc.metrics.packet_ber.sorted_samples());
-        overhear_attempts += anc.overhear_attempts;
-        overhear_failures += anc.overhear_failures;
-    }
+    Executor_config exec;
+    exec.base_seed = 2000;
+    const Sweep_outcome outcome = run_grid(grid, exec);
+    bench::print_engine_note(outcome.tasks.size(), exec);
+
+    const Point_summary& anc_point = summary_for(outcome.points, "x_topology", "anc");
+    const Cdf gain_over_traditional =
+        paired_gain(outcome.tasks, outcome.points, "x_topology", "anc", "traditional");
+    const Cdf gain_over_cope =
+        paired_gain(outcome.tasks, outcome.points, "x_topology", "anc", "cope");
+    const auto overhear_attempts =
+        static_cast<std::size_t>(anc_point.scalars.at("overhear_attempts"));
+    const auto overhear_failures =
+        static_cast<std::size_t>(anc_point.scalars.at("overhear_failures"));
 
     std::printf("(%zu runs x %zu packet pairs, payload 2048 bits, SNR 22 dB)\n\n",
                 runs, exchanges);
@@ -45,7 +48,8 @@ int main()
     std::printf("\n");
     bench::print_cdf("Fig 10(a): ANC gain over COPE", gain_over_cope);
     std::printf("\n");
-    bench::print_cdf("Fig 10(b): per-packet BER of ANC decodes", packet_ber);
+    bench::print_cdf("Fig 10(b): per-packet BER of ANC decodes",
+                     anc_point.totals.packet_ber);
     std::printf("\nOverhearing under interference: %zu/%zu failed (%.1f%%)\n",
                 overhear_failures, overhear_attempts,
                 overhear_attempts

@@ -3,34 +3,38 @@
 //       (COPE does not apply to unidirectional traffic);
 //   (b) CDF of BER at node N2, which decodes the collision directly —
 //       no amplify-and-forward, hence lower BER than Alice-Bob.
+//
+// Runs on the sweep engine (see fig09 for the engine knobs).
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "sim/chain.h"
+#include "engine/engine.h"
 
 int main()
 {
     using namespace anc;
-    using namespace anc::sim;
+    using namespace anc::engine;
     bench::print_header("Figure 12", "chain topology: unidirectional flow");
 
     const std::size_t runs = bench::run_count();
     const std::size_t packets = bench::exchange_count();
 
-    Cdf gain_over_traditional;
-    Cdf ber_at_n2;
+    Sweep_grid grid;
+    grid.scenarios = {"chain"};
+    grid.snr_db = {22.0};
+    grid.exchanges = {packets};
+    grid.repetitions = runs;
 
-    for (std::size_t run = 0; run < runs; ++run) {
-        Chain_config config;
-        config.snr_db = 22.0;
-        config.packets = packets;
-        config.seed = 3000 + run;
-        const Chain_result anc = run_chain_anc(config);
-        const Chain_result traditional = run_chain_traditional(config);
-        gain_over_traditional.add(gain(anc.metrics, traditional.metrics));
-        ber_at_n2.add_all(anc.ber_at_n2.sorted_samples());
-    }
+    Executor_config exec;
+    exec.base_seed = 3000;
+    const Sweep_outcome outcome = run_grid(grid, exec);
+    bench::print_engine_note(outcome.tasks.size(), exec);
+
+    const Point_summary& anc_point = summary_for(outcome.points, "chain", "anc");
+    const Cdf gain_over_traditional =
+        paired_gain(outcome.tasks, outcome.points, "chain", "anc", "traditional");
+    const Cdf& ber_at_n2 = anc_point.series.at("ber_at_n2");
 
     std::printf("(%zu runs x %zu packets, payload 2048 bits, SNR 22 dB)\n\n", runs,
                 packets);

@@ -9,40 +9,52 @@
 // Run at 20 dB SNR — the bottom of the operating band — so the residual
 // BER is visible; at 25+ dB the simulated decoder is error-free across
 // the whole SIR range.
+//
+// Runs on the sweep engine: the SIR axis is a grid over Bob's transmit
+// amplitude, executed in parallel across all points and repetitions.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
-#include "sim/alice_bob.h"
+#include "engine/engine.h"
 #include "util/db.h"
 
 int main()
 {
     using namespace anc;
-    using namespace anc::sim;
+    using namespace anc::engine;
     bench::print_header("Figure 13", "BER vs SIR for decoding at Alice");
 
     const std::size_t runs = bench::run_count(10);
     const std::size_t exchanges = bench::exchange_count();
 
+    const std::vector<double> sir_points{-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0};
+    Sweep_grid grid;
+    grid.scenarios = {"alice_bob"};
+    grid.schemes = {"anc"};
+    grid.snr_db = {20.0};
+    grid.exchanges = {exchanges};
+    grid.repetitions = runs;
+    grid.bob_amplitudes.clear();
+    for (const double sir_db : sir_points)
+        grid.bob_amplitudes.push_back(amplitude_from_db(sir_db));
+
+    Executor_config exec;
+    exec.base_seed = 4000;
+    const Sweep_outcome outcome = run_grid(grid, exec);
+    bench::print_engine_note(outcome.tasks.size(), exec);
+
     std::printf("%10s %12s %12s %12s\n", "SIR(dB)", "BER@Alice", "delivered", "BER p90");
     double measured_at_minus3 = 0.0;
     double measured_at_0 = 0.0;
-    for (const double sir_db : {-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0}) {
-        Cdf ber;
-        std::size_t delivered = 0;
-        std::size_t attempted = 0;
-        for (std::size_t run = 0; run < runs; ++run) {
-            Alice_bob_config config;
-            config.snr_db = 20.0;
-            config.exchanges = exchanges;
-            config.seed = 4000 + run;
-            config.bob_amplitude = amplitude_from_db(sir_db);
-            const Alice_bob_result result = run_alice_bob_anc(config);
-            ber.add_all(result.ber_at_alice.sorted_samples());
-            delivered += result.ber_at_alice.count();
-            attempted += exchanges;
-        }
+    // Points come back in grid-axis order, i.e. ascending SIR.
+    for (std::size_t i = 0; i < outcome.points.size(); ++i) {
+        const Point_summary& point = outcome.points[i];
+        const double sir_db = sir_points[i];
+        const Cdf& ber = point.series.at("ber_at_alice");
+        const std::size_t delivered = ber.count();
+        const std::size_t attempted = exchanges * runs;
         const double mean_ber = ber.empty() ? 1.0 : ber.mean();
         std::printf("%10.1f %12.4f %9zu/%zu %12.4f\n", sir_db, mean_ber, delivered,
                     attempted, ber.empty() ? 1.0 : ber.quantile(0.90));

@@ -1,79 +1,72 @@
 // §11.3 "Summary of Results": every headline number of the evaluation in
 // one table, paper vs measured.
+//
+// Runs on the sweep engine as one grid over all three topologies and
+// every scheme (plus a low-SIR Alice-Bob point), executed in parallel.
 
 #include <cstdio>
 
 #include "bench_util.h"
-#include "sim/alice_bob.h"
-#include "sim/chain.h"
-#include "sim/x_topology.h"
+#include "engine/engine.h"
 #include "util/db.h"
 
 int main()
 {
     using namespace anc;
-    using namespace anc::sim;
+    using namespace anc::engine;
     bench::print_header("Summary", "§11.3 headline results, paper vs measured");
 
     const std::size_t runs = bench::run_count(10);
     const std::size_t exchanges = bench::exchange_count();
 
-    // ---- Alice-Bob ------------------------------------------------
-    Cdf ab_gain_traditional, ab_gain_cope, ab_ber, ab_overlap;
-    for (std::size_t run = 0; run < runs; ++run) {
-        Alice_bob_config config;
-        config.snr_db = 22.0;
-        config.exchanges = exchanges;
-        config.seed = 100 + run;
-        const auto anc_r = run_alice_bob_anc(config);
-        const auto trad_r = run_alice_bob_traditional(config);
-        const auto cope_r = run_alice_bob_cope(config);
-        ab_gain_traditional.add(gain(anc_r.metrics, trad_r.metrics));
-        ab_gain_cope.add(gain(anc_r.metrics, cope_r.metrics));
-        ab_ber.add(anc_r.metrics.mean_ber());
-        ab_overlap.add(anc_r.metrics.mean_overlap());
-    }
+    // All three topologies under every scheme at the 22 dB operating point.
+    Sweep_grid grid;
+    grid.scenarios = {"alice_bob", "x_topology", "chain"};
+    grid.snr_db = {22.0};
+    grid.exchanges = {exchanges};
+    grid.repetitions = runs;
+    Executor_config exec;
+    exec.base_seed = 100;
+    const Sweep_outcome outcome = run_grid(grid, exec);
 
-    // ---- X --------------------------------------------------------
-    Cdf x_gain_traditional, x_gain_cope;
-    for (std::size_t run = 0; run < runs; ++run) {
-        X_config config;
-        config.snr_db = 22.0;
-        config.exchanges = exchanges;
-        config.seed = 200 + run;
-        const auto anc_r = run_x_anc(config);
-        const auto trad_r = run_x_traditional(config);
-        const auto cope_r = run_x_cope(config);
-        x_gain_traditional.add(gain(anc_r.metrics, trad_r.metrics));
-        x_gain_cope.add(gain(anc_r.metrics, cope_r.metrics));
-    }
+    // The SIR-robustness headline needs a second operating point: Bob
+    // 3 dB under Alice at 25 dB SNR.
+    Sweep_grid sir_grid = grid;
+    sir_grid.scenarios = {"alice_bob"};
+    sir_grid.schemes = {"anc"};
+    sir_grid.snr_db = {25.0};
+    sir_grid.bob_amplitudes = {amplitude_from_db(-3.0)};
+    Executor_config sir_exec;
+    sir_exec.base_seed = 400;
+    const Sweep_outcome sir_outcome = run_grid(sir_grid, sir_exec);
 
-    // ---- Chain ----------------------------------------------------
-    Cdf chain_gain, chain_ber;
-    for (std::size_t run = 0; run < runs; ++run) {
-        Chain_config config;
-        config.snr_db = 22.0;
-        config.packets = exchanges;
-        config.seed = 300 + run;
-        const auto anc_r = run_chain_anc(config);
-        const auto trad_r = run_chain_traditional(config);
-        chain_gain.add(gain(anc_r.metrics, trad_r.metrics));
-        if (!anc_r.ber_at_n2.empty())
-            chain_ber.add(anc_r.ber_at_n2.mean());
-    }
+    bench::print_engine_note(outcome.tasks.size(), exec);
+    bench::print_engine_note(sir_outcome.tasks.size(), sir_exec);
 
-    // ---- SIR robustness -------------------------------------------
-    Cdf sir_ber;
-    for (std::size_t run = 0; run < runs; ++run) {
-        Alice_bob_config config;
-        config.snr_db = 25.0;
-        config.exchanges = exchanges;
-        config.seed = 400 + run;
-        config.bob_amplitude = amplitude_from_db(-3.0);
-        const auto anc_r = run_alice_bob_anc(config);
-        if (!anc_r.ber_at_alice.empty())
-            sir_ber.add(anc_r.ber_at_alice.mean());
-    }
+    const auto gain_mean = [&](const char* scenario, const char* baseline) {
+        return paired_gain(outcome.tasks, outcome.points, scenario, "anc", baseline)
+            .mean();
+    };
+
+    // Mean of per-run means (each run weighted equally, like the
+    // original hand-rolled loops), not the pooled per-packet mean.
+    const auto per_run_series_mean = [](const std::vector<Task_result>& tasks,
+                                        const char* scenario, const char* series) {
+        Cdf means;
+        for (const Task_result& task : tasks) {
+            if (task.task.scenario != scenario || task.task.config.scheme != "anc")
+                continue;
+            const Cdf& samples = task.result.series.at(series);
+            if (!samples.empty())
+                means.add(samples.mean());
+        }
+        return means;
+    };
+
+    const Point_summary& ab = summary_for(outcome.points, "alice_bob", "anc");
+    const Cdf chain_ber = per_run_series_mean(outcome.tasks, "chain", "ber_at_n2");
+    const Cdf sir_ber =
+        per_run_series_mean(sir_outcome.tasks, "alice_bob", "ber_at_alice");
 
     std::printf("(%zu runs x %zu packets each, payload 2048 bits)\n\n", runs, exchanges);
     std::printf("%-48s %8s %8s\n", "metric", "paper", "measured");
@@ -81,14 +74,16 @@ int main()
     const auto row = [](const char* name, double paper, double measured) {
         std::printf("%-48s %8.3f %8.3f\n", name, paper, measured);
     };
-    row("Alice-Bob: ANC gain over traditional", 1.70, ab_gain_traditional.mean());
-    row("Alice-Bob: ANC gain over COPE", 1.30, ab_gain_cope.mean());
-    row("Alice-Bob: mean ANC BER", 0.04, ab_ber.mean());
-    row("Alice-Bob: mean packet overlap", 0.80, ab_overlap.mean());
-    row("X: ANC gain over traditional", 1.65, x_gain_traditional.mean());
-    row("X: ANC gain over COPE", 1.28, x_gain_cope.mean());
-    row("Chain: ANC gain over traditional", 1.36, chain_gain.mean());
-    row("Chain: mean BER at N2", 0.015, chain_ber.mean());
-    row("BER at SIR -3 dB (decoding at Alice)", 0.05, sir_ber.mean());
+    row("Alice-Bob: ANC gain over traditional", 1.70, gain_mean("alice_bob", "traditional"));
+    row("Alice-Bob: ANC gain over COPE", 1.30, gain_mean("alice_bob", "cope"));
+    row("Alice-Bob: mean ANC BER", 0.04, ab.run_mean_ber.mean());
+    row("Alice-Bob: mean packet overlap", 0.80, ab.run_mean_overlap.mean());
+    row("X: ANC gain over traditional", 1.65, gain_mean("x_topology", "traditional"));
+    row("X: ANC gain over COPE", 1.28, gain_mean("x_topology", "cope"));
+    row("Chain: ANC gain over traditional", 1.36, gain_mean("chain", "traditional"));
+    row("Chain: mean BER at N2", 0.015,
+        chain_ber.empty() ? 0.0 : chain_ber.mean());
+    row("BER at SIR -3 dB (decoding at Alice)", 0.05,
+        sir_ber.empty() ? 0.0 : sir_ber.mean());
     return 0;
 }

@@ -3,46 +3,60 @@
 // and print throughput, gains, BER, and airtime — the experiment behind
 // the paper's headline numbers (§11.4).
 //
+// Runs on the sweep engine: the three schemes are one grid, executed in
+// parallel (set ANC_ENGINE_THREADS=1 to force serial; results are
+// identical either way).
+//
 // Usage: alice_bob_exchange [exchanges] [snr_db]
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "sim/alice_bob.h"
+#include "engine/engine.h"
 
 int main(int argc, char** argv)
 {
-    using namespace anc::sim;
+    using namespace anc;
+    using namespace anc::engine;
 
-    Alice_bob_config config;
-    config.exchanges = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
-    config.snr_db = argc > 2 ? std::strtod(argv[2], nullptr) : 22.0;
-    config.seed = 2024;
+    Sweep_grid grid;
+    grid.scenarios = {"alice_bob"};
+    grid.schemes = {"traditional", "cope", "anc"};
+    grid.exchanges = {argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40};
+    grid.snr_db = {argc > 2 ? std::strtod(argv[2], nullptr) : 22.0};
+
+    Executor_config exec;
+    exec.base_seed = 2024;
+    const Sweep_outcome outcome = run_grid(grid, exec);
 
     std::printf("Alice-Bob topology: %zu packet pairs, payload %zu bits, SNR %.0f dB\n\n",
-                config.exchanges, config.payload_bits, config.snr_db);
-
-    const Alice_bob_result traditional = run_alice_bob_traditional(config);
-    const Alice_bob_result cope = run_alice_bob_cope(config);
-    const Alice_bob_result anc = run_alice_bob_anc(config);
+                grid.exchanges[0], grid.payload_bits[0], grid.snr_db[0]);
 
     std::printf("%-14s %12s %12s %12s %12s\n", "scheme", "delivered", "airtime",
                 "mean BER", "throughput");
-    const auto row = [](const char* name, const Run_metrics& m) {
-        std::printf("%-14s %6zu/%-5zu %12.0f %12.4f %12.5f\n", name, m.packets_delivered,
-                    m.packets_attempted, m.airtime_symbols, m.mean_ber(), m.throughput());
+    const auto row = [&](const char* name, const char* scheme) {
+        const sim::Run_metrics& m =
+            summary_for(outcome.points, "alice_bob", scheme).totals;
+        std::printf("%-14s %6zu/%-5zu %12.0f %12.4f %12.5f\n", name,
+                    m.packets_delivered, m.packets_attempted, m.airtime_symbols,
+                    m.mean_ber(), m.throughput());
     };
-    row("traditional", traditional.metrics);
-    row("COPE", cope.metrics);
-    row("ANC", anc.metrics);
+    row("traditional", "traditional");
+    row("COPE", "cope");
+    row("ANC", "anc");
+
+    const sim::Run_metrics& anc_m = summary_for(outcome.points, "alice_bob", "anc").totals;
+    const sim::Run_metrics& trad_m =
+        summary_for(outcome.points, "alice_bob", "traditional").totals;
+    const sim::Run_metrics& cope_m = summary_for(outcome.points, "alice_bob", "cope").totals;
 
     std::printf("\nANC gain over traditional: %.3f   (paper: ~1.70)\n",
-                gain(anc.metrics, traditional.metrics));
+                sim::gain(anc_m, trad_m));
     std::printf("ANC gain over COPE:        %.3f   (paper: ~1.30)\n",
-                gain(anc.metrics, cope.metrics));
+                sim::gain(anc_m, cope_m));
     std::printf("COPE gain over traditional: %.3f  (theory: 4/3)\n",
-                gain(cope.metrics, traditional.metrics));
+                sim::gain(cope_m, trad_m));
     std::printf("mean packet overlap: %.2f          (paper: ~0.80)\n",
-                anc.metrics.mean_overlap());
+                anc_m.mean_overlap());
     return 0;
 }

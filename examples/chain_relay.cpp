@@ -5,47 +5,59 @@
 // cancel it — the "hidden terminal" becomes useful.  3 slots per packet
 // drop to 2 (§2(b), §11.6).
 //
+// Runs on the sweep engine: both schemes are one grid, executed in
+// parallel.
+//
 // Usage: chain_relay [packets] [snr_db]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "engine/engine.h"
 #include "phy/frame.h"
-#include "sim/chain.h"
 
 int main(int argc, char** argv)
 {
-    using namespace anc::sim;
+    using namespace anc;
+    using namespace anc::engine;
 
-    Chain_config config;
-    config.packets = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
-    config.snr_db = argc > 2 ? std::strtod(argv[2], nullptr) : 22.0;
-    config.seed = 99;
+    Sweep_grid grid;
+    grid.scenarios = {"chain"};
+    grid.exchanges = {argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40};
+    grid.snr_db = {argc > 2 ? std::strtod(argv[2], nullptr) : 22.0};
+
+    Executor_config exec;
+    exec.base_seed = 99;
+    const Sweep_outcome outcome = run_grid(grid, exec);
 
     std::printf("Chain topology: %zu packets end-to-end, payload %zu bits, SNR %.0f dB\n\n",
-                config.packets, config.payload_bits, config.snr_db);
+                grid.exchanges[0], grid.payload_bits[0], grid.snr_db[0]);
 
-    const Chain_result traditional = run_chain_traditional(config);
-    const Chain_result anc = run_chain_anc(config);
+    const sim::Run_metrics& trad_m =
+        summary_for(outcome.points, "chain", "traditional").totals;
+    const Point_summary& anc_point = summary_for(outcome.points, "chain", "anc");
+    const sim::Run_metrics& anc_m = anc_point.totals;
 
-    const double frame = static_cast<double>(anc::phy::frame_length(config.payload_bits) + 1);
+    const double frame =
+        static_cast<double>(phy::frame_length(grid.payload_bits[0]) + 1);
     std::printf("%-14s %12s %16s %14s\n", "scheme", "delivered", "slots/packet",
                 "throughput");
-    const auto row = [&](const char* name, const Run_metrics& m) {
+    const auto row = [&](const char* name, const sim::Run_metrics& m) {
         std::printf("%-14s %6zu/%-5zu %16.2f %14.5f\n", name, m.packets_delivered,
                     m.packets_attempted,
                     m.airtime_symbols / frame / static_cast<double>(m.packets_attempted),
                     m.throughput());
     };
-    row("traditional", traditional.metrics);
-    row("ANC", anc.metrics);
+    row("traditional", trad_m);
+    row("ANC", anc_m);
 
     std::printf("\nANC gain over traditional: %.3f  (paper: ~1.36, theory: 1.5)\n",
-                gain(anc.metrics, traditional.metrics));
-    if (!anc.ber_at_n2.empty()) {
+                sim::gain(anc_m, trad_m));
+    const Cdf& ber_at_n2 = anc_point.series.at("ber_at_n2");
+    if (!ber_at_n2.empty()) {
         std::printf("BER of interference decodes at N2: mean %.4f "
                     "(lower than Alice-Bob: no re-amplified noise)\n",
-                    anc.ber_at_n2.mean());
+                    ber_at_n2.mean());
     }
     std::printf("(COPE does not apply: the flow is unidirectional.)\n");
     return 0;

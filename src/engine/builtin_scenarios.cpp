@@ -1,0 +1,104 @@
+// The three topology runners (sim/) wrapped as engine scenarios.
+//
+// Each adapter maps the uniform Scenario_config onto the topology's
+// concrete config struct, dispatches on scheme, and repackages the
+// result's topology-specific CDFs/counters into the named series/scalar
+// maps.
+
+#include <memory>
+#include <stdexcept>
+
+#include "engine/scenario.h"
+#include "sim/alice_bob.h"
+#include "sim/chain.h"
+#include "sim/x_topology.h"
+
+namespace anc::engine {
+
+namespace {
+
+Scenario_result run_alice_bob(const Scenario_config& config, std::uint64_t seed)
+{
+    sim::Alice_bob_config sim_config;
+    sim_config.payload_bits = config.payload_bits;
+    sim_config.exchanges = config.exchanges;
+    sim_config.snr_db = config.snr_db;
+    sim_config.alice_amplitude = config.alice_amplitude;
+    sim_config.bob_amplitude = config.bob_amplitude;
+    sim_config.seed = seed;
+
+    sim::Alice_bob_result sim_result;
+    if (config.scheme == "traditional")
+        sim_result = sim::run_alice_bob_traditional(sim_config);
+    else if (config.scheme == "cope")
+        sim_result = sim::run_alice_bob_cope(sim_config);
+    else
+        sim_result = sim::run_alice_bob_anc(sim_config);
+
+    Scenario_result result;
+    result.metrics = std::move(sim_result.metrics);
+    result.series["ber_at_alice"] = std::move(sim_result.ber_at_alice);
+    result.series["ber_at_bob"] = std::move(sim_result.ber_at_bob);
+    return result;
+}
+
+Scenario_result run_x_topology(const Scenario_config& config, std::uint64_t seed)
+{
+    sim::X_config sim_config;
+    sim_config.payload_bits = config.payload_bits;
+    sim_config.exchanges = config.exchanges;
+    sim_config.snr_db = config.snr_db;
+    sim_config.seed = seed;
+
+    sim::X_result sim_result;
+    if (config.scheme == "traditional")
+        sim_result = sim::run_x_traditional(sim_config);
+    else if (config.scheme == "cope")
+        sim_result = sim::run_x_cope(sim_config);
+    else
+        sim_result = sim::run_x_anc(sim_config);
+
+    Scenario_result result;
+    result.metrics = std::move(sim_result.metrics);
+    result.series["ber_at_n2"] = std::move(sim_result.ber_at_n2);
+    result.series["ber_at_n4"] = std::move(sim_result.ber_at_n4);
+    result.scalars["overhear_attempts"] =
+        static_cast<double>(sim_result.overhear_attempts);
+    result.scalars["overhear_failures"] =
+        static_cast<double>(sim_result.overhear_failures);
+    return result;
+}
+
+Scenario_result run_chain(const Scenario_config& config, std::uint64_t seed)
+{
+    sim::Chain_config sim_config;
+    sim_config.payload_bits = config.payload_bits;
+    sim_config.packets = config.exchanges;
+    sim_config.snr_db = config.snr_db;
+    sim_config.seed = seed;
+
+    const sim::Chain_result sim_result = config.scheme == "traditional"
+                                             ? sim::run_chain_traditional(sim_config)
+                                             : sim::run_chain_anc(sim_config);
+
+    Scenario_result result;
+    result.metrics = sim_result.metrics;
+    result.series["ber_at_n2"] = sim_result.ber_at_n2;
+    return result;
+}
+
+} // namespace
+
+void register_builtin_scenarios(Scenario_registry& registry)
+{
+    registry.add(std::make_unique<Function_scenario>(
+        "alice_bob", std::vector<std::string>{"traditional", "cope", "anc"},
+        run_alice_bob));
+    registry.add(std::make_unique<Function_scenario>(
+        "x_topology", std::vector<std::string>{"traditional", "cope", "anc"},
+        run_x_topology));
+    registry.add(std::make_unique<Function_scenario>(
+        "chain", std::vector<std::string>{"traditional", "anc"}, run_chain));
+}
+
+} // namespace anc::engine

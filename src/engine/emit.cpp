@@ -1,0 +1,251 @@
+#include "engine/emit.h"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace anc::engine {
+
+namespace {
+
+/// Fixed, locale-independent double formatting (%.17g round-trips every
+/// finite double), so emitted files are byte-stable across runs.
+std::string fmt(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string fmt_seed(std::uint64_t value)
+{
+    // Seeds use the full 64-bit range; JSON numbers only round-trip 53
+    // bits, so seeds travel as strings in both formats.
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+    return buffer;
+}
+
+std::string json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+struct Cdf_stats {
+    std::size_t count = 0;
+    double mean = 0.0, p50 = 0.0, p90 = 0.0, min = 0.0, max = 0.0;
+};
+
+Cdf_stats stats_of(const Cdf& cdf)
+{
+    Cdf_stats stats;
+    stats.count = cdf.count();
+    if (!cdf.empty()) {
+        stats.mean = cdf.mean();
+        stats.p50 = cdf.quantile(0.50);
+        stats.p90 = cdf.quantile(0.90);
+        stats.min = cdf.min();
+        stats.max = cdf.max();
+    }
+    return stats;
+}
+
+void json_cdf(std::ostream& out, const Cdf& cdf)
+{
+    const Cdf_stats stats = stats_of(cdf);
+    out << "{\"count\":" << stats.count << ",\"mean\":" << fmt(stats.mean)
+        << ",\"p50\":" << fmt(stats.p50) << ",\"p90\":" << fmt(stats.p90)
+        << ",\"min\":" << fmt(stats.min) << ",\"max\":" << fmt(stats.max) << "}";
+}
+
+void json_key_fields(std::ostream& out, const Point_key& key)
+{
+    out << "\"scenario\":\"" << json_escape(key.scenario) << "\",\"scheme\":\""
+        << json_escape(key.scheme) << "\",\"snr_db\":" << fmt(key.snr_db)
+        << ",\"alice_amplitude\":" << fmt(key.alice_amplitude)
+        << ",\"bob_amplitude\":" << fmt(key.bob_amplitude)
+        << ",\"payload_bits\":" << key.payload_bits
+        << ",\"exchanges\":" << key.exchanges;
+}
+
+void json_metrics(std::ostream& out, const sim::Run_metrics& metrics)
+{
+    out << "{\"packets_attempted\":" << metrics.packets_attempted
+        << ",\"packets_delivered\":" << metrics.packets_delivered
+        << ",\"payload_bits_delivered\":" << metrics.payload_bits_delivered
+        << ",\"airtime_symbols\":" << fmt(metrics.airtime_symbols)
+        << ",\"delivery_rate\":" << fmt(metrics.delivery_rate())
+        << ",\"mean_ber\":" << fmt(metrics.mean_ber())
+        << ",\"mean_overlap\":" << fmt(metrics.mean_overlap())
+        << ",\"raw_throughput\":" << fmt(metrics.raw_throughput())
+        << ",\"throughput\":" << fmt(metrics.throughput()) << "}";
+}
+
+void json_scalars(std::ostream& out, const std::map<std::string, double>& scalars)
+{
+    out << "{";
+    bool first = true;
+    for (const auto& [name, value] : scalars) {
+        out << (first ? "" : ",") << "\"" << json_escape(name) << "\":" << fmt(value);
+        first = false;
+    }
+    out << "}";
+}
+
+} // namespace
+
+void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results)
+{
+    out << "index,scenario,scheme,snr_db,alice_amplitude,bob_amplitude,payload_bits,"
+           "exchanges,repetition,seed,packets_attempted,packets_delivered,"
+           "payload_bits_delivered,airtime_symbols,delivery_rate,mean_ber,"
+           "mean_overlap,raw_throughput,throughput\n";
+    for (const Task_result& result : results) {
+        const Sweep_task& task = result.task;
+        const sim::Run_metrics& metrics = result.result.metrics;
+        out << task.index << ',' << task.scenario << ',' << task.config.scheme << ','
+            << fmt(task.config.snr_db) << ',' << fmt(task.config.alice_amplitude) << ','
+            << fmt(task.config.bob_amplitude) << ',' << task.config.payload_bits << ','
+            << task.config.exchanges << ',' << task.repetition << ','
+            << fmt_seed(result.seed) << ',' << metrics.packets_attempted << ','
+            << metrics.packets_delivered << ',' << metrics.payload_bits_delivered << ','
+            << fmt(metrics.airtime_symbols) << ',' << fmt(metrics.delivery_rate()) << ','
+            << fmt(metrics.mean_ber()) << ',' << fmt(metrics.mean_overlap()) << ','
+            << fmt(metrics.raw_throughput()) << ',' << fmt(metrics.throughput()) << '\n';
+    }
+}
+
+void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summaries)
+{
+    out << "scenario,scheme,snr_db,alice_amplitude,bob_amplitude,payload_bits,"
+           "exchanges,runs,packets_attempted,packets_delivered,delivery_rate,"
+           "mean_ber,mean_overlap,throughput_mean,throughput_p50,throughput_p90,"
+           "throughput_min,throughput_max\n";
+    for (const Point_summary& summary : summaries) {
+        const Point_key& key = summary.key;
+        const Cdf_stats throughput = stats_of(summary.throughput);
+        out << key.scenario << ',' << key.scheme << ',' << fmt(key.snr_db) << ','
+            << fmt(key.alice_amplitude) << ',' << fmt(key.bob_amplitude) << ','
+            << key.payload_bits << ',' << key.exchanges << ',' << summary.runs << ','
+            << summary.totals.packets_attempted << ','
+            << summary.totals.packets_delivered << ','
+            << fmt(summary.totals.delivery_rate()) << ','
+            << fmt(summary.totals.mean_ber()) << ','
+            << fmt(summary.totals.mean_overlap()) << ',' << fmt(throughput.mean) << ','
+            << fmt(throughput.p50) << ',' << fmt(throughput.p90) << ','
+            << fmt(throughput.min) << ',' << fmt(throughput.max) << '\n';
+    }
+}
+
+void write_json(std::ostream& out, const std::vector<Task_result>& results,
+                const std::vector<Point_summary>& summaries)
+{
+    out << "{\"schema\":\"anc.sweep.v1\",\"tasks\":[";
+    bool first = true;
+    for (const Task_result& result : results) {
+        out << (first ? "" : ",") << "{\"index\":" << result.task.index << ",";
+        json_key_fields(out, key_of(result.task));
+        out << ",\"repetition\":" << result.task.repetition << ",\"seed\":\""
+            << fmt_seed(result.seed) << "\",\"metrics\":";
+        json_metrics(out, result.result.metrics);
+        out << ",\"scalars\":";
+        json_scalars(out, result.result.scalars);
+        out << "}";
+        first = false;
+    }
+    out << "],\"points\":[";
+    first = true;
+    for (const Point_summary& summary : summaries) {
+        out << (first ? "" : ",") << "{";
+        json_key_fields(out, summary.key);
+        out << ",\"runs\":" << summary.runs << ",\"throughput\":";
+        json_cdf(out, summary.throughput);
+        out << ",\"raw_throughput\":";
+        json_cdf(out, summary.raw_throughput);
+        out << ",\"delivery_rate\":";
+        json_cdf(out, summary.delivery_rate);
+        out << ",\"run_mean_ber\":";
+        json_cdf(out, summary.run_mean_ber);
+        out << ",\"run_mean_overlap\":";
+        json_cdf(out, summary.run_mean_overlap);
+        out << ",\"totals\":";
+        json_metrics(out, summary.totals);
+        out << ",\"series\":{";
+        bool first_series = true;
+        for (const auto& [name, cdf] : summary.series) {
+            out << (first_series ? "" : ",") << "\"" << json_escape(name) << "\":";
+            json_cdf(out, cdf);
+            first_series = false;
+        }
+        out << "},\"scalars\":";
+        json_scalars(out, summary.scalars);
+        out << "}";
+        first = false;
+    }
+    out << "]}";
+}
+
+std::string to_json(const std::vector<Task_result>& results,
+                    const std::vector<Point_summary>& summaries)
+{
+    std::ostringstream out;
+    write_json(out, results, summaries);
+    return out.str();
+}
+
+void print_summary_table(std::FILE* out, const std::vector<Point_summary>& summaries)
+{
+    std::fprintf(out, "%-12s %-12s %8s %6s %13s %10s %12s %10s\n", "scenario", "scheme",
+                 "SNR(dB)", "runs", "delivered", "mean BER", "throughput", "overlap");
+    for (const Point_summary& summary : summaries) {
+        std::fprintf(out, "%-12s %-12s %8.1f %6zu %6zu/%-6zu %10.4f %12.5f %10.2f\n",
+                     summary.key.scenario.c_str(), summary.key.scheme.c_str(),
+                     summary.key.snr_db, summary.runs, summary.totals.packets_delivered,
+                     summary.totals.packets_attempted, summary.totals.mean_ber(),
+                     summary.throughput.empty() ? 0.0 : summary.throughput.mean(),
+                     summary.totals.mean_overlap());
+    }
+}
+
+std::size_t emit_env_reports(const std::vector<Task_result>& results,
+                             const std::vector<Point_summary>& summaries)
+{
+    std::size_t written = 0;
+    if (const char* path = std::getenv("ANC_ENGINE_CSV")) {
+        std::ofstream out{path};
+        if (!out)
+            throw std::runtime_error{std::string{"emit_env_reports: cannot open "} + path};
+        write_summary_csv(out, summaries);
+        ++written;
+    }
+    if (const char* path = std::getenv("ANC_ENGINE_JSON")) {
+        std::ofstream out{path};
+        if (!out)
+            throw std::runtime_error{std::string{"emit_env_reports: cannot open "} + path};
+        write_json(out, results, summaries);
+        ++written;
+    }
+    return written;
+}
+
+} // namespace anc::engine

@@ -1,0 +1,45 @@
+// Result emitters: CSV, JSON, and the bench-style text table.
+//
+// Both structured formats are fully deterministic: rows follow task /
+// summary order (itself fixed by grid expansion), map-valued fields are
+// emitted in key order, and doubles are printed with a fixed shortest
+// round-trip format — so two sweeps with identical results emit
+// byte-identical files regardless of thread count.  Schemas are
+// documented in ENGINE.md.
+
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "engine/report.h"
+
+namespace anc::engine {
+
+/// One CSV row per task (the raw sweep), header included.
+void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results);
+
+/// One CSV row per grid point (the aggregate), header included.
+void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summaries);
+
+/// A single JSON document: {"tasks": [...], "points": [...]}.
+void write_json(std::ostream& out, const std::vector<Task_result>& results,
+                const std::vector<Point_summary>& summaries);
+
+/// The JSON document as a string (convenient for byte-identity checks).
+std::string to_json(const std::vector<Task_result>& results,
+                    const std::vector<Point_summary>& summaries);
+
+/// Bench-style aggregate table on a stdio stream.
+void print_summary_table(std::FILE* out, const std::vector<Point_summary>& summaries);
+
+/// Honor the ANC_ENGINE_CSV / ANC_ENGINE_JSON environment variables:
+/// when set, write the summary CSV / full JSON to those paths.  Returns
+/// the number of files written; throws std::runtime_error when a path
+/// cannot be opened.
+std::size_t emit_env_reports(const std::vector<Task_result>& results,
+                             const std::vector<Point_summary>& summaries);
+
+} // namespace anc::engine

@@ -1,0 +1,21 @@
+#include "engine/engine.h"
+
+namespace anc::engine {
+
+Sweep_outcome run_grid(const Sweep_grid& grid, const Scenario_registry& registry,
+                       const Executor_config& config)
+{
+    Sweep_outcome outcome;
+    outcome.tasks = run_sweep(expand(grid, registry), registry, config);
+    outcome.points = aggregate(outcome.tasks);
+    return outcome;
+}
+
+Sweep_outcome run_grid(const Sweep_grid& grid, const Executor_config& config)
+{
+    Sweep_outcome outcome = run_grid(grid, Scenario_registry::builtin(), config);
+    emit_env_reports(outcome.tasks, outcome.points);
+    return outcome;
+}
+
+} // namespace anc::engine

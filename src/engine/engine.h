@@ -1,0 +1,41 @@
+// Umbrella header and one-call driver for the parallel experiment
+// engine.  See ENGINE.md for the full subsystem tour.
+//
+//   Sweep_grid grid;
+//   grid.scenarios = {"alice_bob"};
+//   grid.snr_db = {22.0};
+//   grid.repetitions = 40;
+//   const Sweep_outcome outcome = run_grid(grid, {.base_seed = 1000});
+//   // outcome.tasks    — one Task_result per (point, repetition)
+//   // outcome.points   — aggregated per grid point
+//
+// Environment knobs (all optional):
+//   ANC_ENGINE_THREADS — worker threads (default: hardware concurrency)
+//   ANC_ENGINE_CSV     — also write the aggregate CSV to this path
+//   ANC_ENGINE_JSON    — also write the full JSON document to this path
+
+#pragma once
+
+#include "engine/emit.h"
+#include "engine/executor.h"
+#include "engine/report.h"
+#include "engine/scenario.h"
+#include "engine/sweep.h"
+
+namespace anc::engine {
+
+struct Sweep_outcome {
+    std::vector<Task_result> tasks;
+    std::vector<Point_summary> points;
+};
+
+/// Expand the grid against the builtin registry, run it on the thread
+/// pool, aggregate, and honor the ANC_ENGINE_CSV / ANC_ENGINE_JSON
+/// emitters.  The workhorse of the bench/ and examples/ drivers.
+Sweep_outcome run_grid(const Sweep_grid& grid, const Executor_config& config = {});
+
+/// Same, against a caller-supplied registry (skips env emitters).
+Sweep_outcome run_grid(const Sweep_grid& grid, const Scenario_registry& registry,
+                       const Executor_config& config);
+
+} // namespace anc::engine

@@ -1,0 +1,113 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace anc::engine {
+
+namespace {
+
+std::size_t threads_from_env()
+{
+    if (const char* env = std::getenv("ANC_ENGINE_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    return 0;
+}
+
+} // namespace
+
+std::uint64_t derive_task_seed(std::uint64_t base_seed, std::size_t seed_index)
+{
+    return mix_seed(base_seed, seed_index);
+}
+
+std::size_t resolve_thread_count(const Executor_config& config)
+{
+    std::size_t threads = threads_from_env();
+    if (threads == 0)
+        threads = config.threads;
+    if (threads == 0)
+        threads = std::thread::hardware_concurrency();
+    return threads == 0 ? 1 : threads;
+}
+
+std::vector<Task_result> run_sweep(const std::vector<Sweep_task>& tasks,
+                                   const Scenario_registry& registry,
+                                   const Executor_config& config)
+{
+    std::vector<Task_result> results{tasks.size()};
+    if (tasks.empty())
+        return results;
+
+    // Resolve every scenario up front so a bad name fails fast on the
+    // calling thread, not inside a worker.
+    std::vector<const Scenario*> scenarios;
+    scenarios.reserve(tasks.size());
+    for (const Sweep_task& task : tasks)
+        scenarios.push_back(&registry.at(task.scenario));
+
+    const std::size_t thread_count =
+        std::min(resolve_thread_count(config), tasks.size());
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> finished{0};
+    std::mutex progress_mutex;
+    std::exception_ptr first_error;
+    std::once_flag error_once;
+
+    const auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= tasks.size())
+                return;
+            try {
+                Task_result& slot = results[i];
+                slot.task = tasks[i];
+                slot.seed = derive_task_seed(config.base_seed, tasks[i].seed_index);
+                slot.result = scenarios[i]->run(tasks[i].config, slot.seed);
+            } catch (...) {
+                std::call_once(error_once, [&] { first_error = std::current_exception(); });
+                next.store(tasks.size()); // drain remaining work
+                return;
+            }
+            if (config.on_progress) {
+                // Increment under the mutex so callbacks see a strictly
+                // monotonic "done" count.
+                const std::lock_guard<std::mutex> lock{progress_mutex};
+                config.on_progress(finished.fetch_add(1) + 1, tasks.size());
+            }
+        }
+    };
+
+    if (thread_count <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> workers;
+        workers.reserve(thread_count);
+        for (std::size_t t = 0; t < thread_count; ++t)
+            workers.emplace_back(worker);
+        for (std::thread& thread : workers)
+            thread.join();
+    }
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+std::vector<Task_result> run_sweep(const Sweep_grid& grid, const Executor_config& config)
+{
+    const Scenario_registry& registry = Scenario_registry::builtin();
+    return run_sweep(expand(grid, registry), registry, config);
+}
+
+} // namespace anc::engine

@@ -1,0 +1,63 @@
+// Multi-threaded, deterministic sweep execution.
+//
+// Determinism contract: a task always runs with seed
+// `mix_seed(base_seed, task.seed_index)` and stores its result at its
+// own slot, so the result vector — and everything aggregated from it in
+// order — is bit-identical no matter how many worker threads ran the
+// sweep or how the OS scheduled them.  Threads only race for *which*
+// task to pull next (one atomic counter); they never share simulation
+// state.  Because seed_index collapses the scheme axis, every scheme at
+// a given (grid point, repetition) sees the same channel realization —
+// the paired-run design behind the paper's per-run gain CDFs.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/scenario.h"
+#include "engine/sweep.h"
+
+namespace anc::engine {
+
+struct Executor_config {
+    /// Worker threads; 0 means "one per hardware thread".  Overridden by
+    /// the ANC_ENGINE_THREADS environment variable when that is set.
+    std::size_t threads = 0;
+    /// Root of the per-task seed derivation.
+    std::uint64_t base_seed = 1;
+    /// Optional progress hook, called after each task completes with
+    /// (tasks finished so far, total).  May be invoked from any worker
+    /// thread, never concurrently with itself.
+    std::function<void(std::size_t, std::size_t)> on_progress;
+};
+
+struct Task_result {
+    Sweep_task task;
+    std::uint64_t seed = 0; ///< the derived seed the scenario ran with
+    Scenario_result result;
+};
+
+/// The seed a task with this seed_index runs with (mix_seed of base and
+/// index) — exposed so tests and drivers can reproduce any single task
+/// in isolation.
+std::uint64_t derive_task_seed(std::uint64_t base_seed, std::size_t seed_index);
+
+/// The worker count a config resolves to: ANC_ENGINE_THREADS when set,
+/// else config.threads, else std::thread::hardware_concurrency().
+std::size_t resolve_thread_count(const Executor_config& config);
+
+/// Run every task (scenarios resolved through `registry`) and return
+/// results ordered by task index.  The first exception thrown by a
+/// scenario is rethrown on the calling thread after all workers stop.
+std::vector<Task_result> run_sweep(const std::vector<Sweep_task>& tasks,
+                                   const Scenario_registry& registry,
+                                   const Executor_config& config = {});
+
+/// Expand + run against the builtin registry.
+std::vector<Task_result> run_sweep(const Sweep_grid& grid,
+                                   const Executor_config& config = {});
+
+} // namespace anc::engine

@@ -1,0 +1,120 @@
+// Scenario registry: a uniform interface over the topology runners.
+//
+// Every evaluation in the paper (Figs. 9, 10, 12, 13 and the ablations)
+// is "run a topology under a scheme at an operating point, many times,
+// and aggregate".  A `Scenario` abstracts one topology (Alice-Bob, X,
+// chain) behind a name, a declared set of schemes (its config schema),
+// and a pure `run(config, seed)` entry point, so the sweep engine can
+// expand grids over scenarios without knowing any topology's concrete
+// config struct.
+//
+// Scenarios must be *pure*: all randomness flows from the seed argument,
+// and `run` must be safe to call concurrently from many threads (no
+// mutable shared state).  Every builtin runner already satisfies this.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/metrics.h"
+#include "util/stats.h"
+
+namespace anc::engine {
+
+/// The uniform operating point handed to every scenario.  Axes a given
+/// topology does not support (e.g. per-sender amplitudes on the chain)
+/// are ignored by that scenario.
+struct Scenario_config {
+    std::string scheme = "anc"; // one of Scenario::schemes()
+    std::size_t payload_bits = 2048;
+    std::size_t exchanges = 25; // packet pairs (or packets) per run
+    double snr_db = 25.0;
+    double alice_amplitude = 1.0;
+    double bob_amplitude = 1.0;
+};
+
+/// What one run produces: the standard metrics plus named auxiliary
+/// sample series (per-packet BER at a specific node, ...) and scalar
+/// counters (overhear failures, ...).  Keyed maps keep the engine
+/// topology-agnostic while letting drivers reach scenario specifics.
+struct Scenario_result {
+    sim::Run_metrics metrics;
+    std::map<std::string, Cdf> series;
+    std::map<std::string, double> scalars;
+};
+
+class Scenario {
+public:
+    virtual ~Scenario() = default;
+
+    virtual const std::string& name() const = 0;
+
+    /// The schemes this topology supports, in canonical order — the
+    /// scenario's config schema.  `run` throws std::invalid_argument for
+    /// a scheme not listed here.
+    virtual const std::vector<std::string>& schemes() const = 0;
+
+    virtual bool supports_scheme(std::string_view scheme) const;
+
+    /// Execute one run.  Must be deterministic in (config, seed) and
+    /// thread-safe.
+    virtual Scenario_result run(const Scenario_config& config,
+                                std::uint64_t seed) const = 0;
+};
+
+/// A scenario defined by a plain function — used for the builtins and
+/// handy for tests that need cheap synthetic workloads.
+class Function_scenario final : public Scenario {
+public:
+    using Run_fn = std::function<Scenario_result(const Scenario_config&, std::uint64_t)>;
+
+    Function_scenario(std::string name, std::vector<std::string> schemes, Run_fn run);
+
+    const std::string& name() const override { return name_; }
+    const std::vector<std::string>& schemes() const override { return schemes_; }
+    Scenario_result run(const Scenario_config& config, std::uint64_t seed) const override;
+
+private:
+    std::string name_;
+    std::vector<std::string> schemes_;
+    Run_fn run_;
+};
+
+/// Name -> scenario lookup.  Registration of a duplicate name throws;
+/// the builtin registry carries the three topology runners.
+class Scenario_registry {
+public:
+    /// Throws std::invalid_argument when the name is already taken (or
+    /// the scenario is null / declares no schemes).
+    void add(std::unique_ptr<const Scenario> scenario);
+
+    /// nullptr when absent.
+    const Scenario* find(std::string_view name) const;
+
+    /// Throws std::out_of_range when absent.
+    const Scenario& at(std::string_view name) const;
+
+    /// Registered names in registration order.
+    std::vector<std::string> names() const;
+
+    std::size_t size() const { return scenarios_.size(); }
+
+    /// The process-wide registry of builtin scenarios ("alice_bob",
+    /// "x_topology", "chain"), built once on first use.
+    static const Scenario_registry& builtin();
+
+private:
+    std::vector<std::unique_ptr<const Scenario>> scenarios_;
+};
+
+/// Registers the three topology runners into `registry` (exposed so
+/// tests can build private registries that mirror the builtin one).
+void register_builtin_scenarios(Scenario_registry& registry);
+
+} // namespace anc::engine

@@ -1,0 +1,99 @@
+#include "engine/sweep.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace anc::engine {
+
+namespace {
+
+void require_non_empty(bool non_empty, const char* axis)
+{
+    if (!non_empty)
+        throw std::invalid_argument{std::string{"Sweep_grid: empty axis '"} + axis
+                                    + "'"};
+}
+
+/// The schemes this scenario contributes to the grid, in the scenario's
+/// canonical order.
+std::vector<std::string> schemes_for(const Scenario& scenario, const Sweep_grid& grid)
+{
+    if (grid.schemes.empty())
+        return scenario.schemes();
+    std::vector<std::string> out;
+    for (const std::string& scheme : scenario.schemes()) {
+        if (std::find(grid.schemes.begin(), grid.schemes.end(), scheme)
+            != grid.schemes.end())
+            out.push_back(scheme);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& registry)
+{
+    require_non_empty(!grid.scenarios.empty(), "scenarios");
+    require_non_empty(!grid.snr_db.empty(), "snr_db");
+    require_non_empty(!grid.alice_amplitudes.empty(), "alice_amplitudes");
+    require_non_empty(!grid.bob_amplitudes.empty(), "bob_amplitudes");
+    require_non_empty(!grid.payload_bits.empty(), "payload_bits");
+    require_non_empty(!grid.exchanges.empty(), "exchanges");
+    require_non_empty(grid.repetitions > 0, "repetitions");
+
+    // Every requested scheme must be meaningful somewhere in the grid.
+    std::set<std::string> unmatched{grid.schemes.begin(), grid.schemes.end()};
+
+    std::vector<Sweep_task> tasks;
+    std::size_t scenario_seed_base = 0;
+    for (const std::string& scenario_name : grid.scenarios) {
+        const Scenario& scenario = registry.at(scenario_name);
+        const std::vector<std::string> schemes = schemes_for(scenario, grid);
+        for (const std::string& scheme : schemes)
+            unmatched.erase(scheme);
+        std::size_t scheme_block = 0; // tasks per scheme within this scenario
+        for (const std::string& scheme : schemes) {
+            std::size_t offset = 0; // position within the scheme-collapsed block
+            for (const double snr_db : grid.snr_db) {
+                for (const double alice_amplitude : grid.alice_amplitudes) {
+                    for (const double bob_amplitude : grid.bob_amplitudes) {
+                        for (const std::size_t payload_bits : grid.payload_bits) {
+                            for (const std::size_t exchanges : grid.exchanges) {
+                                for (std::size_t rep = 0; rep < grid.repetitions;
+                                     ++rep) {
+                                    Sweep_task task;
+                                    task.index = tasks.size();
+                                    task.seed_index = scenario_seed_base + offset++;
+                                    task.scenario = scenario_name;
+                                    task.config.scheme = scheme;
+                                    task.config.snr_db = snr_db;
+                                    task.config.alice_amplitude = alice_amplitude;
+                                    task.config.bob_amplitude = bob_amplitude;
+                                    task.config.payload_bits = payload_bits;
+                                    task.config.exchanges = exchanges;
+                                    task.repetition = rep;
+                                    tasks.push_back(std::move(task));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            scheme_block = offset;
+        }
+        scenario_seed_base += scheme_block;
+    }
+
+    if (!unmatched.empty())
+        throw std::invalid_argument{"Sweep_grid: scheme '" + *unmatched.begin()
+                                    + "' is supported by no scenario in the grid"};
+    return tasks;
+}
+
+std::vector<Sweep_task> expand(const Sweep_grid& grid)
+{
+    return expand(grid, Scenario_registry::builtin());
+}
+
+} // namespace anc::engine

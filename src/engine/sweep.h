@@ -1,0 +1,57 @@
+// Sweep grids: declarative parameter axes expanded into a task list.
+//
+// A grid is the cartesian product of its axes (scenario x scheme x
+// snr_db x amplitudes x payload_bits x exchanges) times `repetitions`
+// independent runs per point.  Expansion assigns every task a stable
+// `index` — its position in the product, independent of how the tasks
+// are later scheduled — which is what the executor derives seeds from.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.h"
+
+namespace anc::engine {
+
+struct Sweep_grid {
+    /// Registry names; must be non-empty and resolvable at expansion.
+    std::vector<std::string> scenarios;
+    /// Empty means "every scheme the scenario declares".  A non-empty
+    /// list is intersected with each scenario's schemes (so {"cope"} on
+    /// the chain contributes nothing); a listed scheme supported by no
+    /// scenario in the grid is an error.
+    std::vector<std::string> schemes;
+    std::vector<double> snr_db = {25.0};
+    std::vector<double> alice_amplitudes = {1.0};
+    std::vector<double> bob_amplitudes = {1.0};
+    std::vector<std::size_t> payload_bits = {2048};
+    std::vector<std::size_t> exchanges = {25};
+    /// Independent runs per grid point (the paper repeats 40x).
+    std::size_t repetitions = 1;
+};
+
+struct Sweep_task {
+    std::size_t index = 0; ///< position in the expanded grid
+    /// Position in the scheme-collapsed grid: tasks that differ only in
+    /// scheme share a seed_index, so the executor gives every scheme at
+    /// a given (point, repetition) the SAME channel realization — the
+    /// paper's paired-run design, which keeps per-run gain CDFs tight.
+    std::size_t seed_index = 0;
+    std::string scenario;
+    Scenario_config config;
+    std::size_t repetition = 0; ///< 0 .. repetitions-1 within this grid point
+};
+
+/// Expands the grid in axis order scenario > scheme > snr_db >
+/// alice_amplitude > bob_amplitude > payload_bits > exchanges >
+/// repetition.  Throws std::invalid_argument on an empty axis, an
+/// unknown scenario, or a requested scheme no scenario supports.
+std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& registry);
+
+/// Expansion against the builtin registry.
+std::vector<Sweep_task> expand(const Sweep_grid& grid);
+
+} // namespace anc::engine

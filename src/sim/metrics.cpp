@@ -6,6 +6,16 @@
 
 namespace anc::sim {
 
+void Run_metrics::merge(const Run_metrics& other)
+{
+    packets_attempted += other.packets_attempted;
+    packets_delivered += other.packets_delivered;
+    payload_bits_delivered += other.payload_bits_delivered;
+    airtime_symbols += other.airtime_symbols;
+    packet_ber.add_all(other.packet_ber.sorted_samples());
+    overlaps.add_all(other.overlaps.sorted_samples());
+}
+
 double Run_metrics::mean_ber() const
 {
     return packet_ber.empty() ? 0.0 : packet_ber.mean();

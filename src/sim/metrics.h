@@ -27,6 +27,10 @@ struct Run_metrics {
     Cdf packet_ber; // one sample per delivered packet
     Cdf overlaps;   // one sample per collision (ANC runs only)
 
+    /// Fold another run's counters and samples into this one (used by
+    /// the sweep engine to pool repetitions of a grid point).
+    void merge(const Run_metrics& other);
+
     double mean_ber() const;
     double delivery_rate() const;
     /// Payload bits per symbol, charged with redundancy_overhead(mean BER).

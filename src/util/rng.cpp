@@ -11,6 +11,23 @@ constexpr std::uint64_t mult = 6364136223846793005ULL;
 
 } // namespace
 
+std::uint64_t splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30u)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27u)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31u);
+}
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index)
+{
+    // Advance the SplitMix64 sequence seeded at `base` by `index` steps'
+    // worth of increment, then finalize.  Distinct indices map to
+    // distinct pre-mix words, and the finalizer is a bijection, so
+    // collisions are impossible for a fixed base.
+    return splitmix64(base + index * 0x9e3779b97f4a7c15ULL);
+}
+
 Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
     : state_{0}, inc_{(stream << 1u) | 1u}
 {

@@ -13,6 +13,17 @@
 
 namespace anc {
 
+/// SplitMix64 finalizer: a bijective avalanche mix of a 64-bit word.
+/// Used wherever a seed must be derived from (base, counter) pairs —
+/// e.g. the sweep engine's per-task seeds — so that nearby counters
+/// yield statistically unrelated Pcg32 streams.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// Derive an independent seed from a base seed and an index.
+/// Deterministic, and distinct indices never collide for a fixed base
+/// (the underlying mix is a bijection of base + f(index)).
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index);
+
 /// 32-bit permuted-congruential generator (PCG-XSH-RR).
 ///
 /// A `Pcg32` is a value type: copying it forks the stream.  Two generators
