@@ -62,20 +62,22 @@ Ablation_result run(bool mu_sigma_only, double snr_db, std::size_t exchanges,
         const net::Packet pa = flow_ab.next();
         const net::Packet pb = flow_ba.next();
         const auto [da, db] = draw_distinct_delays(Trigger_config{}, wrng);
-        chan::Transmission ta{alice.id(), alice.transmit(pa, wrng), da};
-        chan::Transmission tb{bob.id(), bob.transmit(pb, wrng), db};
-        const auto at_router = medium.receive(nodes.router, {ta, tb}, 64);
+        const dsp::Signal signal_a = alice.transmit(pa, wrng);
+        const dsp::Signal signal_b = bob.transmit(pb, wrng);
+        const chan::Transmission round1[] = {{alice.id(), signal_a, da},
+                                             {bob.id(), signal_b, db}};
+        const auto at_router = medium.receive(nodes.router, round1, 64);
         const auto fwd = amplify_and_forward(at_router, noise_power, 1.0);
         if (!fwd) {
             out.attempted += 2;
             continue;
         }
-        chan::Transmission tr{nodes.router, *fwd, 0};
+        const chan::Transmission round2[] = {{nodes.router, *fwd, 0}};
         for (int side = 0; side < 2; ++side) {
             ++out.attempted;
             const auto& node = side ? bob : alice;
             const auto& wanted = side ? pa : pb;
-            const auto sig = medium.receive(node.id(), {tr}, 64);
+            const auto sig = medium.receive(node.id(), round2, 64);
             const auto outcome = receiver.receive(sig, node.buffer());
             if (outcome.status == Receive_status::decoded_interference
                 && outcome.frame->header.seq == wanted.seq) {

@@ -1,0 +1,431 @@
+// Self-contained throughput bench for the DSP/PHY sample pipeline — no
+// Google Benchmark dependency, unlike the micro_* targets, so it always
+// builds and runs (CI included).
+//
+// Times the Fig. 8 hot path stage by stage — modulate, medium mix, relay
+// amplify-and-forward, demodulate — plus the full alice_bob ANC exchange
+// end-to-end, in samples per second, and counts heap allocations per
+// steady-state iteration (the zero-allocation invariant of PERF.md).
+//
+// Output: a human table on stdout and, with --json PATH, a BENCH_dsp.json
+// document.  With --baseline PATH the measured throughputs are compared
+// against a previously recorded document and the process exits non-zero
+// when any stage falls below --min-ratio (default 0.75, i.e. a >25%
+// regression) of its baseline.
+//
+// The workload is fully deterministic (fixed seeds, fixed sizes); only
+// the measured rates vary run to run.
+//
+// With --normalize the per-stage ratios are divided by their median
+// before the check, cancelling overall machine speed: a slower CI runner
+// passes, while any *one* stage regressing relative to the others still
+// fails.  CI uses --normalize against the committed baseline.
+//
+// Usage: pipeline_throughput [--json PATH] [--baseline PATH]
+//                            [--min-ratio R] [--normalize] [--quick]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/medium.h"
+#include "core/relay.h"
+#include "dsp/msk.h"
+#include "dsp/ops.h"
+#include "dsp/workspace.h"
+#include "net/topology.h"
+#include "sim/alice_bob.h"
+#include "util/bits.h"
+#include "util/rng.h"
+
+// ------------------------------------------------------------ allocation
+// Global counting allocator: every heap allocation in the process passes
+// through here, so a stage's steady-state allocation count is the
+// difference of g_allocations around its loop.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                     (size + static_cast<std::size_t>(align) - 1)
+                                         / static_cast<std::size_t>(align)
+                                         * static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace anc;
+
+using Clock = std::chrono::steady_clock;
+
+struct Stage_result {
+    std::string name;
+    double samples_per_sec = 0.0;
+    std::uint64_t samples_per_iteration = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t heap_allocs_per_iteration = 0; // steady state, warm buffers
+};
+
+double seconds_since(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Run `body` (which processes `samples_per_iter` samples per call) for
+/// at least `min_seconds`, after `warmup` untimed calls, and report the
+/// throughput plus the steady-state allocation count of one iteration.
+template <class Body>
+Stage_result time_stage(const char* name, std::uint64_t samples_per_iter,
+                        std::size_t warmup, double min_seconds, Body&& body)
+{
+    Stage_result result;
+    result.name = name;
+    result.samples_per_iteration = samples_per_iter;
+
+    for (std::size_t i = 0; i < warmup; ++i)
+        body();
+
+    // One post-warmup iteration under the allocation counter.
+    const std::uint64_t allocs_before = g_allocations.load(std::memory_order_relaxed);
+    body();
+    result.heap_allocs_per_iteration =
+        g_allocations.load(std::memory_order_relaxed) - allocs_before;
+
+    // Best of three measurement windows: a transient stall (scheduler,
+    // frequency dip) drags a single window but rarely all three, so the
+    // max is a far steadier statistic for the CI regression gate while a
+    // genuine code regression still shifts it.
+    for (int window = 0; window < 3; ++window) {
+        std::uint64_t iterations = 0;
+        const auto start = Clock::now();
+        double elapsed = 0.0;
+        do {
+            body();
+            ++iterations;
+            elapsed = seconds_since(start);
+        } while (elapsed < min_seconds);
+        const double rate =
+            static_cast<double>(iterations * samples_per_iter) / elapsed;
+        if (rate > result.samples_per_sec) {
+            result.samples_per_sec = rate;
+            result.iterations = iterations;
+        }
+    }
+    return result;
+}
+
+Bits frame_sized_bits(std::size_t count, std::uint64_t seed)
+{
+    Pcg32 rng{seed, 17};
+    return random_bits(count, rng);
+}
+
+// --------------------------------------------------------------- stages
+
+constexpr std::size_t bench_frame_bits = 2304; // ~payload 2048 + overhead
+constexpr double bench_snr_db = 25.0;
+
+Stage_result bench_modulate(double min_seconds)
+{
+    const Bits bits = frame_sized_bits(bench_frame_bits, 0xA0);
+    const dsp::Msk_modulator modulator{1.0, 0.37};
+    auto signal = dsp::Workspace::current().signal();
+    return time_stage("modulate", bits.size() + 1, 2, min_seconds, [&] {
+        modulator.modulate_into(bits, *signal);
+    });
+}
+
+Stage_result bench_mix(double min_seconds)
+{
+    const double noise_power = chan::noise_power_for_snr_db(bench_snr_db);
+    Pcg32 rng{7, 3};
+    chan::Medium medium{noise_power, rng.fork(1)};
+    net::Alice_bob_nodes nodes;
+    net::Alice_bob_gains gains;
+    Pcg32 link_rng = rng.fork(2);
+    install_alice_bob(medium, nodes, gains, link_rng);
+
+    const Bits bits_a = frame_sized_bits(bench_frame_bits, 0xB0);
+    const Bits bits_b = frame_sized_bits(bench_frame_bits, 0xB1);
+    const dsp::Msk_modulator modulator{1.0, 0.0};
+    const dsp::Signal signal_a = modulator.modulate(bits_a);
+    const dsp::Signal signal_b = modulator.modulate(bits_b);
+
+    chan::Transmission ta{nodes.alice, signal_a, 140};
+    chan::Transmission tb{nodes.bob, signal_b, 280};
+    const std::vector<chan::Transmission> on_air{ta, tb};
+    const std::uint64_t mixed = 280 + signal_b.size() + 64;
+
+    auto out = dsp::Workspace::current().signal();
+    return time_stage("mix", mixed, 2, min_seconds, [&] {
+        medium.receive_into(nodes.router, on_air, 64, *out);
+    });
+}
+
+Stage_result bench_relay(double min_seconds)
+{
+    // A realistic relay input: two overlapped frames plus noise.
+    const double noise_power = chan::noise_power_for_snr_db(bench_snr_db);
+    Pcg32 rng{9, 5};
+    chan::Medium medium{noise_power, rng.fork(1)};
+    net::Alice_bob_nodes nodes;
+    net::Alice_bob_gains gains;
+    Pcg32 link_rng = rng.fork(2);
+    install_alice_bob(medium, nodes, gains, link_rng);
+
+    const dsp::Msk_modulator modulator{1.0, 0.0};
+    const dsp::Signal signal_a = modulator.modulate(frame_sized_bits(bench_frame_bits, 0xC0));
+    const dsp::Signal signal_b = modulator.modulate(frame_sized_bits(bench_frame_bits, 0xC1));
+    const std::vector<chan::Transmission> on_air{{nodes.alice, signal_a, 140},
+                                                 {nodes.bob, signal_b, 280}};
+    dsp::Signal received;
+    medium.receive_into(nodes.router, on_air, 64, received);
+
+    auto out = dsp::Workspace::current().signal();
+    return time_stage("relay", received.size(), 2, min_seconds, [&] {
+        amplify_and_forward_into(received, noise_power, 1.0, *out);
+    });
+}
+
+Stage_result bench_demodulate(double min_seconds)
+{
+    const dsp::Msk_modulator modulator{1.0, 1.1};
+    const dsp::Signal signal = modulator.modulate(frame_sized_bits(bench_frame_bits, 0xD0));
+    const dsp::Msk_demodulator demodulator;
+    auto bits = dsp::Workspace::current().bits();
+    return time_stage("demodulate", signal.size(), 2, min_seconds, [&] {
+        demodulator.demodulate_into(signal, *bits);
+    });
+}
+
+Stage_result bench_exchange(double min_seconds, bool quick)
+{
+    sim::Alice_bob_config config;
+    config.payload_bits = 2048;
+    config.exchanges = quick ? 2 : 4;
+    config.snr_db = bench_snr_db;
+    config.seed = 12345;
+
+    // Samples the exchange pushes through the pipeline: measure once (the
+    // workload is deterministic) and reuse as the per-iteration count.
+    const sim::Alice_bob_result probe = sim::run_alice_bob_anc(config);
+    const auto samples = static_cast<std::uint64_t>(probe.metrics.airtime_symbols);
+
+    return time_stage("alice_bob_exchange", samples, 1, min_seconds, [&] {
+        const sim::Alice_bob_result result = sim::run_alice_bob_anc(config);
+        if (result.metrics.packets_delivered == 0)
+            std::fprintf(stderr, "warning: exchange delivered nothing\n");
+    });
+}
+
+// ----------------------------------------------------------------- JSON
+
+void write_json(std::ostream& out, const std::vector<Stage_result>& stages)
+{
+    out << "{\"schema\": \"anc.bench.dsp.v1\",\n";
+    out << " \"workload\": {\"frame_bits\": " << bench_frame_bits
+        << ", \"snr_db\": " << bench_snr_db << "},\n";
+    out << " \"stages\": {";
+    bool first = true;
+    char buffer[64];
+    for (const Stage_result& stage : stages) {
+        if (!first)
+            out << ",";
+        first = false;
+        std::snprintf(buffer, sizeof buffer, "%.17g", stage.samples_per_sec);
+        out << "\n  \"" << stage.name << "\": {"
+            << "\"samples_per_sec\": " << buffer
+            << ", \"samples_per_iteration\": " << stage.samples_per_iteration
+            << ", \"iterations\": " << stage.iterations
+            << ", \"heap_allocs_per_iteration\": " << stage.heap_allocs_per_iteration
+            << "}";
+    }
+    out << "\n }}\n";
+}
+
+/// Minimal extraction of "<stage>": {"samples_per_sec": <number> from a
+/// baseline document written by write_json (not a general JSON parser).
+bool baseline_rate(const std::string& text, const std::string& stage, double& rate)
+{
+    const std::string key = "\"" + stage + "\": {\"samples_per_sec\": ";
+    const std::size_t at = text.find(key);
+    if (at == std::string::npos)
+        return false;
+    rate = std::strtod(text.c_str() + at + key.size(), nullptr);
+    return rate > 0.0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string json_path;
+    std::string baseline_path;
+    double min_ratio = 0.75;
+    bool normalize = false;
+    bool quick = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else if (arg == "--baseline" && i + 1 < argc)
+            baseline_path = argv[++i];
+        else if (arg == "--min-ratio" && i + 1 < argc)
+            min_ratio = std::strtod(argv[++i], nullptr);
+        else if (arg == "--normalize")
+            normalize = true;
+        else if (arg == "--quick")
+            quick = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--json PATH] [--baseline PATH] "
+                         "[--min-ratio R] [--normalize] [--quick]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const double min_seconds = quick ? 0.1 : 0.5;
+
+    std::vector<Stage_result> stages;
+    stages.push_back(bench_modulate(min_seconds));
+    stages.push_back(bench_mix(min_seconds));
+    stages.push_back(bench_relay(min_seconds));
+    stages.push_back(bench_demodulate(min_seconds));
+    stages.push_back(bench_exchange(min_seconds, quick));
+
+    std::printf("%-20s %16s %12s %10s %8s\n", "stage", "samples/sec", "samples/iter",
+                "iters", "allocs");
+    bool alloc_violation = false;
+    for (const Stage_result& stage : stages) {
+        std::printf("%-20s %16.0f %12llu %10llu %8llu\n", stage.name.c_str(),
+                    stage.samples_per_sec,
+                    static_cast<unsigned long long>(stage.samples_per_iteration),
+                    static_cast<unsigned long long>(stage.iterations),
+                    static_cast<unsigned long long>(stage.heap_allocs_per_iteration));
+        // The sample-pipeline kernels must be allocation-free on a warm
+        // workspace (PERF.md); the full exchange is exempt — its packet
+        // bookkeeping (frames, payloads, flows) escapes by design.
+        if (stage.name != "alice_bob_exchange" && stage.heap_allocs_per_iteration != 0)
+            alloc_violation = true;
+    }
+    if (alloc_violation) {
+        std::fprintf(stderr,
+                     "error: a sample-pipeline stage allocated on a warm workspace "
+                     "(zero-allocation invariant, see PERF.md)\n");
+        return 1;
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream out{json_path};
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+            return 2;
+        }
+        write_json(out, stages);
+        std::printf("\nwrote %s\n", json_path.c_str());
+    }
+
+    if (!baseline_path.empty()) {
+        std::ifstream in{baseline_path};
+        if (!in) {
+            std::fprintf(stderr, "error: cannot read baseline %s\n",
+                         baseline_path.c_str());
+            return 2;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const std::string baseline = buffer.str();
+
+        // First pass: collect the per-stage ratios.  A stage missing
+        // from the baseline fails the gate — otherwise a renamed stage
+        // or a stale baseline would make the whole check vacuous.
+        std::vector<std::pair<const Stage_result*, double>> ratios;
+        bool missing = false;
+        for (const Stage_result& stage : stages) {
+            double expected = 0.0;
+            if (baseline_rate(baseline, stage.name, expected)) {
+                ratios.emplace_back(&stage, stage.samples_per_sec / expected);
+            } else {
+                std::fprintf(stderr, "error: stage \"%s\" not in baseline %s\n",
+                             stage.name.c_str(), baseline_path.c_str());
+                missing = true;
+            }
+        }
+        if (missing || ratios.empty())
+            return 1;
+        double scale = 1.0;
+        if (normalize && !ratios.empty()) {
+            // Median ratio = the machine-speed factor; dividing it out
+            // leaves only *relative* stage regressions.
+            std::vector<double> sorted;
+            for (const auto& [stage, ratio] : ratios)
+                sorted.push_back(ratio);
+            std::sort(sorted.begin(), sorted.end());
+            scale = sorted[sorted.size() / 2];
+            std::printf("\nnormalizing by median ratio %.3f\n", scale);
+        }
+
+        bool failed = false;
+        std::printf("\n%-20s %16s %16s %8s\n", "stage", "baseline", "measured", "ratio");
+        for (const auto& [stage, raw_ratio] : ratios) {
+            const double ratio = raw_ratio / scale;
+            std::printf("%-20s %16.0f %16.0f %8.2f%s\n", stage->name.c_str(),
+                        stage->samples_per_sec / raw_ratio, stage->samples_per_sec,
+                        ratio, ratio < min_ratio ? "  REGRESSION" : "");
+            if (ratio < min_ratio)
+                failed = true;
+        }
+        if (failed) {
+            std::fprintf(stderr,
+                         "error: throughput regressed more than %.0f%% on at least "
+                         "one stage\n",
+                         (1.0 - min_ratio) * 100.0);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -56,14 +56,16 @@ int main()
         pa.payload = random_bits(pb.payload.size(), traffic);
 
         const auto [da, db] = draw_distinct_delays(Trigger_config{}, rng);
-        chan::Transmission ta{alice.id(), alice.transmit(pa, rng), da};
-        chan::Transmission tb{bob.id(), bob.transmit(pb, rng), db};
-        const auto at_router = medium.receive(nodes.router, {ta, tb}, 64);
+        const dsp::Signal signal_a = alice.transmit(pa, rng);
+        const dsp::Signal signal_b = bob.transmit(pb, rng);
+        const chan::Transmission round1[] = {{alice.id(), signal_a, da},
+                                             {bob.id(), signal_b, db}};
+        const auto at_router = medium.receive(nodes.router, round1, 64);
         const auto fwd = amplify_and_forward(at_router, noise_power, 1.0);
         if (!fwd)
             continue;
-        chan::Transmission tr{nodes.router, *fwd, 0};
-        const auto at_alice = medium.receive(alice.id(), {tr}, 64);
+        const chan::Transmission round2[] = {{nodes.router, *fwd, 0}};
+        const auto at_alice = medium.receive(alice.id(), round2, 64);
         const auto outcome = receiver.receive(at_alice, alice.buffer());
         if (outcome.status != Receive_status::decoded_interference)
             continue;

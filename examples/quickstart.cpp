@@ -43,9 +43,11 @@ int main()
     // --- Slot 1: both transmit at once (trigger jitter keeps the ----
     //     overlap incomplete so the pilots stay interference-free)
     const auto [delay_a, delay_b] = draw_distinct_delays(Trigger_config{}, rng);
-    chan::Transmission ta{alice.id(), alice.transmit(pa, rng), delay_a};
-    chan::Transmission tb{bob.id(), bob.transmit(pb, rng), delay_b};
-    const dsp::Signal at_router = medium.receive(nodes.router, {ta, tb}, 64);
+    const dsp::Signal signal_a = alice.transmit(pa, rng);
+    const dsp::Signal signal_b = bob.transmit(pb, rng);
+    const chan::Transmission round1[] = {{alice.id(), signal_a, delay_a},
+                                         {bob.id(), signal_b, delay_b}};
+    const dsp::Signal at_router = medium.receive(nodes.router, round1, 64);
     std::printf("slot 1: Alice and Bob collide at the router "
                 "(offsets %zu and %zu symbols)\n", delay_a, delay_b);
 
@@ -55,14 +57,14 @@ int main()
         std::printf("relay detected nothing!\n");
         return 1;
     }
-    chan::Transmission tr{nodes.router, *broadcast, 0};
+    const chan::Transmission round2[] = {{nodes.router, *broadcast, 0}};
     std::printf("slot 2: router re-broadcasts the interfered signal "
                 "(%zu samples)\n", broadcast->size());
 
     // --- Each side cancels its own half and decodes the other's -----
     const Anc_receiver receiver{Anc_receiver_config{}, noise_power};
-    const auto at_alice = medium.receive(alice.id(), {tr}, 64);
-    const auto at_bob = medium.receive(bob.id(), {tr}, 64);
+    const auto at_alice = medium.receive(alice.id(), round2, 64);
+    const auto at_bob = medium.receive(bob.id(), round2, 64);
 
     const Receive_outcome alice_out = receiver.receive(at_alice, alice.buffer());
     const Receive_outcome bob_out = receiver.receive(at_bob, bob.buffer());

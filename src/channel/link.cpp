@@ -24,4 +24,17 @@ dsp::Signal Link_channel::apply(dsp::Signal_view signal) const
     return out;
 }
 
+void Link_channel::apply_onto(dsp::Signal_view signal, std::size_t at,
+                              dsp::Signal& acc) const
+{
+    const std::size_t begin = at + params_.delay;
+    if (acc.size() < begin + signal.size())
+        acc.resize(begin + signal.size(), dsp::Sample{0.0, 0.0});
+    dsp::Sample* out = acc.data() + begin;
+    for (std::size_t n = 0; n < signal.size(); ++n) {
+        const double rotation = params_.phase + params_.phase_drift * static_cast<double>(n);
+        out[n] += signal[n] * std::polar(params_.gain, rotation);
+    }
+}
+
 } // namespace anc::chan

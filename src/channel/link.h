@@ -9,6 +9,8 @@
 
 #pragma once
 
+#include <cstddef>
+
 #include "dsp/sample.h"
 
 namespace anc::chan {
@@ -26,6 +28,14 @@ public:
     explicit Link_channel(Link_params params = {});
 
     dsp::Signal apply(dsp::Signal_view signal) const;
+
+    /// Accumulate the channel's output into `acc` starting at sample
+    /// `at`: acc[at + delay + n] += y[n], growing acc (zero-filled) as
+    /// needed.  This is the medium's mixing step fused with the channel
+    /// application — no intermediate per-link signal is materialized.
+    /// `acc` must not alias `signal` (the accumulation reads `signal`
+    /// while writing, and may reallocate `acc`).
+    void apply_onto(dsp::Signal_view signal, std::size_t at, dsp::Signal& acc) const;
 
     const Link_params& params() const { return params_; }
 

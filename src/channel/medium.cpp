@@ -30,22 +30,31 @@ const Link_channel& Medium::link(Node_id from, Node_id to) const
 }
 
 dsp::Signal Medium::receive(Node_id receiver,
-                            const std::vector<Transmission>& transmissions,
+                            std::span<const Transmission> transmissions,
                             std::size_t trailing_noise)
 {
     dsp::Signal mix;
+    receive_into(receiver, transmissions, trailing_noise, mix);
+    return mix;
+}
+
+void Medium::receive_into(Node_id receiver,
+                          std::span<const Transmission> transmissions,
+                          std::size_t trailing_noise,
+                          dsp::Signal& out)
+{
+    out.clear();
     for (const Transmission& tx : transmissions) {
         if (tx.from == receiver)
             continue; // half-duplex: you do not hear yourself
-        if (!has_link(tx.from, receiver))
+        const auto it = links_.find({tx.from, receiver});
+        if (it == links_.end())
             continue; // out of radio range
-        const dsp::Signal through = link(tx.from, receiver).apply(tx.signal);
-        dsp::accumulate(mix, through, tx.start);
+        it->second.apply_onto(tx.signal, tx.start, out);
     }
-    mix.resize(mix.size() + trailing_noise, dsp::Sample{0.0, 0.0});
+    out.resize(out.size() + trailing_noise, dsp::Sample{0.0, 0.0});
     Awgn noise{noise_power_, rng_.fork(static_cast<std::uint64_t>(receiver) + 1)};
-    noise.add_in_place(mix);
-    return mix;
+    noise.add_in_place(out);
 }
 
 } // namespace anc::chan

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <optional>
 #include <vector>
 
@@ -24,11 +25,15 @@ namespace anc::chan {
 
 using Node_id = std::uint32_t;
 
-/// One node's transmission within a round: a signal plus the symbol offset
-/// (MAC jitter, §7.2) at which it starts relative to the round origin.
+/// One node's transmission within a round: a *view* of the signal on the
+/// air plus the symbol offset (MAC jitter, §7.2) at which it starts
+/// relative to the round origin.  The view keeps rounds zero-copy — the
+/// transmitter's buffer (typically a dsp::Workspace lease) must stay
+/// alive until every receive() of the round has run, which every caller
+/// naturally satisfies because rounds are synchronous.
 struct Transmission {
     Node_id from = 0;
-    dsp::Signal signal;
+    dsp::Signal_view signal;
     std::size_t start = 0;
 };
 
@@ -56,8 +61,17 @@ public:
     /// own signal is simply skipped, since a radio does not receive its
     /// own transmission at baseband here).
     dsp::Signal receive(Node_id receiver,
-                        const std::vector<Transmission>& transmissions,
+                        std::span<const Transmission> transmissions,
                         std::size_t trailing_noise = 0);
+
+    /// As above, into a caller-owned buffer (cleared first; typically a
+    /// dsp::Workspace lease).  The allocation-free steady-state path.
+    /// `out` must not alias any transmission's backing buffer — it is
+    /// cleared before the signals are read.
+    void receive_into(Node_id receiver,
+                      std::span<const Transmission> transmissions,
+                      std::size_t trailing_noise,
+                      dsp::Signal& out);
 
     double noise_power() const { return noise_power_; }
 

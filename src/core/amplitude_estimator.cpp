@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "dsp/energy_scan.h"
+#include "dsp/workspace.h"
 
 namespace anc {
 
@@ -18,7 +19,9 @@ struct Window_stats {
 Window_stats energy_stats(dsp::Signal_view window)
 {
     Window_stats stats;
-    const std::vector<double> e = dsp::sample_energies(window);
+    auto energies = dsp::Workspace::current().reals();
+    dsp::sample_energies_into(window, *energies);
+    const std::vector<double>& e = *energies;
     double sum = 0.0;
     for (const double v : e)
         sum += v;
@@ -103,7 +106,9 @@ std::optional<Amplitude_estimate> estimate_amplitudes_by_variance(dsp::Signal_vi
     if (overlap.size() < min_window)
         return std::nullopt;
 
-    const std::vector<double> e = dsp::sample_energies(overlap);
+    auto energies = dsp::Workspace::current().reals();
+    dsp::sample_energies_into(overlap, *energies);
+    const std::vector<double>& e = *energies;
     double sum = 0.0;
     double sum_sq = 0.0;
     for (const double v : e) {

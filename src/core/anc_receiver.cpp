@@ -7,6 +7,7 @@
 #include "core/amplitude_estimator.h"
 #include "dsp/msk.h"
 #include "dsp/ops.h"
+#include "dsp/workspace.h"
 #include "phy/frame.h"
 #include "phy/pilot.h"
 
@@ -92,7 +93,7 @@ Receive_outcome Anc_receiver::receive(dsp::Signal_view stream,
     if (!bounds)
         return outcome; // status stays no_packet
 
-    const dsp::Signal packet = dsp::slice(stream, bounds->begin, bounds->end);
+    const dsp::Signal_view packet = dsp::slice_view(stream, bounds->begin, bounds->end);
     const phy::Interference_report report = interference_detector_.analyze(packet);
 
     if (!report.interfered) {
@@ -106,40 +107,49 @@ Receive_outcome Anc_receiver::receive(dsp::Signal_view stream,
         return outcome;
     }
 
+    dsp::Workspace& workspace = dsp::Workspace::current();
+
     // Collision.  Read the header at the clean head (the first packet's)
     // and — through time reversal — at the clean tail (the second's).
-    const Bits forward_bits = modem_.demodulate_bits(packet);
-    const auto forward_pilot = phy::find_pattern(forward_bits, phy::pilot_sequence(), 0,
+    auto forward_bits = workspace.bits();
+    modem_.demodulate_bits_into(packet, *forward_bits);
+    const auto forward_pilot = phy::find_pattern(*forward_bits, phy::pilot_sequence(), 0,
                                                  config_.pilot_search_span,
                                                  config_.modem.pilot_max_errors);
     if (forward_pilot)
-        outcome.diag.first_header = header_after_pilot(forward_bits, forward_pilot->position);
+        outcome.diag.first_header = header_after_pilot(*forward_bits, forward_pilot->position);
 
-    const dsp::Signal reversed = dsp::time_reversed(packet);
-    const Bits backward_bits = modem_.demodulate_bits(reversed);
-    const auto backward_pilot = phy::find_pattern(backward_bits, phy::pilot_sequence(), 0,
+    auto reversed = workspace.signal();
+    dsp::time_reverse_into(packet, *reversed);
+    auto backward_bits = workspace.bits();
+    modem_.demodulate_bits_into(*reversed, *backward_bits);
+    const auto backward_pilot = phy::find_pattern(*backward_bits, phy::pilot_sequence(), 0,
                                                   config_.pilot_search_span,
                                                   config_.modem.pilot_max_errors);
     if (backward_pilot)
-        outcome.diag.second_header = header_after_pilot(backward_bits, backward_pilot->position);
+        outcome.diag.second_header =
+            header_after_pilot(*backward_bits, backward_pilot->position);
 
     // Which half of the collision do we know?  (§7.3)
     if (outcome.diag.first_header && buffer.contains(*outcome.diag.first_header)) {
         const Stored_frame* known = buffer.lookup(*outcome.diag.first_header);
+        // The forward domain is exactly the span the interference
+        // detector already analyzed — reuse that report.
         outcome.frame = decode_interfered(packet, forward_pilot->position, *known,
-                                          /*backward=*/false, outcome.diag);
+                                          /*backward=*/false, outcome.diag, &report);
     } else if (outcome.diag.second_header && buffer.contains(*outcome.diag.second_header)) {
         const Stored_frame* known = buffer.lookup(*outcome.diag.second_header);
-        outcome.frame = decode_interfered(reversed, backward_pilot->position, *known,
-                                          /*backward=*/true, outcome.diag);
+        outcome.frame = decode_interfered(*reversed, backward_pilot->position, *known,
+                                          /*backward=*/true, outcome.diag, nullptr);
     } else {
         // Neither half is known.  Try a capture decode first: when one
         // signal is much stronger (the "X" topology's overhearing, §11.5),
         // standard demodulation of the dominant signal often succeeds with
-        // the weak one acting as noise.  The payload CRC inside receive()
-        // keeps comparable-power collisions (whose payload would be
-        // garbage) from masquerading as clean packets.
-        if (const auto captured = modem_.receive(packet)) {
+        // the weak one acting as noise.  The payload CRC inside the
+        // receive keeps comparable-power collisions (whose payload would
+        // be garbage) from masquerading as clean packets.  The stream was
+        // demodulated above already, so probe those bits directly.
+        if (const auto captured = modem_.receive_bits(*forward_bits)) {
             outcome.status = Receive_status::clean;
             outcome.frame = captured;
             return outcome;
@@ -161,18 +171,28 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
     std::size_t pilot_pos,
     const Stored_frame& known,
     bool backward,
-    Interference_diag& diag) const
+    Interference_diag& diag,
+    const phy::Interference_report* analyzed) const
 {
     diag.backward = backward;
+    dsp::Workspace& workspace = dsp::Workspace::current();
 
     // In the time-reversed domain the known frame's bits read backwards
     // (the reversal transform preserves phase-difference signs, so the
     // expected step sequence is simply the mirrored bit sequence's).
-    const Bits known_bits = backward ? mirrored(known.frame_bits) : known.frame_bits;
-    const std::vector<double> known_diffs = dsp::phase_differences_for_bits(known_bits);
+    auto mirror = workspace.bits();
+    if (backward)
+        mirror->assign(known.frame_bits.rbegin(), known.frame_bits.rend());
+    const std::span<const std::uint8_t> known_bits =
+        backward ? std::span<const std::uint8_t>{*mirror}
+                 : std::span<const std::uint8_t>{known.frame_bits};
+    auto known_diffs = workspace.reals();
+    dsp::phase_differences_for_bits_into(known_bits, *known_diffs);
 
-    // Locate the collision region in *this* domain.
-    const phy::Interference_report report = interference_detector_.analyze(domain_slice);
+    // Locate the collision region in *this* domain (or reuse the caller's
+    // analysis of the identical span).
+    const phy::Interference_report report =
+        analyzed ? *analyzed : interference_detector_.analyze(domain_slice);
     if (!report.interfered) {
         diag.failure = Decode_failure::no_overlap;
         return std::nullopt;
@@ -185,8 +205,8 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
     // the start of the overlap.
     double prefix_amplitude = 0.0;
     if (report.overlap_begin > pilot_pos + config_.min_prefix) {
-        const dsp::Signal prefix =
-            dsp::slice(domain_slice, pilot_pos, report.overlap_begin);
+        const dsp::Signal_view prefix =
+            dsp::slice_view(domain_slice, pilot_pos, report.overlap_begin);
         prefix_amplitude = amplitude_from_clean_region(prefix, noise_power_);
     }
 
@@ -200,7 +220,8 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
         diag.failure = Decode_failure::no_overlap;
         return std::nullopt;
     }
-    const dsp::Signal overlap = dsp::slice(domain_slice, window_begin, window_end);
+    const dsp::Signal_view overlap =
+        dsp::slice_view(domain_slice, window_begin, window_end);
 
     std::optional<Amplitude_estimate> amplitudes;
     if (!config_.mu_sigma_only && prefix_amplitude > 0.0)
@@ -226,13 +247,17 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
     diag.est_unknown_amp = amplitudes->b;
 
     // ---- Interference decoding (§6.3-6.4) --------------------------
-    const dsp::Signal aligned = dsp::slice(domain_slice, pilot_pos, domain_slice.size());
-    const Interference_decode_result decoded =
-        decoder_.decode(aligned, known_diffs, amplitudes->a, amplitudes->b);
-    if (!decoded.match_errors.empty()) {
+    const dsp::Signal_view aligned =
+        dsp::slice_view(domain_slice, pilot_pos, domain_slice.size());
+    auto decoded_bits = workspace.bits();
+    auto phi_differences = workspace.reals();
+    auto match_errors = workspace.reals();
+    decoder_.decode_into(aligned, *known_diffs, amplitudes->a, amplitudes->b,
+                         *decoded_bits, *phi_differences, *match_errors);
+    if (!match_errors->empty()) {
         diag.mean_match_error =
-            std::accumulate(decoded.match_errors.begin(), decoded.match_errors.end(), 0.0)
-            / static_cast<double>(decoded.match_errors.size());
+            std::accumulate(match_errors->begin(), match_errors->end(), 0.0)
+            / static_cast<double>(match_errors->size());
     }
 
     // ---- Locate and deframe the unknown packet (§7.2) ---------------
@@ -252,11 +277,11 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
     std::size_t search_from = 0;
     while (!parsed) {
         const auto unknown_pilot =
-            phy::find_pattern(decoded.bits, phy::pilot_sequence(), search_from, search_to,
+            phy::find_pattern(*decoded_bits, phy::pilot_sequence(), search_from, search_to,
                               config_.unknown_pilot_max_errors);
         if (!unknown_pilot)
             break;
-        parsed = phy::parse_frame_at(decoded.bits, unknown_pilot->position);
+        parsed = phy::parse_frame_at(*decoded_bits, unknown_pilot->position);
         if (parsed && parsed->header == known.header) {
             // The known frame's degenerate mirror of itself: skip past it.
             parsed.reset();
@@ -277,7 +302,7 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
         // is exactly why the frame carries a *mirrored* header and pilot
         // at its other end (§7.4): the unknown packet ends in its
         // interference-free region, so its tail copy decodes cleanly.
-        parsed = recover_from_tail(decoded.bits, known.header, pilot_errors);
+        parsed = recover_from_tail(*decoded_bits, known.header, pilot_errors);
         if (!parsed) {
             diag.failure = Decode_failure::no_unknown_pilot;
             return std::nullopt;

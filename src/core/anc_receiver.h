@@ -94,11 +94,16 @@ public:
     const Anc_receiver_config& config() const { return config_; }
 
 private:
-    std::optional<phy::Received_frame> decode_interfered(dsp::Signal_view domain_slice,
-                                                         std::size_t pilot_pos,
-                                                         const Stored_frame& known,
-                                                         bool backward,
-                                                         Interference_diag& diag) const;
+    /// `analyzed` optionally carries the interference report of exactly
+    /// `domain_slice` (the forward domain is analyzed during receive()
+    /// already); nullptr means analyze here.
+    std::optional<phy::Received_frame> decode_interfered(
+        dsp::Signal_view domain_slice,
+        std::size_t pilot_pos,
+        const Stored_frame& known,
+        bool backward,
+        Interference_diag& diag,
+        const phy::Interference_report* analyzed) const;
 
     Anc_receiver_config config_;
     double noise_power_;

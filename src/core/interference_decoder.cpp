@@ -14,17 +14,37 @@ Interference_decoder::estimate_phi_differences(dsp::Signal_view samples,
                                                double a,
                                                double b) const
 {
+    std::vector<double> phi_differences;
+    std::vector<double> match_errors;
+    estimate_phi_differences_into(samples, known_diffs, a, b, phi_differences,
+                                  match_errors);
+    return {std::move(phi_differences), std::move(match_errors)};
+}
+
+void Interference_decoder::estimate_phi_differences_into(
+    dsp::Signal_view samples,
+    std::span<const double> known_diffs,
+    double a,
+    double b,
+    std::vector<double>& phi_differences,
+    std::vector<double>& match_errors) const
+{
     if (a <= 0.0 || b <= 0.0)
         throw std::invalid_argument{"Interference_decoder: amplitudes must be positive"};
 
-    std::vector<double> phi_differences;
-    std::vector<double> match_errors;
+    phi_differences.clear();
+    match_errors.clear();
     if (samples.size() < 2)
-        return {phi_differences, match_errors};
+        return;
     const std::size_t transitions = samples.size() - 1;
     phi_differences.reserve(transitions);
+    match_errors.reserve(known_diffs.size() < transitions ? known_diffs.size()
+                                                          : transitions);
 
-    // Solve each sample once; reuse across the two transitions touching it.
+    // Solve each sample once; reuse across the two transitions touching
+    // it.  All phases here are atan2 outputs in [-pi, pi], so their
+    // differences stay within the exact domain of the branch-only
+    // wrap_phase_bounded fold — no fmod in the per-sample loop.
     Phase_solutions current = solve_phases(samples[0], a, b);
     for (std::size_t n = 0; n < transitions; ++n) {
         const Phase_solutions next = solve_phases(samples[n + 1], a, b);
@@ -37,11 +57,11 @@ Interference_decoder::estimate_phi_differences(dsp::Signal_view samples,
             bool first = true;
             for (const Phase_pair& p_next : next.pair) {
                 for (const Phase_pair& p_cur : current.pair) {
-                    const double theta_diff = wrap_phase(p_next.theta - p_cur.theta);
-                    const double error = phase_distance(theta_diff, known_diffs[n]);
+                    const double theta_diff = wrap_phase_bounded(p_next.theta - p_cur.theta);
+                    const double error = phase_distance_bounded(theta_diff, known_diffs[n]);
                     if (first || error < best_error) {
                         best_error = error;
-                        best_phi_diff = wrap_phase(p_next.phi - p_cur.phi);
+                        best_phi_diff = wrap_phase_bounded(p_next.phi - p_cur.phi);
                         first = false;
                     }
                 }
@@ -54,7 +74,6 @@ Interference_decoder::estimate_phi_differences(dsp::Signal_view samples,
         }
         current = next;
     }
-    return {phi_differences, match_errors};
 }
 
 Interference_decode_result Interference_decoder::decode(dsp::Signal_view samples,
@@ -63,14 +82,25 @@ Interference_decode_result Interference_decoder::decode(dsp::Signal_view samples
                                                         double b) const
 {
     Interference_decode_result result;
-    auto [phi_differences, match_errors] =
-        estimate_phi_differences(samples, known_diffs, a, b);
-    result.bits.reserve(phi_differences.size());
-    for (const double diff : phi_differences)
-        result.bits.push_back(diff >= 0.0 ? 1 : 0); // MSK rule (§6.4)
-    result.phi_differences = std::move(phi_differences);
-    result.match_errors = std::move(match_errors);
+    decode_into(samples, known_diffs, a, b, result.bits, result.phi_differences,
+                result.match_errors);
     return result;
+}
+
+void Interference_decoder::decode_into(dsp::Signal_view samples,
+                                       std::span<const double> known_diffs,
+                                       double a,
+                                       double b,
+                                       Bits& bits,
+                                       std::vector<double>& phi_differences,
+                                       std::vector<double>& match_errors) const
+{
+    estimate_phi_differences_into(samples, known_diffs, a, b, phi_differences,
+                                  match_errors);
+    bits.clear();
+    bits.reserve(phi_differences.size());
+    for (const double diff : phi_differences)
+        bits.push_back(diff >= 0.0 ? 1 : 0); // MSK rule (§6.4)
 }
 
 Symbol_decode_result Interference_decoder::decode_symbols(

@@ -56,6 +56,17 @@ public:
                                       double a,
                                       double b) const;
 
+    /// As decode(), writing into caller-owned buffers (cleared first;
+    /// typically dsp::Workspace leases) — the allocation-free hot path
+    /// the ANC receiver runs per collision.
+    void decode_into(dsp::Signal_view samples,
+                     std::span<const double> known_diffs,
+                     double a,
+                     double b,
+                     Bits& bits,
+                     std::vector<double>& phi_differences,
+                     std::vector<double>& match_errors) const;
+
     /// Generic PSK variant (§4: the algorithm "is applicable to any phase
     /// shift keying modulation").  The unknown signal's per-transition
     /// phase-step alphabet is supplied by the caller; each estimated
@@ -75,6 +86,14 @@ public:
         std::span<const double> known_diffs,
         double a,
         double b) const;
+
+    /// The same core into caller-owned buffers (cleared first).
+    void estimate_phi_differences_into(dsp::Signal_view samples,
+                                       std::span<const double> known_diffs,
+                                       double a,
+                                       double b,
+                                       std::vector<double>& phi_differences,
+                                       std::vector<double>& match_errors) const;
 };
 
 } // namespace anc

@@ -23,12 +23,26 @@ std::optional<dsp::Signal> amplify_and_forward(dsp::Signal_view received,
                                                double target_power,
                                                phy::Packet_detector::Config detector)
 {
+    dsp::Signal out;
+    if (!amplify_and_forward_into(received, noise_power, target_power, out, detector))
+        return std::nullopt;
+    return out;
+}
+
+bool amplify_and_forward_into(dsp::Signal_view received,
+                              double noise_power,
+                              double target_power,
+                              dsp::Signal& out,
+                              phy::Packet_detector::Config detector)
+{
+    out.clear();
     const phy::Packet_detector packet_detector{noise_power, detector};
     const auto bounds = packet_detector.detect(received);
     if (!bounds)
-        return std::nullopt;
-    const dsp::Signal active = dsp::slice(received, bounds->begin, bounds->end);
-    return dsp::normalized_to_power(active, target_power);
+        return false;
+    dsp::slice_into(received, bounds->begin, bounds->end, out);
+    dsp::normalize_power_in_place(out, target_power);
+    return true;
 }
 
 } // namespace anc

@@ -54,4 +54,13 @@ std::optional<dsp::Signal> amplify_and_forward(dsp::Signal_view received,
                                                double target_power,
                                                phy::Packet_detector::Config detector = {});
 
+/// As above, into a caller-owned buffer (cleared first; typically a
+/// dsp::Workspace lease) — the allocation-free steady-state path.
+/// Returns false (leaving `out` empty) when no packet is detected.
+bool amplify_and_forward_into(dsp::Signal_view received,
+                              double noise_power,
+                              double target_power,
+                              dsp::Signal& out,
+                              phy::Packet_detector::Config detector = {});
+
 } // namespace anc

@@ -42,4 +42,10 @@ bool Sent_packet_buffer::contains(const phy::Frame_header& header) const
     return frames_.count(key_of(header)) > 0;
 }
 
+const Sent_packet_buffer& empty_sent_packet_buffer()
+{
+    static const Sent_packet_buffer empty{1};
+    return empty;
+}
+
 } // namespace anc

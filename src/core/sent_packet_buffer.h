@@ -47,4 +47,10 @@ private:
     std::deque<Key> order_;
 };
 
+/// A shared, immutable empty buffer for receivers with nothing known
+/// (clean hops, snoops).  Constructing a fresh Sent_packet_buffer per
+/// receive would heap-allocate in the steady state; this one is built
+/// once and only ever read.
+const Sent_packet_buffer& empty_sent_packet_buffer();
+
 } // namespace anc

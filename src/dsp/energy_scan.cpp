@@ -7,35 +7,61 @@ namespace anc::dsp {
 std::vector<double> sample_energies(Signal_view signal)
 {
     std::vector<double> energies;
-    energies.reserve(signal.size());
-    for (const Sample& s : signal)
-        energies.push_back(std::norm(s));
+    sample_energies_into(signal, energies);
     return energies;
+}
+
+void sample_energies_into(Signal_view signal, std::vector<double>& out)
+{
+    const std::size_t n = signal.size();
+    out.resize(n);
+    const double* data = reinterpret_cast<const double*>(signal.data());
+    double* e = out.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Exactly std::norm: re*re + im*im.
+        e[i] = data[2 * i] * data[2 * i] + data[2 * i + 1] * data[2 * i + 1];
+    }
 }
 
 double mean_energy(Signal_view signal)
 {
     if (signal.empty())
         return 0.0;
+    const double* data = reinterpret_cast<const double*>(signal.data());
+    const std::size_t n = signal.size();
     double total = 0.0;
-    for (const Sample& s : signal)
-        total += std::norm(s);
-    return total / static_cast<double>(signal.size());
+    for (std::size_t i = 0; i < n; ++i)
+        total += data[2 * i] * data[2 * i] + data[2 * i + 1] * data[2 * i + 1];
+    return total / static_cast<double>(n);
 }
 
 Energy_scan scan_energy(Signal_view signal, std::size_t window)
 {
-    if (window == 0)
-        throw std::invalid_argument{"scan_energy: window must be positive"};
     Energy_scan scan;
     scan.window = window;
-    if (signal.size() < window)
-        return scan;
+    std::vector<double> energies;
+    scan_energy_into(signal, window, energies, scan.window_mean, scan.window_variance);
+    return scan;
+}
 
-    const std::vector<double> e = sample_energies(signal);
-    const std::size_t windows = e.size() - window + 1;
-    scan.window_mean.reserve(windows);
-    scan.window_variance.reserve(windows);
+void scan_energy_into(Signal_view signal, std::size_t window,
+                      std::vector<double>& scratch_energies,
+                      std::vector<double>& window_mean,
+                      std::vector<double>& window_variance)
+{
+    if (window == 0)
+        throw std::invalid_argument{"scan_energy: window must be positive"};
+    window_mean.clear();
+    window_variance.clear();
+    if (signal.size() < window)
+        return;
+
+    sample_energies_into(signal, scratch_energies);
+    const double* e = scratch_energies.data();
+    const std::size_t count = scratch_energies.size();
+    const std::size_t windows = count - window + 1;
+    window_mean.reserve(windows);
+    window_variance.reserve(windows);
 
     double sum = 0.0;
     double sum_sq = 0.0;
@@ -50,14 +76,13 @@ Energy_scan scan_energy(Signal_view signal, std::size_t window)
         double variance = sum_sq / w - mean * mean;
         if (variance < 0.0)
             variance = 0.0;
-        scan.window_mean.push_back(mean);
-        scan.window_variance.push_back(variance);
-        if (start + window >= e.size())
+        window_mean.push_back(mean);
+        window_variance.push_back(variance);
+        if (start + window >= count)
             break;
         sum += e[start + window] - e[start];
         sum_sq += e[start + window] * e[start + window] - e[start] * e[start];
     }
-    return scan;
 }
 
 } // namespace anc::dsp

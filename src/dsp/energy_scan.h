@@ -19,6 +19,11 @@ namespace anc::dsp {
 /// Instantaneous energy |y[n]|^2 for every sample.
 std::vector<double> sample_energies(Signal_view signal);
 
+/// As above, into a caller-owned buffer (cleared first) — the detectors
+/// feed this from a dsp::Workspace lease so the per-receive scans do not
+/// allocate in steady state.
+void sample_energies_into(Signal_view signal, std::vector<double>& out);
+
 /// Mean of |y|^2 over the whole signal (0 for an empty signal).
 double mean_energy(Signal_view signal);
 
@@ -32,5 +37,13 @@ struct Energy_scan {
 
 /// Compute the scan in O(len) using running sums of |y|^2 and |y|^4.
 Energy_scan scan_energy(Signal_view signal, std::size_t window);
+
+/// As above, writing the window series into caller-owned buffers
+/// (cleared first) and using `scratch_energies` for the per-sample
+/// energies.  Bit-identical to scan_energy.
+void scan_energy_into(Signal_view signal, std::size_t window,
+                      std::vector<double>& scratch_energies,
+                      std::vector<double>& window_mean,
+                      std::vector<double>& window_variance);
 
 } // namespace anc::dsp

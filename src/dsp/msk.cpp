@@ -16,10 +16,17 @@ double msk_phase_step(std::uint8_t bit)
 std::vector<double> phase_differences_for_bits(std::span<const std::uint8_t> bits)
 {
     std::vector<double> steps;
-    steps.reserve(bits.size());
-    for (const std::uint8_t bit : bits)
-        steps.push_back(msk_phase_step(bit));
+    phase_differences_for_bits_into(bits, steps);
     return steps;
+}
+
+void phase_differences_for_bits_into(std::span<const std::uint8_t> bits,
+                                     std::vector<double>& out)
+{
+    out.clear();
+    out.reserve(bits.size());
+    for (const std::uint8_t bit : bits)
+        out.push_back(msk_phase_step(bit));
 }
 
 Msk_modulator::Msk_modulator(double amplitude, double initial_phase)
@@ -30,29 +37,70 @@ Msk_modulator::Msk_modulator(double amplitude, double initial_phase)
 Signal Msk_modulator::modulate(std::span<const std::uint8_t> bits) const
 {
     Signal signal;
-    signal.reserve(bits.size() + 1);
-    double phase = initial_phase_;
-    signal.push_back(std::polar(amplitude_, phase));
-    for (const std::uint8_t bit : bits) {
-        phase = wrap_phase(phase + msk_phase_step(bit));
-        signal.push_back(std::polar(amplitude_, phase));
-    }
+    modulate_into(bits, signal);
     return signal;
+}
+
+void Msk_modulator::modulate_into(std::span<const std::uint8_t> bits, Signal& out) const
+{
+    out.clear();
+    out.reserve(bits.size() + 1);
+    double phase = initial_phase_;
+    out.push_back(std::polar(amplitude_, phase));
+    bool unbounded = true; // the caller's initial phase may exceed 2*pi
+    for (const std::uint8_t bit : bits) {
+        const double stepped = phase + msk_phase_step(bit);
+        // After the first wrap the accumulator lives in (-pi, pi], so a
+        // step keeps it within the branch-only fold's exact domain.
+        phase = unbounded ? wrap_phase(stepped) : wrap_phase_bounded(stepped);
+        unbounded = false;
+        out.push_back(std::polar(amplitude_, phase));
+    }
 }
 
 Bits Msk_demodulator::demodulate(Signal_view signal) const
 {
     Bits bits;
-    if (signal.size() < 2)
-        return bits;
-    bits.reserve(signal.size() - 1);
-    for (std::size_t n = 0; n + 1 < signal.size(); ++n) {
-        // arg(y[n+1] * conj(y[n])) = theta[n+1] - theta[n]; h and gamma
-        // cancel (Eq. 1), so no channel estimate is needed.
-        const Sample ratio = signal[n + 1] * std::conj(signal[n]);
-        bits.push_back(std::arg(ratio) >= 0.0 ? 1 : 0);
-    }
+    demodulate_into(signal, bits);
     return bits;
+}
+
+void Msk_demodulator::demodulate_into(Signal_view signal, Bits& out) const
+{
+    out.clear();
+    if (signal.size() < 2)
+        return;
+    out.reserve(signal.size() - 1);
+    const double* data = reinterpret_cast<const double*>(signal.data());
+    for (std::size_t n = 0; n + 1 < signal.size(); ++n) {
+        // The historical rule is arg(y[n+1] * conj(y[n])) >= 0 — h and
+        // gamma cancel (Eq. 1), so no channel estimate is needed.  atan2
+        // is monotone in the quadrant structure, so the decision only
+        // depends on the signs of the ratio's parts:
+        //   im > 0            -> arg in (0, pi)      -> 1
+        //   im < 0            -> arg in (-pi, 0)     -> 0
+        //   im == +0.0        -> arg is +0 or +pi    -> 1
+        //   im == -0.0        -> arg is -0 (re >= +0) or -pi (re < 0)
+        //                        and -0.0 >= 0.0 holds -> signbit(re)
+        // The products below are exactly the ones std::complex
+        // multiplication performs, so the computed im/re match the old
+        // path bit for bit (samples are finite throughout the substrate).
+        const double ar = data[2 * n];
+        const double ai = data[2 * n + 1];
+        const double br = data[2 * n + 2];
+        const double bi = data[2 * n + 3];
+        const double im = br * -ai + bi * ar;
+        bool one = im > 0.0;
+        if (im == 0.0) {
+            if (!std::signbit(im)) {
+                one = true;
+            } else {
+                const double re = br * ar - bi * -ai;
+                one = !std::signbit(re);
+            }
+        }
+        out.push_back(one ? 1 : 0);
+    }
 }
 
 std::vector<double> Msk_demodulator::phase_differences(Signal_view signal) const

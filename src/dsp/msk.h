@@ -5,6 +5,10 @@
 // differential — the ratio of consecutive samples cancels both the channel
 // attenuation h and the channel phase gamma (Eq. 1), which is exactly the
 // robustness the paper's interference decoder builds on.
+//
+// The `*_into` variants write into a caller-owned buffer (typically a
+// dsp::Workspace lease) and are the allocation-free hot path; the
+// value-returning forms wrap them.
 
 #pragma once
 
@@ -25,6 +29,10 @@ double msk_phase_step(std::uint8_t bit);
 /// the absolute phases, only these differences.
 std::vector<double> phase_differences_for_bits(std::span<const std::uint8_t> bits);
 
+/// As above, into a caller-owned buffer (cleared first).
+void phase_differences_for_bits_into(std::span<const std::uint8_t> bits,
+                                     std::vector<double>& out);
+
 /// MSK modulator.
 ///
 /// Produces len(bits) + 1 samples: the initial reference sample plus one
@@ -37,6 +45,9 @@ public:
     explicit Msk_modulator(double amplitude = 1.0, double initial_phase = 0.0);
 
     Signal modulate(std::span<const std::uint8_t> bits) const;
+
+    /// Modulate into a caller-owned buffer (cleared first).
+    void modulate_into(std::span<const std::uint8_t> bits, Signal& out) const;
 
     double amplitude() const { return amplitude_; }
 
@@ -51,6 +62,12 @@ public:
     /// Hard decisions: bit n is 1 iff arg(y[n+1] * conj(y[n])) >= 0.
     /// Produces len(signal) - 1 bits (empty for signals shorter than 2).
     Bits demodulate(Signal_view signal) const;
+
+    /// As above, into a caller-owned buffer (cleared first).  The
+    /// decision is evaluated from the sign structure of the ratio's
+    /// imaginary part — no atan2 — which is exactly equivalent to the
+    /// arg-based rule for finite samples (see the implementation note).
+    void demodulate_into(Signal_view signal, Bits& out) const;
 
     /// Soft output: the raw per-symbol phase differences, wrapped to
     /// (-pi, pi].  Useful for diagnostics and for the interference tests.

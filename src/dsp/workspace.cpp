@@ -1,0 +1,30 @@
+#include "dsp/workspace.h"
+
+namespace anc::dsp {
+
+namespace {
+
+thread_local Workspace* t_bound = nullptr;
+
+} // namespace
+
+Workspace& Workspace::current()
+{
+    if (t_bound)
+        return *t_bound;
+    static thread_local Workspace fallback;
+    return fallback;
+}
+
+Workspace::Bind::Bind(Workspace& workspace)
+    : previous_{t_bound}
+{
+    t_bound = &workspace;
+}
+
+Workspace::Bind::~Bind()
+{
+    t_bound = previous_;
+}
+
+} // namespace anc::dsp

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "dsp/workspace.h"
 #include "util/rng.h"
 
 namespace anc::engine {
@@ -65,6 +66,13 @@ std::vector<Task_result> run_sweep(const std::vector<Sweep_task>& tasks,
     std::once_flag error_once;
 
     const auto worker = [&] {
+        // Each worker owns one Workspace for its whole lifetime, so the
+        // scenarios' sample-pipeline scratch buffers are recycled across
+        // tasks instead of reallocated per run.  Results are unaffected:
+        // leases always hand out cleared buffers (see dsp/workspace.h;
+        // the workspace-regression test compares emitted JSON bytes).
+        dsp::Workspace workspace;
+        const dsp::Workspace::Bind bind{workspace};
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= tasks.size())

@@ -21,11 +21,17 @@ Stored_frame Net_node::stored_frame_for(const Packet& packet) const
 
 dsp::Signal Net_node::transmit(const Packet& packet, Pcg32& rng)
 {
+    dsp::Signal out;
+    transmit_into(packet, rng, out);
+    return out;
+}
+
+void Net_node::transmit_into(const Packet& packet, Pcg32& rng, dsp::Signal& out)
+{
     Stored_frame stored = stored_frame_for(packet);
-    const Bits frame_bits = stored.frame_bits;
-    buffer_.store(std::move(stored));
     const double phase = rng.next_double() * 2.0 * std::numbers::pi;
-    return modem_.modulate(frame_bits, phase);
+    modem_.modulate_into(stored.frame_bits, phase, out);
+    buffer_.store(std::move(stored));
 }
 
 void Net_node::remember(const Packet& packet)

@@ -26,6 +26,11 @@ public:
     /// oscillator phase of this transmission.
     dsp::Signal transmit(const Packet& packet, Pcg32& rng);
 
+    /// As above, modulating into a caller-owned buffer (cleared first;
+    /// typically a dsp::Workspace lease backing a chan::Transmission
+    /// view).
+    void transmit_into(const Packet& packet, Pcg32& rng, dsp::Signal& out);
+
     /// Record a packet (own or overheard) without transmitting — the "X"
     /// topology's snooping path (§11.5).
     void remember(const Packet& packet);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsp/energy_scan.h"
+#include "dsp/workspace.h"
 #include "util/db.h"
 
 namespace anc::phy {
@@ -16,24 +17,30 @@ std::optional<Packet_bounds> Packet_detector::detect(dsp::Signal_view signal) co
 {
     if (signal.size() < config_.window)
         return std::nullopt;
-    const dsp::Energy_scan scan = dsp::scan_energy(signal, config_.window);
+    dsp::Workspace& workspace = dsp::Workspace::current();
+    auto energies = workspace.reals();
+    auto window_mean = workspace.reals();
+    auto window_variance = workspace.reals();
+    dsp::scan_energy_into(signal, config_.window, *energies, *window_mean,
+                          *window_variance);
+    const std::vector<double>& mean = *window_mean;
     const double threshold = noise_power_ * from_db(config_.energy_threshold_db);
 
     // First window above threshold marks the packet head.
-    std::size_t first = scan.window_mean.size();
-    for (std::size_t i = 0; i < scan.window_mean.size(); ++i) {
-        if (scan.window_mean[i] > threshold) {
+    std::size_t first = mean.size();
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+        if (mean[i] > threshold) {
             first = i;
             break;
         }
     }
-    if (first == scan.window_mean.size())
+    if (first == mean.size())
         return std::nullopt;
 
     // Last window above threshold marks the tail.
     std::size_t last = first;
-    for (std::size_t i = scan.window_mean.size(); i-- > first;) {
-        if (scan.window_mean[i] > threshold) {
+    for (std::size_t i = mean.size(); i-- > first;) {
+        if (mean[i] > threshold) {
             last = i;
             break;
         }
@@ -56,7 +63,14 @@ Interference_report Interference_detector::analyze(dsp::Signal_view packet) cons
     if (packet.size() < config_.window)
         return report;
 
-    const dsp::Energy_scan scan = dsp::scan_energy(packet, config_.window);
+    dsp::Workspace& workspace = dsp::Workspace::current();
+    auto energies = workspace.reals();
+    auto window_mean = workspace.reals();
+    auto window_variance = workspace.reals();
+    dsp::scan_energy_into(packet, config_.window, *energies, *window_mean,
+                          *window_variance);
+    const std::vector<double>& mean = *window_mean;
+    const std::vector<double>& variance = *window_variance;
     const double threshold = from_db(config_.variance_threshold_db);
     const double sigma2 = noise_power_;
 
@@ -71,14 +85,18 @@ Interference_report Interference_detector::analyze(dsp::Signal_view packet) cons
     std::size_t first_begin = 0;
     std::size_t last_end = 0;
     bool found = false;
-    for (std::size_t i = 0; i < scan.window_variance.size(); ++i) {
+    // Track the peak ratio in linear space and convert to dB once at the
+    // end: log10 is monotone, so max-then-log equals log-then-max, and
+    // a per-window log10 was a measurable cost of every receive.
+    double peak_ratio = 1e-12;
+    for (std::size_t i = 0; i < variance.size(); ++i) {
         // Variance a clean constant-envelope signal of this power would
         // show: cross term 2*|s|^2*sigma^2 plus the noise-energy variance
         // sigma^4.  (|s|^2 ~ window mean minus the noise floor.)
-        const double signal_power = std::max(scan.window_mean[i] - sigma2, 1e-12);
+        const double signal_power = std::max(mean[i] - sigma2, 1e-12);
         const double clean_variance = 2.0 * signal_power * sigma2 + sigma2 * sigma2;
-        const double ratio = scan.window_variance[i] / clean_variance;
-        report.peak_ratio_db = std::max(report.peak_ratio_db, to_db(std::max(ratio, 1e-12)));
+        const double ratio = variance[i] / clean_variance;
+        peak_ratio = std::max(peak_ratio, ratio);
         if (ratio > threshold) {
             if (run == 0)
                 run_start = i;
@@ -94,6 +112,9 @@ Interference_report Interference_detector::analyze(dsp::Signal_view packet) cons
             run = 0;
         }
     }
+    // Historical form: the running max started at 0 dB, so it never
+    // reported below zero.
+    report.peak_ratio_db = std::max(0.0, to_db(peak_ratio));
 
     if (found) {
         report.interfered = true;

@@ -1,5 +1,6 @@
 #include "phy/modem.h"
 
+#include "dsp/workspace.h"
 #include "phy/pilot.h"
 
 namespace anc::phy {
@@ -22,6 +23,13 @@ dsp::Signal Modem::modulate(std::span<const std::uint8_t> frame_bits,
     return modulator.modulate(frame_bits);
 }
 
+void Modem::modulate_into(std::span<const std::uint8_t> frame_bits,
+                          double initial_phase, dsp::Signal& out) const
+{
+    const dsp::Msk_modulator modulator{config_.amplitude, initial_phase};
+    modulator.modulate_into(frame_bits, out);
+}
+
 dsp::Signal Modem::modulate_frame(const Frame_header& header,
                                   std::span<const std::uint8_t> payload,
                                   double initial_phase) const
@@ -34,6 +42,11 @@ Bits Modem::demodulate_bits(dsp::Signal_view signal) const
     return demodulator_.demodulate(signal);
 }
 
+void Modem::demodulate_bits_into(dsp::Signal_view signal, Bits& out) const
+{
+    demodulator_.demodulate_into(signal, out);
+}
+
 Bits Modem::descramble(std::span<const std::uint8_t> payload) const
 {
     return scrambler_.apply(payload);
@@ -41,7 +54,13 @@ Bits Modem::descramble(std::span<const std::uint8_t> payload) const
 
 std::optional<Received_frame> Modem::receive(dsp::Signal_view signal) const
 {
-    const Bits bits = demodulate_bits(signal);
+    auto bits = dsp::Workspace::current().bits();
+    demodulator_.demodulate_into(signal, *bits);
+    return receive_bits(*bits);
+}
+
+std::optional<Received_frame> Modem::receive_bits(std::span<const std::uint8_t> bits) const
+{
     const auto match = find_pilot(bits, config_.pilot_max_errors);
     if (!match)
         return std::nullopt;

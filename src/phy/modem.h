@@ -44,6 +44,10 @@ public:
     dsp::Signal modulate(std::span<const std::uint8_t> frame_bits,
                          double initial_phase = 0.0) const;
 
+    /// As above, into a caller-owned buffer (cleared first).
+    void modulate_into(std::span<const std::uint8_t> frame_bits,
+                       double initial_phase, dsp::Signal& out) const;
+
     /// Convenience: header + payload -> samples.
     dsp::Signal modulate_frame(const Frame_header& header,
                                std::span<const std::uint8_t> payload,
@@ -58,8 +62,16 @@ public:
     /// while genuine capture over *weak* interference still passes).
     std::optional<Received_frame> receive(dsp::Signal_view signal) const;
 
+    /// The same receive over an already-demodulated bit stream — the ANC
+    /// receiver demodulates once and probes the stream several ways, so
+    /// this avoids repeating the demodulation.
+    std::optional<Received_frame> receive_bits(std::span<const std::uint8_t> bits) const;
+
     /// Raw hard-decision demodulation (exposed for the ANC receiver).
     Bits demodulate_bits(dsp::Signal_view signal) const;
+
+    /// As above, into a caller-owned buffer (cleared first).
+    void demodulate_bits_into(dsp::Signal_view signal, Bits& out) const;
 
     /// De-whiten an on-air payload back to application bits.
     Bits descramble(std::span<const std::uint8_t> payload) const;

@@ -6,6 +6,7 @@
 #include "channel/medium.h"
 #include "core/anc_receiver.h"
 #include "core/relay.h"
+#include "dsp/workspace.h"
 #include "net/cope.h"
 #include "net/node.h"
 #include "net/packet.h"
@@ -16,6 +17,7 @@ namespace anc::sim {
 namespace {
 
 constexpr std::size_t rx_guard = 64; // trailing noise so detectors see the edge
+
 
 struct World {
     chan::Medium medium;
@@ -56,13 +58,15 @@ std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
                                              chan::Node_id to, const net::Packet& packet,
                                              Run_metrics& metrics)
 {
-    chan::Transmission tx;
-    tx.from = from.id();
-    tx.signal = from.transmit(packet, world.rng);
-    tx.start = 0;
-    metrics.airtime_symbols += static_cast<double>(tx.signal.size());
-    const dsp::Signal received = world.medium.receive(to, {tx}, rx_guard);
-    const Receive_outcome outcome = world.receiver.receive(received, Sent_packet_buffer{1});
+    dsp::Workspace& workspace = dsp::Workspace::current();
+    auto signal = workspace.signal();
+    from.transmit_into(packet, world.rng, *signal);
+    const chan::Transmission txs[] = {{from.id(), *signal, 0}};
+    metrics.airtime_symbols += static_cast<double>(signal->size());
+    auto received = workspace.signal();
+    world.medium.receive_into(to, txs, rx_guard, *received);
+    const Receive_outcome outcome =
+        world.receiver.receive(*received, empty_sent_packet_buffer());
     if (outcome.status != Receive_status::clean)
         return std::nullopt;
     return outcome.frame;
@@ -146,6 +150,7 @@ Alice_bob_result run_alice_bob_cope(const Alice_bob_config& config)
                       static_cast<std::uint8_t>(config.nodes.alice), config.payload_bits,
                       world.rng.fork(11)};
 
+    dsp::Workspace& workspace = dsp::Workspace::current();
     std::uint16_t coded_seq = 1;
     for (std::size_t i = 0; i < config.exchanges; ++i) {
         const net::Packet pa = flow_ab.next();
@@ -168,19 +173,20 @@ Alice_bob_result run_alice_bob_cope(const Alice_bob_config& config)
         coded.payload = net::cope_encode(packet_from_frame(*pa_at_router),
                                          packet_from_frame(*pb_at_router));
 
-        chan::Transmission tx;
-        tx.from = world.router.id();
-        tx.signal = world.router.transmit(coded, world.rng);
-        tx.start = 0;
-        result.metrics.airtime_symbols += static_cast<double>(tx.signal.size());
+        auto signal = workspace.signal();
+        world.router.transmit_into(coded, world.rng, *signal);
+        const chan::Transmission txs[] = {{world.router.id(), *signal, 0}};
+        result.metrics.airtime_symbols += static_cast<double>(signal->size());
 
-        const dsp::Signal at_alice = world.medium.receive(world.alice.id(), {tx}, rx_guard);
-        const dsp::Signal at_bob = world.medium.receive(world.bob.id(), {tx}, rx_guard);
+        auto at_alice = workspace.signal();
+        world.medium.receive_into(world.alice.id(), txs, rx_guard, *at_alice);
+        auto at_bob = workspace.signal();
+        world.medium.receive_into(world.bob.id(), txs, rx_guard, *at_bob);
 
         const auto decode_side = [&](const dsp::Signal& received, const net::Packet& own,
                                      const net::Packet& wanted, Cdf& side_ber) {
             const Receive_outcome outcome =
-                world.receiver.receive(received, Sent_packet_buffer{1});
+                world.receiver.receive(received, empty_sent_packet_buffer());
             if (outcome.status != Receive_status::clean)
                 return;
             const auto parsed = net::cope_parse(outcome.frame->payload);
@@ -191,8 +197,8 @@ Alice_bob_result run_alice_bob_cope(const Alice_bob_config& config)
                 return;
             record_delivery(result.metrics, side_ber, other->payload, wanted);
         };
-        decode_side(at_alice, pa, pb, result.ber_at_alice);
-        decode_side(at_bob, pb, pa, result.ber_at_bob);
+        decode_side(*at_alice, pa, pb, result.ber_at_alice);
+        decode_side(*at_bob, pb, pa, result.ber_at_bob);
     }
     return result;
 }
@@ -208,6 +214,7 @@ Alice_bob_result run_alice_bob_anc(const Alice_bob_config& config)
                       static_cast<std::uint8_t>(config.nodes.alice), config.payload_bits,
                       world.rng.fork(11)};
 
+    dsp::Workspace& workspace = dsp::Workspace::current();
     for (std::size_t i = 0; i < config.exchanges; ++i) {
         const net::Packet pa = flow_ab.next();
         const net::Packet pb = flow_ba.next();
@@ -215,38 +222,35 @@ Alice_bob_result run_alice_bob_anc(const Alice_bob_config& config)
 
         // Round 1: triggered, deliberately colliding uploads (§7.6).
         const auto [delay_a, delay_b] = draw_distinct_delays(config.trigger, world.rng);
-        chan::Transmission ta;
-        ta.from = world.alice.id();
-        ta.signal = world.alice.transmit(pa, world.rng);
-        ta.start = delay_a;
-        chan::Transmission tb;
-        tb.from = world.bob.id();
-        tb.signal = world.bob.transmit(pb, world.rng);
-        tb.start = delay_b;
+        auto signal_a = workspace.signal();
+        world.alice.transmit_into(pa, world.rng, *signal_a);
+        auto signal_b = workspace.signal();
+        world.bob.transmit_into(pb, world.rng, *signal_b);
+        const chan::Transmission round1[] = {{world.alice.id(), *signal_a, delay_a},
+                                             {world.bob.id(), *signal_b, delay_b}};
 
-        const std::size_t end_a = delay_a + ta.signal.size();
-        const std::size_t end_b = delay_b + tb.signal.size();
+        const std::size_t end_a = delay_a + signal_a->size();
+        const std::size_t end_b = delay_b + signal_b->size();
         result.metrics.airtime_symbols += static_cast<double>(
             std::max(end_a, end_b) - std::min(delay_a, delay_b));
-        result.metrics.overlaps.add(overlap_fraction(delay_a, ta.signal.size(), delay_b,
-                                                     tb.signal.size()));
+        result.metrics.overlaps.add(overlap_fraction(delay_a, signal_a->size(), delay_b,
+                                                     signal_b->size()));
 
-        const dsp::Signal at_router = world.medium.receive(world.router.id(), {ta, tb},
-                                                           rx_guard);
+        auto at_router = workspace.signal();
+        world.medium.receive_into(world.router.id(), round1, rx_guard, *at_router);
 
         // Round 2: the router amplifies the raw interfered signal and
         // broadcasts it (§7.5) — no decoding at the relay.
-        const auto forwarded = amplify_and_forward(at_router, world.noise_power, 1.0);
-        if (!forwarded)
+        auto forwarded = workspace.signal();
+        if (!amplify_and_forward_into(*at_router, world.noise_power, 1.0, *forwarded))
             continue;
-        chan::Transmission tr;
-        tr.from = world.router.id();
-        tr.signal = *forwarded;
-        tr.start = 0;
+        const chan::Transmission round2[] = {{world.router.id(), *forwarded, 0}};
         result.metrics.airtime_symbols += static_cast<double>(forwarded->size());
 
-        const dsp::Signal at_alice = world.medium.receive(world.alice.id(), {tr}, rx_guard);
-        const dsp::Signal at_bob = world.medium.receive(world.bob.id(), {tr}, rx_guard);
+        auto at_alice = workspace.signal();
+        world.medium.receive_into(world.alice.id(), round2, rx_guard, *at_alice);
+        auto at_bob = workspace.signal();
+        world.medium.receive_into(world.bob.id(), round2, rx_guard, *at_bob);
 
         const auto decode_side = [&](const dsp::Signal& received, const net::Net_node& node,
                                      const net::Packet& wanted, Cdf& side_ber) {
@@ -257,8 +261,8 @@ Alice_bob_result run_alice_bob_anc(const Alice_bob_config& config)
                 return;
             record_delivery(result.metrics, side_ber, outcome.frame->payload, wanted);
         };
-        decode_side(at_alice, world.alice, pb, result.ber_at_alice);
-        decode_side(at_bob, world.bob, pa, result.ber_at_bob);
+        decode_side(*at_alice, world.alice, pb, result.ber_at_alice);
+        decode_side(*at_bob, world.bob, pa, result.ber_at_bob);
     }
     return result;
 }

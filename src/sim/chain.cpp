@@ -5,6 +5,7 @@
 
 #include "channel/medium.h"
 #include "core/anc_receiver.h"
+#include "dsp/workspace.h"
 #include "net/node.h"
 #include "net/packet.h"
 #include "util/bits.h"
@@ -14,6 +15,7 @@ namespace anc::sim {
 namespace {
 
 constexpr std::size_t rx_guard = 64;
+
 
 struct World {
     chan::Medium medium;
@@ -47,13 +49,15 @@ std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
                                              chan::Node_id to, const net::Packet& packet,
                                              Run_metrics& metrics)
 {
-    chan::Transmission tx;
-    tx.from = from.id();
-    tx.signal = from.transmit(packet, world.rng);
-    tx.start = 0;
-    metrics.airtime_symbols += static_cast<double>(tx.signal.size());
-    const dsp::Signal received = world.medium.receive(to, {tx}, rx_guard);
-    const Receive_outcome outcome = world.receiver.receive(received, Sent_packet_buffer{1});
+    dsp::Workspace& workspace = dsp::Workspace::current();
+    auto signal = workspace.signal();
+    from.transmit_into(packet, world.rng, *signal);
+    const chan::Transmission txs[] = {{from.id(), *signal, 0}};
+    metrics.airtime_symbols += static_cast<double>(signal->size());
+    auto received = workspace.signal();
+    world.medium.receive_into(to, txs, rx_guard, *received);
+    const Receive_outcome outcome =
+        world.receiver.receive(*received, empty_sent_packet_buffer());
     if (outcome.status != Receive_status::clean)
         return std::nullopt;
     return outcome.frame;
@@ -163,23 +167,22 @@ Chain_result run_chain_anc(const Chain_config& config)
             next = next_packet();
 
         const auto [delay_1, delay_3] = draw_distinct_delays(config.trigger, world.rng);
-        std::vector<chan::Transmission> on_air;
+        dsp::Workspace& workspace = dsp::Workspace::current();
+        auto signal_1 = workspace.signal();
+        auto signal_3 = workspace.signal();
+        chan::Transmission round[2];
+        std::size_t round_size = 0;
         if (next) {
-            chan::Transmission t1;
-            t1.from = world.n1.id();
-            t1.signal = world.n1.transmit(*next, world.rng);
-            t1.start = delay_1;
-            on_air.push_back(std::move(t1));
+            world.n1.transmit_into(*next, world.rng, *signal_1);
+            round[round_size++] = {world.n1.id(), *signal_1, delay_1};
         }
         if (at_n3) {
-            chan::Transmission t3;
-            t3.from = world.n3.id();
-            t3.signal = world.n3.transmit(packet_from_frame(*at_n3), world.rng);
-            t3.start = delay_3;
-            on_air.push_back(std::move(t3));
+            world.n3.transmit_into(packet_from_frame(*at_n3), world.rng, *signal_3);
+            round[round_size++] = {world.n3.id(), *signal_3, delay_3};
         }
-        if (on_air.empty())
+        if (round_size == 0)
             continue;
+        const std::span<const chan::Transmission> on_air{round, round_size};
 
         std::size_t span_begin = on_air.front().start;
         std::size_t span_end = 0;
@@ -197,9 +200,10 @@ Chain_result run_chain_anc(const Chain_config& config)
 
         // N4 hears only N3 (N1 is out of range) and decodes `current`.
         if (at_n3) {
-            const dsp::Signal at_n4 = world.medium.receive(world.n4.id(), on_air, rx_guard);
+            auto at_n4 = workspace.signal();
+            world.medium.receive_into(world.n4.id(), on_air, rx_guard, *at_n4);
             const Receive_outcome outcome =
-                world.receiver.receive(at_n4, Sent_packet_buffer{1});
+                world.receiver.receive(*at_n4, empty_sent_packet_buffer());
             if (outcome.status == Receive_status::clean)
                 deliver(*outcome.frame);
         }
@@ -207,8 +211,9 @@ Chain_result run_chain_anc(const Chain_config& config)
         // N2 hears the collision; N3's half is known (N2 sent it in slot
         // A), so N2 decodes N1's new packet out of the interference.
         if (next) {
-            const dsp::Signal at_n2 = world.medium.receive(world.n2.id(), on_air, rx_guard);
-            const Receive_outcome outcome = world.receiver.receive(at_n2,
+            auto at_n2 = workspace.signal();
+            world.medium.receive_into(world.n2.id(), on_air, rx_guard, *at_n2);
+            const Receive_outcome outcome = world.receiver.receive(*at_n2,
                                                                    world.n2.buffer());
             const bool decoded =
                 (outcome.status == Receive_status::decoded_interference

@@ -5,6 +5,7 @@
 #include "channel/medium.h"
 #include "core/anc_receiver.h"
 #include "core/relay.h"
+#include "dsp/workspace.h"
 #include "net/cope.h"
 #include "net/node.h"
 #include "net/packet.h"
@@ -16,6 +17,7 @@ namespace {
 
 constexpr std::size_t rx_guard = 64;
 
+
 struct World {
     chan::Medium medium;
     net::Net_node n1;
@@ -24,6 +26,7 @@ struct World {
     net::Net_node n4;
     net::Net_node n5;
     Anc_receiver receiver;
+    Anc_receiver snoop_receiver; // lower detection threshold (overhear links)
     double noise_power;
     Pcg32 rng;
 };
@@ -35,6 +38,8 @@ World make_world(const X_config& config)
     chan::Medium medium{noise_power, rng.fork(1)};
     Pcg32 link_rng = rng.fork(2);
     install_x(medium, config.nodes, config.gains, link_rng);
+    Anc_receiver_config snoop_config;
+    snoop_config.packet_detector.energy_threshold_db = config.snoop_energy_threshold_db;
     return World{std::move(medium),
                  net::Net_node{config.nodes.n1},
                  net::Net_node{config.nodes.n2},
@@ -42,6 +47,7 @@ World make_world(const X_config& config)
                  net::Net_node{config.nodes.n4},
                  net::Net_node{config.nodes.n5},
                  Anc_receiver{Anc_receiver_config{}, noise_power},
+                 Anc_receiver{snoop_config, noise_power},
                  noise_power,
                  rng.fork(3)};
 }
@@ -52,15 +58,17 @@ std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
                                              dsp::Signal* also_heard_at = nullptr,
                                              chan::Node_id overhearer = 0)
 {
-    chan::Transmission tx;
-    tx.from = from.id();
-    tx.signal = from.transmit(packet, world.rng);
-    tx.start = 0;
-    metrics.airtime_symbols += static_cast<double>(tx.signal.size());
+    dsp::Workspace& workspace = dsp::Workspace::current();
+    auto signal = workspace.signal();
+    from.transmit_into(packet, world.rng, *signal);
+    const chan::Transmission txs[] = {{from.id(), *signal, 0}};
+    metrics.airtime_symbols += static_cast<double>(signal->size());
     if (also_heard_at)
-        *also_heard_at = world.medium.receive(overhearer, {tx}, rx_guard);
-    const dsp::Signal received = world.medium.receive(to, {tx}, rx_guard);
-    const Receive_outcome outcome = world.receiver.receive(received, Sent_packet_buffer{1});
+        world.medium.receive_into(overhearer, txs, rx_guard, *also_heard_at);
+    auto received = workspace.signal();
+    world.medium.receive_into(to, txs, rx_guard, *received);
+    const Receive_outcome outcome =
+        world.receiver.receive(*received, empty_sent_packet_buffer());
     if (outcome.status != Receive_status::clean)
         return std::nullopt;
     return outcome.frame;
@@ -140,21 +148,24 @@ X_result run_x_cope(const X_config& config)
                       static_cast<std::uint8_t>(config.nodes.n2), config.payload_bits,
                       world.rng.fork(11)};
 
+    dsp::Workspace& workspace = dsp::Workspace::current();
     std::uint16_t coded_seq = 1;
     for (std::size_t i = 0; i < config.exchanges; ++i) {
         const net::Packet pa = flow_14.next();
         const net::Packet pb = flow_32.next();
         result.metrics.packets_attempted += 2;
 
-        // Upload 1: n1 -> n5; n2 snoops the clean transmission.
-        dsp::Signal heard_at_n2;
+        // Upload 1: n1 -> n5; n2 snoops the clean transmission (through
+        // the weak overhear link, hence the snoop receiver's lower
+        // detection threshold).
+        auto heard_at_n2 = workspace.signal();
         const auto pa_at_n5 = clean_hop(world, world.n1, world.n5.id(), pa, result.metrics,
-                                        &heard_at_n2, world.n2.id());
+                                        &*heard_at_n2, world.n2.id());
         std::optional<net::Packet> pa_overheard;
         {
             ++result.overhear_attempts;
             const Receive_outcome snoop =
-                world.receiver.receive(heard_at_n2, Sent_packet_buffer{1});
+                world.snoop_receiver.receive(*heard_at_n2, empty_sent_packet_buffer());
             if (snoop.status == Receive_status::clean)
                 pa_overheard = packet_from_frame(*snoop.frame);
             else
@@ -162,14 +173,14 @@ X_result run_x_cope(const X_config& config)
         }
 
         // Upload 2: n3 -> n5; n4 snoops.
-        dsp::Signal heard_at_n4;
+        auto heard_at_n4 = workspace.signal();
         const auto pb_at_n5 = clean_hop(world, world.n3, world.n5.id(), pb, result.metrics,
-                                        &heard_at_n4, world.n4.id());
+                                        &*heard_at_n4, world.n4.id());
         std::optional<net::Packet> pb_overheard;
         {
             ++result.overhear_attempts;
             const Receive_outcome snoop =
-                world.receiver.receive(heard_at_n4, Sent_packet_buffer{1});
+                world.snoop_receiver.receive(*heard_at_n4, empty_sent_packet_buffer());
             if (snoop.status == Receive_status::clean)
                 pb_overheard = packet_from_frame(*snoop.frame);
             else
@@ -186,19 +197,19 @@ X_result run_x_cope(const X_config& config)
         coded.seq = coded_seq++;
         coded.payload = net::cope_encode(packet_from_frame(*pa_at_n5),
                                          packet_from_frame(*pb_at_n5));
-        chan::Transmission tx;
-        tx.from = world.n5.id();
-        tx.signal = world.n5.transmit(coded, world.rng);
-        tx.start = 0;
-        result.metrics.airtime_symbols += static_cast<double>(tx.signal.size());
+        auto signal = workspace.signal();
+        world.n5.transmit_into(coded, world.rng, *signal);
+        const chan::Transmission txs[] = {{world.n5.id(), *signal, 0}};
+        result.metrics.airtime_symbols += static_cast<double>(signal->size());
 
         const auto decode_side = [&](chan::Node_id at, const std::optional<net::Packet>& known,
                                      const net::Packet& wanted, Cdf& side_ber) {
             if (!known)
                 return;
-            const dsp::Signal received = world.medium.receive(at, {tx}, rx_guard);
+            auto received = workspace.signal();
+            world.medium.receive_into(at, txs, rx_guard, *received);
             const Receive_outcome outcome =
-                world.receiver.receive(received, Sent_packet_buffer{1});
+                world.receiver.receive(*received, empty_sent_packet_buffer());
             if (outcome.status != Receive_status::clean)
                 return;
             const auto parsed = net::cope_parse(outcome.frame->payload);
@@ -227,6 +238,7 @@ X_result run_x_anc(const X_config& config)
                       static_cast<std::uint8_t>(config.nodes.n2), config.payload_bits,
                       world.rng.fork(11)};
 
+    dsp::Workspace& workspace = dsp::Workspace::current();
     for (std::size_t i = 0; i < config.exchanges; ++i) {
         const net::Packet pa = flow_14.next();
         const net::Packet pb = flow_32.next();
@@ -235,31 +247,35 @@ X_result run_x_anc(const X_config& config)
         // Round 1: n1 and n3 collide on purpose.  The destinations snoop
         // under interference (capture decode).
         const auto [delay_1, delay_3] = draw_distinct_delays(config.trigger, world.rng);
-        chan::Transmission t1;
-        t1.from = world.n1.id();
-        t1.signal = world.n1.transmit(pa, world.rng);
-        t1.start = delay_1;
-        chan::Transmission t3;
-        t3.from = world.n3.id();
-        t3.signal = world.n3.transmit(pb, world.rng);
-        t3.start = delay_3;
+        auto signal_1 = workspace.signal();
+        world.n1.transmit_into(pa, world.rng, *signal_1);
+        auto signal_3 = workspace.signal();
+        world.n3.transmit_into(pb, world.rng, *signal_3);
+        const chan::Transmission on_air[] = {{world.n1.id(), *signal_1, delay_1},
+                                             {world.n3.id(), *signal_3, delay_3}};
 
-        const std::size_t end_1 = delay_1 + t1.signal.size();
-        const std::size_t end_3 = delay_3 + t3.signal.size();
+        const std::size_t end_1 = delay_1 + signal_1->size();
+        const std::size_t end_3 = delay_3 + signal_3->size();
         result.metrics.airtime_symbols += static_cast<double>(
             std::max(end_1, end_3) - std::min(delay_1, delay_3));
         result.metrics.overlaps.add(
-            overlap_fraction(delay_1, t1.signal.size(), delay_3, t3.signal.size()));
+            overlap_fraction(delay_1, signal_1->size(), delay_3, signal_3->size()));
 
-        const std::vector<chan::Transmission> on_air{t1, t3};
-        const dsp::Signal at_n5 = world.medium.receive(world.n5.id(), on_air, rx_guard);
+        auto at_n5 = workspace.signal();
+        world.medium.receive_into(world.n5.id(), on_air, rx_guard, *at_n5);
 
         const auto snoop = [&](chan::Node_id at, net::Net_node& node,
                                const net::Packet& expected) {
             ++result.overhear_attempts;
-            const dsp::Signal heard = world.medium.receive(at, on_air, rx_guard);
+            auto heard = workspace.signal();
+            world.medium.receive_into(at, on_air, rx_guard, *heard);
+            // Snooping *under interference* keeps the standard detector:
+            // lowering the threshold here would pull the weak cross-link
+            // signal into the detection window and break the capture
+            // decode — failures at the bottom of the band are the §11.5
+            // behavior, not the detector bug the snoop receiver fixes.
             const Receive_outcome outcome =
-                world.receiver.receive(heard, Sent_packet_buffer{1});
+                world.receiver.receive(*heard, empty_sent_packet_buffer());
             if (outcome.status == Receive_status::clean
                 && identity_matches(outcome.frame->header, expected)) {
                 node.remember(packet_from_frame(*outcome.frame));
@@ -271,19 +287,17 @@ X_result run_x_anc(const X_config& config)
         snoop(world.n4.id(), world.n4, pb);
 
         // Round 2: amplify-and-forward at n5.
-        const auto forwarded = amplify_and_forward(at_n5, world.noise_power, 1.0);
-        if (!forwarded)
+        auto forwarded = workspace.signal();
+        if (!amplify_and_forward_into(*at_n5, world.noise_power, 1.0, *forwarded))
             continue;
-        chan::Transmission t5;
-        t5.from = world.n5.id();
-        t5.signal = *forwarded;
-        t5.start = 0;
+        const chan::Transmission round2[] = {{world.n5.id(), *forwarded, 0}};
         result.metrics.airtime_symbols += static_cast<double>(forwarded->size());
 
         const auto decode_side = [&](chan::Node_id at, const net::Net_node& node,
                                      const net::Packet& wanted, Cdf& side_ber) {
-            const dsp::Signal received = world.medium.receive(at, {t5}, rx_guard);
-            const Receive_outcome outcome = world.receiver.receive(received, node.buffer());
+            auto received = workspace.signal();
+            world.medium.receive_into(at, round2, rx_guard, *received);
+            const Receive_outcome outcome = world.receiver.receive(*received, node.buffer());
             if (outcome.status != Receive_status::decoded_interference)
                 return;
             if (!identity_matches(outcome.frame->header, wanted))

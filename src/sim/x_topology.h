@@ -28,6 +28,20 @@ struct X_config {
     net::X_nodes nodes{};
     net::X_gains gains{};
     std::uint64_t seed = 1;
+    /// Packet-detection threshold used while snooping a *clean*
+    /// transmission on the overhear links (COPE's upload overhearing).
+    /// The default threshold (15 dB above the noise floor) sits above
+    /// the overhear link's entire budget at the bottom of the operating
+    /// band: with overhear gain 0.5 the snooped power is 0.25 P, i.e.
+    /// ~6 dB below a unit-gain link, so at 20 dB SNR the snooped packet
+    /// lands ~14 dB above the floor — *under* a 15 dB threshold, which
+    /// silently zeroed every COPE delivery there (every seed; the
+    /// demodulator itself is fine at 14 dB).  A snooping node
+    /// deliberately listens below the standard carrier-sense threshold
+    /// by the overhear link's deficit: 15 - 6 = 9 dB.  ANC's
+    /// under-interference snooping keeps the standard detector (see
+    /// run_x_anc).
+    double snoop_energy_threshold_db = 9.0;
 };
 
 struct X_result {

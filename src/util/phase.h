@@ -23,10 +23,37 @@ inline double wrap_phase(double angle)
     return angle;
 }
 
+/// wrap_phase for angles already known to satisfy |angle| <= 2*pi — e.g.
+/// the difference of two wrapped phases, or a wrapped phase plus one MSK
+/// step.  On that domain fmod(angle, 2*pi) returns `angle` unchanged
+/// (fmod is exact and the quotient is 0), so the fold below is
+/// bit-identical to wrap_phase while costing a branch instead of an
+/// fmod — which matters in the interference decoder's per-sample loop.
+/// (The sole deviation: an input of exactly -2*pi, which requires a
+/// sample with an exactly-zero imaginary part, yields +0.0 instead of
+/// fmod's -0.0 — indistinguishable through every consumer: comparisons,
+/// std::abs, and the >= 0 bit decision treat the two zeros alike.)
+inline double wrap_phase_bounded(double angle)
+{
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    if (angle > std::numbers::pi)
+        angle -= two_pi;
+    else if (angle <= -std::numbers::pi)
+        angle += two_pi;
+    return angle;
+}
+
 /// Circular distance |a - b| after wrapping; always in [0, pi].
 inline double phase_distance(double a, double b)
 {
     return std::abs(wrap_phase(a - b));
+}
+
+/// phase_distance for already-wrapped inputs (|a|, |b| <= pi), via the
+/// branch-only fold.
+inline double phase_distance_bounded(double a, double b)
+{
+    return std::abs(wrap_phase_bounded(a - b));
 }
 
 } // namespace anc

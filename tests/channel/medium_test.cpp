@@ -22,10 +22,9 @@ TEST(Medium, SingleLinkDelivery)
     params.gain = 0.5;
     medium.set_link(1, 2, params);
 
-    Transmission tx;
-    tx.from = 1;
-    tx.signal = {dsp::Sample{2.0, 0.0}};
-    const dsp::Signal rx = medium.receive(2, {tx});
+    const dsp::Signal signal{dsp::Sample{2.0, 0.0}};
+    const Transmission txs[] = {{1, signal, 0}};
+    const dsp::Signal rx = medium.receive(2, txs);
     ASSERT_EQ(rx.size(), 1u);
     EXPECT_NEAR(rx[0].real(), 1.0, 1e-12);
 }
@@ -34,10 +33,9 @@ TEST(Medium, OutOfRangeSenderIsSilent)
 {
     Medium medium = make_noiseless_medium();
     // no link 1 -> 2
-    Transmission tx;
-    tx.from = 1;
-    tx.signal = {dsp::Sample{1.0, 0.0}};
-    const dsp::Signal rx = medium.receive(2, {tx});
+    const dsp::Signal signal{dsp::Sample{1.0, 0.0}};
+    const Transmission txs[] = {{1, signal, 0}};
+    const dsp::Signal rx = medium.receive(2, txs);
     for (const auto& s : rx)
         EXPECT_EQ(s, (dsp::Sample{0.0, 0.0}));
 }
@@ -46,10 +44,9 @@ TEST(Medium, HalfDuplexSkipsOwnTransmission)
 {
     Medium medium = make_noiseless_medium();
     medium.set_link(1, 1, {}); // even with a pathological self-link
-    Transmission tx;
-    tx.from = 1;
-    tx.signal = {dsp::Sample{1.0, 0.0}};
-    const dsp::Signal rx = medium.receive(1, {tx});
+    const dsp::Signal signal{dsp::Sample{1.0, 0.0}};
+    const Transmission txs[] = {{1, signal, 0}};
+    const dsp::Signal rx = medium.receive(1, txs);
     for (const auto& s : rx)
         EXPECT_EQ(s, (dsp::Sample{0.0, 0.0}));
 }
@@ -61,13 +58,10 @@ TEST(Medium, ConcurrentTransmissionsAdd)
     Medium medium = make_noiseless_medium();
     medium.set_link(1, 3, {});
     medium.set_link(2, 3, {});
-    Transmission a;
-    a.from = 1;
-    a.signal = {dsp::Sample{1.0, 0.0}, dsp::Sample{1.0, 0.0}};
-    Transmission b;
-    b.from = 2;
-    b.signal = {dsp::Sample{0.0, 1.0}, dsp::Sample{0.0, 1.0}};
-    const dsp::Signal rx = medium.receive(3, {a, b});
+    const dsp::Signal signal_a{dsp::Sample{1.0, 0.0}, dsp::Sample{1.0, 0.0}};
+    const dsp::Signal signal_b{dsp::Sample{0.0, 1.0}, dsp::Sample{0.0, 1.0}};
+    const Transmission txs[] = {{1, signal_a, 0}, {2, signal_b, 0}};
+    const dsp::Signal rx = medium.receive(3, txs);
     ASSERT_EQ(rx.size(), 2u);
     EXPECT_NEAR(rx[0].real(), 1.0, 1e-12);
     EXPECT_NEAR(rx[0].imag(), 1.0, 1e-12);
@@ -78,15 +72,10 @@ TEST(Medium, StartOffsetsShiftSignals)
     Medium medium = make_noiseless_medium();
     medium.set_link(1, 3, {});
     medium.set_link(2, 3, {});
-    Transmission a;
-    a.from = 1;
-    a.signal = {dsp::Sample{1.0, 0.0}};
-    a.start = 0;
-    Transmission b;
-    b.from = 2;
-    b.signal = {dsp::Sample{0.0, 1.0}};
-    b.start = 2;
-    const dsp::Signal rx = medium.receive(3, {a, b});
+    const dsp::Signal signal_a{dsp::Sample{1.0, 0.0}};
+    const dsp::Signal signal_b{dsp::Sample{0.0, 1.0}};
+    const Transmission txs[] = {{1, signal_a, 0}, {2, signal_b, 2}};
+    const dsp::Signal rx = medium.receive(3, txs);
     ASSERT_EQ(rx.size(), 3u);
     EXPECT_NEAR(rx[0].real(), 1.0, 1e-12);
     EXPECT_EQ(rx[1], (dsp::Sample{0.0, 0.0}));
@@ -97,10 +86,9 @@ TEST(Medium, NoiseAddedAtReceiver)
 {
     Medium medium{0.1, Pcg32{322}};
     medium.set_link(1, 2, {});
-    Transmission tx;
-    tx.from = 1;
-    tx.signal = dsp::Signal(20000, dsp::Sample{1.0, 0.0});
-    const dsp::Signal rx = medium.receive(2, {tx});
+    const dsp::Signal signal(20000, dsp::Sample{1.0, 0.0});
+    const Transmission txs[] = {{1, signal, 0}};
+    const dsp::Signal rx = medium.receive(2, txs);
     EXPECT_NEAR(dsp::mean_energy(rx), 1.1, 0.02);
 }
 
@@ -108,10 +96,9 @@ TEST(Medium, TrailingNoisePadding)
 {
     Medium medium{0.1, Pcg32{323}};
     medium.set_link(1, 2, {});
-    Transmission tx;
-    tx.from = 1;
-    tx.signal = dsp::Signal(10, dsp::Sample{1.0, 0.0});
-    const dsp::Signal rx = medium.receive(2, {tx}, 32);
+    const dsp::Signal signal(10, dsp::Sample{1.0, 0.0});
+    const Transmission txs[] = {{1, signal, 0}};
+    const dsp::Signal rx = medium.receive(2, txs, 32);
     EXPECT_EQ(rx.size(), 42u);
 }
 
@@ -145,16 +132,13 @@ TEST(Medium, InterferedMskStreamsDecodeAfterCancellation)
     medium.set_link(1, 3, link_a);
     medium.set_link(2, 3, link_b);
 
-    Transmission a;
-    a.from = 1;
-    a.signal = modulator.modulate(bits_a);
-    Transmission b;
-    b.from = 2;
-    b.signal = modulator.modulate(bits_b);
-    const dsp::Signal rx = medium.receive(3, {a, b});
+    const dsp::Signal signal_a = modulator.modulate(bits_a);
+    const dsp::Signal signal_b = modulator.modulate(bits_b);
+    const Transmission txs[] = {{1, signal_a, 0}, {2, signal_b, 0}};
+    const dsp::Signal rx = medium.receive(3, txs);
 
     // Genie cancellation of A's contribution.
-    const dsp::Signal a_at_rx = medium.link(1, 3).apply(a.signal);
+    const dsp::Signal a_at_rx = medium.link(1, 3).apply(signal_a);
     dsp::Signal residual = rx;
     for (std::size_t i = 0; i < a_at_rx.size(); ++i)
         residual[i] -= a_at_rx[i];

@@ -1,0 +1,104 @@
+#include "dsp/workspace.h"
+
+#include <thread>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace anc::dsp {
+namespace {
+
+TEST(Workspace, LeaseHandsOutClearedBuffersAndRecycles)
+{
+    Workspace workspace;
+    void* first_data = nullptr;
+    {
+        auto lease = workspace.signal();
+        EXPECT_TRUE(lease->empty());
+        lease->resize(1000);
+        first_data = lease->data();
+    }
+    EXPECT_EQ(workspace.buffers_created(), 1u);
+    {
+        // Same buffer back: cleared, capacity (and storage) retained.
+        auto lease = workspace.signal();
+        EXPECT_TRUE(lease->empty());
+        EXPECT_GE(lease->capacity(), 1000u);
+        lease->resize(800);
+        EXPECT_EQ(static_cast<void*>(lease->data()), first_data);
+    }
+    EXPECT_EQ(workspace.buffers_created(), 1u);
+    EXPECT_EQ(workspace.leases_served(), 2u);
+}
+
+TEST(Workspace, ConcurrentLeasesGetDistinctBuffers)
+{
+    Workspace workspace;
+    auto a = workspace.signal();
+    auto b = workspace.signal();
+    EXPECT_NE(a.operator->(), b.operator->());
+    a->resize(10);
+    b->resize(20);
+    EXPECT_NE(static_cast<const void*>(a->data()), static_cast<const void*>(b->data()));
+    EXPECT_EQ(workspace.buffers_created(), 2u);
+}
+
+TEST(Workspace, PoolStopsGrowingOnceWarm)
+{
+    Workspace workspace;
+    for (int round = 0; round < 50; ++round) {
+        auto signal = workspace.signal();
+        auto bits = workspace.bits();
+        auto reals = workspace.reals();
+        signal->resize(512);
+        bits->resize(512);
+        reals->resize(512);
+    }
+    // One buffer per type: the steady state allocates nothing new.
+    EXPECT_EQ(workspace.buffers_created(), 3u);
+    EXPECT_EQ(workspace.leases_served(), 150u);
+}
+
+TEST(Workspace, MoveTransfersOwnership)
+{
+    Workspace workspace;
+    {
+        auto a = workspace.signal();
+        a->resize(5);
+        auto b = std::move(a);
+        EXPECT_EQ(b->size(), 5u);
+        auto c = workspace.signal(); // a's release must not have fired twice
+        EXPECT_NE(b.operator->(), c.operator->());
+    }
+    EXPECT_EQ(workspace.buffers_created(), 2u);
+}
+
+TEST(Workspace, CurrentFallsBackPerThreadAndBindOverrides)
+{
+    Workspace& fallback = Workspace::current();
+    EXPECT_EQ(&fallback, &Workspace::current()); // stable per thread
+
+    Workspace mine;
+    {
+        const Workspace::Bind bind{mine};
+        EXPECT_EQ(&Workspace::current(), &mine);
+        Workspace nested;
+        {
+            const Workspace::Bind inner{nested};
+            EXPECT_EQ(&Workspace::current(), &nested);
+        }
+        EXPECT_EQ(&Workspace::current(), &mine);
+    }
+    EXPECT_EQ(&Workspace::current(), &fallback);
+
+    // Another thread sees its own fallback, never this thread's binding.
+    const Workspace::Bind bind{mine};
+    Workspace* seen = nullptr;
+    std::thread worker{[&] { seen = &Workspace::current(); }};
+    worker.join();
+    EXPECT_NE(seen, nullptr);
+    EXPECT_NE(seen, &mine);
+}
+
+} // namespace
+} // namespace anc::dsp

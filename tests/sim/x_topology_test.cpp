@@ -30,6 +30,39 @@ TEST(XSim, CopeDeliversNearlyEverything)
     EXPECT_LE(result.overhear_failures, 1u);
 }
 
+TEST(XSim, CopeDeliversAtBottomOfBand)
+{
+    // Regression for the ROADMAP item "x_topology/cope delivers 0 packets
+    // at 20 dB SNR": the overhear link (gain 0.5, ~6 dB below a spoke)
+    // put the snooped packet *under* the default 15 dB detection
+    // threshold at 20 dB SNR, so overhearing failed deterministically at
+    // every seed and no COPE packet could ever be decoded.  The snoop
+    // path now listens with a threshold lowered by the overhear link's
+    // budget deficit.
+    for (const std::uint64_t seed : {1ull, 2ull, 42ull}) {
+        X_config config = small_config(seed);
+        config.snr_db = 20.0;
+        const X_result result = run_x_cope(config);
+        EXPECT_GT(result.metrics.packets_delivered, 0u) << "seed " << seed;
+        EXPECT_GE(result.metrics.packets_delivered,
+                  result.metrics.packets_attempted / 2)
+            << "seed " << seed;
+    }
+}
+
+TEST(XSim, SnoopThresholdDoesNotDisturbHighSnr)
+{
+    // At 25 dB the historical 15 dB threshold already overheard fine;
+    // the lowered snoop default must deliver at least as much there.
+    X_config historical = small_config(2);
+    historical.snoop_energy_threshold_db = 15.0; // pre-fix behavior
+    const X_result old_threshold = run_x_cope(historical);
+    const X_result new_threshold = run_x_cope(small_config(2));
+    EXPECT_GE(new_threshold.metrics.packets_delivered,
+              old_threshold.metrics.packets_delivered);
+    EXPECT_LE(new_threshold.overhear_failures, old_threshold.overhear_failures);
+}
+
 TEST(XSim, AncDeliversMost)
 {
     X_config config = small_config(3);
