@@ -1,0 +1,94 @@
+// Fading sweep: the general-ANC scenarios (Rahimian et al., PAPERS.md)
+// over Rayleigh block-fading links, on the sweep engine.
+//
+// Sweeps (SNR x coherence block x mean link gain) for the alice_bob and
+// x_topology fading scenarios, ANC against the traditional baseline
+// under *identical* fading realizations (scheme-collapsed seeds), and
+// reports delivery, residual BER, and the per-run paired gain.
+//
+// The interesting axis is the coherence block: once a fade boundary
+// lands inside a frame, the differential MSK decode breaks at the
+// boundary and CRC-gated clean delivery collapses, while ANC degrades
+// more gracefully (its BER is measured on identity-matched decodes).
+// Blocks covering a whole round (>= 4096 samples) behave quasi-static.
+//
+// ANC_ENGINE_JSON / ANC_ENGINE_CSV emit the full sweep document (CI
+// uploads the JSON as a workflow artifact).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+
+namespace {
+
+using namespace anc;
+using namespace anc::engine;
+
+/// Mean per-run gain of anc over traditional at one grid point; 0 when
+/// the baseline delivered nothing anywhere (deep-fade regimes kill
+/// whole traditional runs, which is the story, not an error).
+double mean_gain(const std::vector<Task_result>& tasks, const Point_key& anc_key)
+{
+    Point_key traditional_key = anc_key;
+    traditional_key.scheme = "traditional";
+    const Cdf gains =
+        paired_gain(tasks, anc_key, traditional_key, Baseline_policy::skip_failed);
+    return gains.empty() ? 0.0 : gains.mean();
+}
+
+} // namespace
+
+int main()
+{
+    bench::print_header("Fading", "Rayleigh block fading, ANC vs traditional (general ANC)");
+
+    const std::size_t runs = bench::run_count(6);
+    const std::size_t exchanges = bench::exchange_count();
+    const std::vector<double> snrs{22.0, 25.0, 30.0};
+    const std::vector<std::size_t> blocks{512, 2048, 4096};
+    const std::vector<double> link_gains{0.8, 1.0};
+
+    Sweep_grid grid;
+    grid.scenarios = {"alice_bob_fading", "x_topology_fading"};
+    grid.schemes = {"anc", "traditional"};
+    grid.snr_db = snrs;
+    grid.coherence_blocks = blocks;
+    grid.mean_link_gains = link_gains;
+    grid.exchanges = {exchanges};
+    grid.repetitions = runs;
+
+    Executor_config exec;
+    exec.base_seed = 17000;
+    const Sweep_outcome outcome = run_grid(grid, exec);
+    bench::print_engine_note(outcome.tasks.size(), exec);
+
+    for (const char* scenario : {"alice_bob_fading", "x_topology_fading"}) {
+        std::printf("\n%s\n", scenario);
+        std::printf("%8s %10s %11s %10s %10s %16s\n", "SNR(dB)", "coherence",
+                    "gain scale", "anc deliv", "anc BER", "gain vs trad");
+        for (const double snr : snrs) {
+            for (const std::size_t block : blocks) {
+                for (const double link_gain : link_gains) {
+                    for (const Point_summary& point : outcome.points) {
+                        if (point.key.scenario != scenario || point.key.scheme != "anc"
+                            || point.key.snr_db != snr
+                            || point.key.coherence_block != block
+                            || point.key.mean_link_gain != link_gain)
+                            continue;
+                        std::printf("%8.0f %10zu %11.2f %10.2f %10.4f %16.3f\n", snr,
+                                    block, link_gain, point.delivery_rate.mean(),
+                                    point.run_mean_ber.mean(),
+                                    mean_gain(outcome.tasks, point.key));
+                    }
+                }
+            }
+        }
+    }
+    std::printf("\nQuasi-static fades (blocks >= one round) keep the paper's ANC gain;\n"
+                "fade boundaries inside a frame break the differential decode and\n"
+                "collapse CRC-gated clean delivery first, so the paired gain column\n"
+                "is where the schemes' robustness difference shows.\n");
+    return 0;
+}

@@ -204,6 +204,41 @@ Stage_result bench_mix(double min_seconds)
     });
 }
 
+Stage_result bench_fading_mix(double min_seconds)
+{
+    // The mix stage over Rayleigh block-fading links (the *_fading
+    // scenarios): same two overlapped frames, but every link multiplies
+    // in a counter-based CN(0,1) coefficient per 512-sample coherence
+    // block.  Block-gain draws are stack-local Pcg32 streams, so the
+    // zero-allocation invariant covers the fading kernels too.
+    const double noise_power = chan::noise_power_for_snr_db(bench_snr_db);
+    Pcg32 rng{7, 3};
+    chan::Medium medium{noise_power, rng.fork(1)};
+    net::Alice_bob_nodes nodes;
+    net::Alice_bob_gains gains;
+    net::Link_fading fading;
+    fading.model = chan::Gain_model::rayleigh_block;
+    fading.coherence_block = 512;
+    Pcg32 link_rng = rng.fork(2);
+    install_alice_bob(medium, nodes, gains, fading, link_rng);
+
+    const Bits bits_a = frame_sized_bits(bench_frame_bits, 0xB0);
+    const Bits bits_b = frame_sized_bits(bench_frame_bits, 0xB1);
+    const dsp::Msk_modulator modulator{1.0, 0.0};
+    const dsp::Signal signal_a = modulator.modulate(bits_a);
+    const dsp::Signal signal_b = modulator.modulate(bits_b);
+
+    chan::Transmission ta{nodes.alice, signal_a, 140};
+    chan::Transmission tb{nodes.bob, signal_b, 280};
+    const std::vector<chan::Transmission> on_air{ta, tb};
+    const std::uint64_t mixed = 280 + signal_b.size() + 64;
+
+    auto out = dsp::Workspace::current().signal();
+    return time_stage("fading_mix", mixed, 2, min_seconds, [&] {
+        medium.receive_into(nodes.router, on_air, 64, *out);
+    });
+}
+
 Stage_result bench_relay(double min_seconds)
 {
     // A realistic relay input: two overlapped frames plus noise.
@@ -333,6 +368,7 @@ int main(int argc, char** argv)
     std::vector<Stage_result> stages;
     stages.push_back(bench_modulate(min_seconds));
     stages.push_back(bench_mix(min_seconds));
+    stages.push_back(bench_fading_mix(min_seconds));
     stages.push_back(bench_relay(min_seconds));
     stages.push_back(bench_demodulate(min_seconds));
     stages.push_back(bench_exchange(min_seconds, quick));

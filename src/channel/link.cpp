@@ -1,9 +1,37 @@
 #include "channel/link.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace anc::chan {
+
+namespace {
+
+// 1/sqrt(2): each quadrature of h_k ~ CN(0,1) has variance 1/2.
+constexpr double inv_sqrt2 = 0.70710678118654752440;
+
+} // namespace
+
+/// Shared rayleigh_block kernel: accumulate the faded, rotated signal
+/// onto `out` (which must already span signal.size() samples).
+void Link_channel::accumulate_faded(dsp::Signal_view signal, std::uint64_t fading_epoch,
+                                    dsp::Sample* out) const
+{
+    const std::size_t block_len =
+        params_.coherence_block == 0 ? signal.size() : params_.coherence_block;
+    for (std::size_t begin_n = 0; begin_n < signal.size(); begin_n += block_len) {
+        const dsp::Sample fade = block_gain(fading_epoch, begin_n / block_len);
+        const std::size_t end_n = std::min(begin_n + block_len, signal.size());
+        for (std::size_t n = begin_n; n < end_n; ++n) {
+            const double rotation =
+                params_.phase + params_.phase_drift * static_cast<double>(n);
+            out[n] += signal[n] * std::polar(params_.gain, rotation) * fade;
+        }
+    }
+}
 
 Link_channel::Link_channel(Link_params params)
     : params_{params}
@@ -12,29 +40,51 @@ Link_channel::Link_channel(Link_params params)
         throw std::invalid_argument{"Link_channel: gain must be non-negative"};
 }
 
-dsp::Signal Link_channel::apply(dsp::Signal_view signal) const
+dsp::Sample Link_channel::block_gain(std::uint64_t fading_epoch, std::size_t block) const
+{
+    // Counter-based: a fresh Pcg32 per (epoch, block), seeded through
+    // two mix_seed layers, so the draw depends only on
+    // (fading_seed, epoch, block) — never on how many samples or
+    // signals this channel has already processed.
+    Pcg32 draws{mix_seed(mix_seed(params_.fading_seed, fading_epoch), block),
+                0xfadeb10cULL};
+    const double re = draws.next_gaussian() * inv_sqrt2;
+    const double im = draws.next_gaussian() * inv_sqrt2;
+    return {re, im};
+}
+
+dsp::Signal Link_channel::apply(dsp::Signal_view signal, std::uint64_t fading_epoch) const
 {
     dsp::Signal out;
-    out.reserve(params_.delay + signal.size());
-    out.assign(params_.delay, dsp::Sample{0.0, 0.0});
-    for (std::size_t n = 0; n < signal.size(); ++n) {
-        const double rotation = params_.phase + params_.phase_drift * static_cast<double>(n);
-        out.push_back(signal[n] * std::polar(params_.gain, rotation));
+    if (params_.gain_model == Gain_model::fixed) {
+        out.reserve(params_.delay + signal.size());
+        out.assign(params_.delay, dsp::Sample{0.0, 0.0});
+        for (std::size_t n = 0; n < signal.size(); ++n) {
+            const double rotation = params_.phase + params_.phase_drift * static_cast<double>(n);
+            out.push_back(signal[n] * std::polar(params_.gain, rotation));
+        }
+        return out;
     }
+    out.assign(params_.delay + signal.size(), dsp::Sample{0.0, 0.0});
+    accumulate_faded(signal, fading_epoch, out.data() + params_.delay);
     return out;
 }
 
 void Link_channel::apply_onto(dsp::Signal_view signal, std::size_t at,
-                              dsp::Signal& acc) const
+                              dsp::Signal& acc, std::uint64_t fading_epoch) const
 {
     const std::size_t begin = at + params_.delay;
     if (acc.size() < begin + signal.size())
         acc.resize(begin + signal.size(), dsp::Sample{0.0, 0.0});
     dsp::Sample* out = acc.data() + begin;
-    for (std::size_t n = 0; n < signal.size(); ++n) {
-        const double rotation = params_.phase + params_.phase_drift * static_cast<double>(n);
-        out[n] += signal[n] * std::polar(params_.gain, rotation);
+    if (params_.gain_model == Gain_model::fixed) {
+        for (std::size_t n = 0; n < signal.size(); ++n) {
+            const double rotation = params_.phase + params_.phase_drift * static_cast<double>(n);
+            out[n] += signal[n] * std::polar(params_.gain, rotation);
+        }
+        return;
     }
+    accumulate_faded(signal, fading_epoch, out);
 }
 
 } // namespace anc::chan

@@ -6,28 +6,60 @@
 // delay and an optional slow phase drift (a small carrier-frequency
 // offset), which stresses the decoder's channel-invariance exactly the way
 // real radios do.
+//
+// Beyond the paper's fixed-gain links, the channel supports Rayleigh
+// block fading (Rahimian et al., "A General Analog Network Coding for
+// Wireless Systems with Fading and Noisy Channels"): the link gain is a
+// circularly-symmetric complex Gaussian h_k ~ CN(0, 1), constant over a
+// coherence block of samples and independent across blocks.  Draws are
+// counter-based — block k's gain is a pure function of (fading_seed, k)
+// via the engine's mix_seed discipline — so a link's realization depends
+// only on its parameters, never on call order, and paired schemes that
+// share a seed see identical fades.
 
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "dsp/sample.h"
 
 namespace anc::chan {
 
+/// How the link's gain behaves over time.
+enum class Gain_model {
+    fixed,          ///< constant amplitude `gain` (the paper's model)
+    rayleigh_block, ///< gain * h_k with h_k ~ CN(0,1) per coherence block
+};
+
 struct Link_params {
-    double gain = 1.0;            // amplitude attenuation h
+    double gain = 1.0;            // amplitude attenuation h (mean amplitude
+                                  // scale under rayleigh_block: E[|h_k|^2]=1,
+                                  // so the mean *power* gain stays gain^2)
     double phase = 0.0;           // phase shift gamma (radians)
     std::size_t delay = 0;        // whole-symbol delay
     double phase_drift = 0.0;     // radians of extra rotation per sample (CFO)
+    Gain_model gain_model = Gain_model::fixed;
+    /// rayleigh_block: samples per coherence block; 0 means one block
+    /// spanning the whole transmission (quasi-static fading).
+    std::size_t coherence_block = 0;
+    /// Root of the per-block gain draws: block k at fading epoch e uses
+    /// mix_seed(mix_seed(fading_seed, e), k).
+    std::uint64_t fading_seed = 0;
 };
 
-/// y[n] = h * e^{i(gamma + drift*n)} * x[n - delay]
+/// Fixed:          y[n] = h * e^{i(gamma + drift*n)} * x[n - delay]
+/// Rayleigh block: y[n] = h_{e,k(n)} * h * e^{i(gamma + drift*n)} * x[n - delay]
+/// where k(n) = n / coherence_block indexes the fading block and `e` is
+/// the *fading epoch* — a caller-supplied counter (the sims advance it
+/// once per exchange through Medium::set_fading_epoch) that makes
+/// successive packets over the same link see independent fades, while
+/// paired schemes replaying the same epoch sequence see identical ones.
 class Link_channel {
 public:
     explicit Link_channel(Link_params params = {});
 
-    dsp::Signal apply(dsp::Signal_view signal) const;
+    dsp::Signal apply(dsp::Signal_view signal, std::uint64_t fading_epoch = 0) const;
 
     /// Accumulate the channel's output into `acc` starting at sample
     /// `at`: acc[at + delay + n] += y[n], growing acc (zero-filled) as
@@ -35,14 +67,25 @@ public:
     /// application — no intermediate per-link signal is materialized.
     /// `acc` must not alias `signal` (the accumulation reads `signal`
     /// while writing, and may reallocate `acc`).
-    void apply_onto(dsp::Signal_view signal, std::size_t at, dsp::Signal& acc) const;
+    void apply_onto(dsp::Signal_view signal, std::size_t at, dsp::Signal& acc,
+                    std::uint64_t fading_epoch = 0) const;
+
+    /// The complex fading coefficient h_{epoch,block} (rayleigh_block
+    /// only) — a pure function of (params' fading_seed, epoch, block).
+    dsp::Sample block_gain(std::uint64_t fading_epoch, std::size_t block) const;
 
     const Link_params& params() const { return params_; }
 
-    /// Power gain h^2 of the link.
+    /// Power gain h^2 of the link (under rayleigh_block, the *mean*
+    /// power gain: E[|h_k|^2] = 1).
     double power_gain() const { return params_.gain * params_.gain; }
 
 private:
+    /// Shared rayleigh_block kernel behind apply/apply_onto: accumulate
+    /// the faded, rotated signal onto `out` (spanning signal.size()).
+    void accumulate_faded(dsp::Signal_view signal, std::uint64_t fading_epoch,
+                          dsp::Sample* out) const;
+
     Link_params params_;
 };
 

@@ -50,7 +50,7 @@ void Medium::receive_into(Node_id receiver,
         const auto it = links_.find({tx.from, receiver});
         if (it == links_.end())
             continue; // out of radio range
-        it->second.apply_onto(tx.signal, tx.start, out);
+        it->second.apply_onto(tx.signal, tx.start, out, fading_epoch_);
     }
     out.resize(out.size() + trailing_noise, dsp::Sample{0.0, 0.0});
     Awgn noise{noise_power_, rng_.fork(static_cast<std::uint64_t>(receiver) + 1)};

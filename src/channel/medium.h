@@ -75,10 +75,19 @@ public:
 
     double noise_power() const { return noise_power_; }
 
+    /// The fading epoch applied to every rayleigh_block link during
+    /// receive(): a logical packet/exchange counter the simulation
+    /// advances (once per exchange in the sim/ runners), so successive
+    /// packets see independent fades while schemes replaying the same
+    /// epoch sequence see identical ones.  No effect on fixed links.
+    void set_fading_epoch(std::uint64_t epoch) { fading_epoch_ = epoch; }
+    std::uint64_t fading_epoch() const { return fading_epoch_; }
+
 private:
     std::map<std::pair<Node_id, Node_id>, Link_channel> links_;
     double noise_power_;
     Pcg32 rng_;
+    std::uint64_t fading_epoch_ = 0;
 };
 
 } // namespace anc::chan

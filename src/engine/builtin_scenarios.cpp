@@ -1,9 +1,16 @@
-// The three topology runners (sim/) wrapped as engine scenarios.
+// The topology runners (sim/) wrapped as engine scenarios.
 //
 // Each adapter maps the uniform Scenario_config onto the topology's
 // concrete config struct, dispatches on scheme, and repackages the
 // result's topology-specific CDFs/counters into the named series/scalar
 // maps.
+//
+// The *_fading variants run the same topologies over Rayleigh
+// block-fading links (Rahimian et al., PAPERS.md): every link gain is
+// multiplied by an independent CN(0,1) coefficient per coherence block,
+// with the grid's coherence_block / mean_link_gain axes mapped onto the
+// channel substrate.  Fading seeds flow from the scenario seed, so
+// scheme-collapsed tasks still share channel realizations.
 
 #include <memory>
 #include <stdexcept>
@@ -17,7 +24,8 @@ namespace anc::engine {
 
 namespace {
 
-Scenario_result run_alice_bob(const Scenario_config& config, std::uint64_t seed)
+sim::Alice_bob_config alice_bob_config_for(const Scenario_config& config,
+                                           std::uint64_t seed)
 {
     sim::Alice_bob_config sim_config;
     sim_config.payload_bits = config.payload_bits;
@@ -25,8 +33,14 @@ Scenario_result run_alice_bob(const Scenario_config& config, std::uint64_t seed)
     sim_config.snr_db = config.snr_db;
     sim_config.alice_amplitude = config.alice_amplitude;
     sim_config.bob_amplitude = config.bob_amplitude;
+    sim_config.receiver = config.receiver;
     sim_config.seed = seed;
+    return sim_config;
+}
 
+Scenario_result run_alice_bob_sim(const Scenario_config& config,
+                                  const sim::Alice_bob_config& sim_config)
+{
     sim::Alice_bob_result sim_result;
     if (config.scheme == "traditional")
         sim_result = sim::run_alice_bob_traditional(sim_config);
@@ -42,14 +56,36 @@ Scenario_result run_alice_bob(const Scenario_config& config, std::uint64_t seed)
     return result;
 }
 
-Scenario_result run_x_topology(const Scenario_config& config, std::uint64_t seed)
+Scenario_result run_alice_bob(const Scenario_config& config, std::uint64_t seed)
+{
+    return run_alice_bob_sim(config, alice_bob_config_for(config, seed));
+}
+
+Scenario_result run_alice_bob_fading(const Scenario_config& config, std::uint64_t seed)
+{
+    sim::Alice_bob_config sim_config = alice_bob_config_for(config, seed);
+    sim_config.fading.model = chan::Gain_model::rayleigh_block;
+    sim_config.fading.coherence_block = config.coherence_block;
+    sim_config.gains.alice_router *= config.mean_link_gain;
+    sim_config.gains.router_alice *= config.mean_link_gain;
+    sim_config.gains.bob_router *= config.mean_link_gain;
+    sim_config.gains.router_bob *= config.mean_link_gain;
+    return run_alice_bob_sim(config, sim_config);
+}
+
+sim::X_config x_config_for(const Scenario_config& config, std::uint64_t seed)
 {
     sim::X_config sim_config;
     sim_config.payload_bits = config.payload_bits;
     sim_config.exchanges = config.exchanges;
     sim_config.snr_db = config.snr_db;
+    sim_config.receiver = config.receiver;
     sim_config.seed = seed;
+    return sim_config;
+}
 
+Scenario_result run_x_sim(const Scenario_config& config, const sim::X_config& sim_config)
+{
     sim::X_result sim_result;
     if (config.scheme == "traditional")
         sim_result = sim::run_x_traditional(sim_config);
@@ -69,12 +105,29 @@ Scenario_result run_x_topology(const Scenario_config& config, std::uint64_t seed
     return result;
 }
 
+Scenario_result run_x_topology(const Scenario_config& config, std::uint64_t seed)
+{
+    return run_x_sim(config, x_config_for(config, seed));
+}
+
+Scenario_result run_x_topology_fading(const Scenario_config& config, std::uint64_t seed)
+{
+    sim::X_config sim_config = x_config_for(config, seed);
+    sim_config.fading.model = chan::Gain_model::rayleigh_block;
+    sim_config.fading.coherence_block = config.coherence_block;
+    sim_config.gains.spoke *= config.mean_link_gain;
+    sim_config.gains.overhear *= config.mean_link_gain;
+    sim_config.gains.cross *= config.mean_link_gain;
+    return run_x_sim(config, sim_config);
+}
+
 Scenario_result run_chain(const Scenario_config& config, std::uint64_t seed)
 {
     sim::Chain_config sim_config;
     sim_config.payload_bits = config.payload_bits;
     sim_config.packets = config.exchanges;
     sim_config.snr_db = config.snr_db;
+    sim_config.receiver = config.receiver;
     sim_config.seed = seed;
 
     const sim::Chain_result sim_result = config.scheme == "traditional"
@@ -99,6 +152,12 @@ void register_builtin_scenarios(Scenario_registry& registry)
         run_x_topology));
     registry.add(std::make_unique<Function_scenario>(
         "chain", std::vector<std::string>{"traditional", "anc"}, run_chain));
+    registry.add(std::make_unique<Function_scenario>(
+        "alice_bob_fading", std::vector<std::string>{"traditional", "cope", "anc"},
+        run_alice_bob_fading));
+    registry.add(std::make_unique<Function_scenario>(
+        "x_topology_fading", std::vector<std::string>{"traditional", "cope", "anc"},
+        run_x_topology_fading));
 }
 
 } // namespace anc::engine

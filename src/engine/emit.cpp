@@ -85,7 +85,11 @@ void json_key_fields(std::ostream& out, const Point_key& key)
         << ",\"alice_amplitude\":" << fmt(key.alice_amplitude)
         << ",\"bob_amplitude\":" << fmt(key.bob_amplitude)
         << ",\"payload_bits\":" << key.payload_bits
-        << ",\"exchanges\":" << key.exchanges;
+        << ",\"exchanges\":" << key.exchanges
+        << ",\"detector_threshold_db\":" << fmt(key.detector_threshold_db)
+        << ",\"interleave_rows\":" << key.interleave_rows
+        << ",\"coherence_block\":" << key.coherence_block
+        << ",\"mean_link_gain\":" << fmt(key.mean_link_gain);
 }
 
 void json_metrics(std::ostream& out, const sim::Run_metrics& metrics)
@@ -117,7 +121,8 @@ void json_scalars(std::ostream& out, const std::map<std::string, double>& scalar
 void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results)
 {
     out << "index,scenario,scheme,snr_db,alice_amplitude,bob_amplitude,payload_bits,"
-           "exchanges,repetition,seed,packets_attempted,packets_delivered,"
+           "exchanges,detector_threshold_db,interleave_rows,coherence_block,"
+           "mean_link_gain,repetition,seed,packets_attempted,packets_delivered,"
            "payload_bits_delivered,airtime_symbols,delivery_rate,mean_ber,"
            "mean_overlap,raw_throughput,throughput\n";
     for (const Task_result& result : results) {
@@ -126,7 +131,11 @@ void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results)
         out << task.index << ',' << task.scenario << ',' << task.config.scheme << ','
             << fmt(task.config.snr_db) << ',' << fmt(task.config.alice_amplitude) << ','
             << fmt(task.config.bob_amplitude) << ',' << task.config.payload_bits << ','
-            << task.config.exchanges << ',' << task.repetition << ','
+            << task.config.exchanges << ','
+            << fmt(task.config.receiver.interference_detector.variance_threshold_db)
+            << ',' << task.config.fec_interleave_rows << ','
+            << task.config.coherence_block << ',' << fmt(task.config.mean_link_gain)
+            << ',' << task.repetition << ','
             << fmt_seed(result.seed) << ',' << metrics.packets_attempted << ','
             << metrics.packets_delivered << ',' << metrics.payload_bits_delivered << ','
             << fmt(metrics.airtime_symbols) << ',' << fmt(metrics.delivery_rate()) << ','
@@ -138,7 +147,8 @@ void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results)
 void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summaries)
 {
     out << "scenario,scheme,snr_db,alice_amplitude,bob_amplitude,payload_bits,"
-           "exchanges,runs,packets_attempted,packets_delivered,delivery_rate,"
+           "exchanges,detector_threshold_db,interleave_rows,coherence_block,"
+           "mean_link_gain,runs,packets_attempted,packets_delivered,delivery_rate,"
            "mean_ber,mean_overlap,throughput_mean,throughput_p50,throughput_p90,"
            "throughput_min,throughput_max\n";
     for (const Point_summary& summary : summaries) {
@@ -146,7 +156,10 @@ void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summ
         const Cdf_stats throughput = stats_of(summary.throughput);
         out << key.scenario << ',' << key.scheme << ',' << fmt(key.snr_db) << ','
             << fmt(key.alice_amplitude) << ',' << fmt(key.bob_amplitude) << ','
-            << key.payload_bits << ',' << key.exchanges << ',' << summary.runs << ','
+            << key.payload_bits << ',' << key.exchanges << ','
+            << fmt(key.detector_threshold_db) << ',' << key.interleave_rows << ','
+            << key.coherence_block << ',' << fmt(key.mean_link_gain) << ','
+            << summary.runs << ','
             << summary.totals.packets_attempted << ','
             << summary.totals.packets_delivered << ','
             << fmt(summary.totals.delivery_rate()) << ','
@@ -160,7 +173,7 @@ void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summ
 void write_json(std::ostream& out, const std::vector<Task_result>& results,
                 const std::vector<Point_summary>& summaries)
 {
-    out << "{\"schema\":\"anc.sweep.v1\",\"tasks\":[";
+    out << "{\"schema\":\"anc.sweep.v2\",\"tasks\":[";
     bool first = true;
     for (const Task_result& result : results) {
         out << (first ? "" : ",") << "{\"index\":" << result.task.index << ",";

@@ -15,6 +15,11 @@ Point_key key_of(const Sweep_task& task)
     key.bob_amplitude = task.config.bob_amplitude;
     key.payload_bits = task.config.payload_bits;
     key.exchanges = task.config.exchanges;
+    key.detector_threshold_db =
+        task.config.receiver.interference_detector.variance_threshold_db;
+    key.interleave_rows = task.config.fec_interleave_rows;
+    key.coherence_block = task.config.coherence_block;
+    key.mean_link_gain = task.config.mean_link_gain;
     return key;
 }
 

@@ -27,6 +27,10 @@ struct Point_key {
     double bob_amplitude = 1.0;
     std::size_t payload_bits = 2048;
     std::size_t exchanges = 25;
+    double detector_threshold_db = 10.0;
+    std::size_t interleave_rows = 0;
+    std::size_t coherence_block = 4096;
+    double mean_link_gain = 1.0;
 
     friend auto operator<=>(const Point_key&, const Point_key&) = default;
 };

@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/anc_receiver.h"
 #include "sim/metrics.h"
 #include "util/stats.h"
 
@@ -37,6 +38,20 @@ struct Scenario_config {
     double snr_db = 25.0;
     double alice_amplitude = 1.0;
     double bob_amplitude = 1.0;
+    /// Receiver knobs, handed to every receiver a scenario builds.  The
+    /// default equals Anc_receiver_config{}, so grids that do not touch
+    /// it reproduce historical results bit-for-bit.  The grid's
+    /// detector_thresholds_db axis lands in
+    /// receiver.interference_detector.variance_threshold_db.
+    Anc_receiver_config receiver{};
+    /// Application-layer FEC for scenarios that support it (the FEC
+    /// ablation): Hamming(7,4) across this interleaver depth; 0 = off.
+    std::size_t fec_interleave_rows = 0;
+    /// Fading axes, honored by the *_fading scenarios: samples per
+    /// Rayleigh coherence block, and a multiplier on every topology
+    /// link gain (mean amplitude; mean *power* scales by its square).
+    std::size_t coherence_block = 4096;
+    double mean_link_gain = 1.0;
 };
 
 /// What one run produces: the standard metrics plus named auxiliary
@@ -106,15 +121,17 @@ public:
     std::size_t size() const { return scenarios_.size(); }
 
     /// The process-wide registry of builtin scenarios ("alice_bob",
-    /// "x_topology", "chain"), built once on first use.
+    /// "x_topology", "chain", "alice_bob_fading", "x_topology_fading" —
+    /// SCENARIOS.md is the catalog), built once on first use.
     static const Scenario_registry& builtin();
 
 private:
     std::vector<std::unique_ptr<const Scenario>> scenarios_;
 };
 
-/// Registers the three topology runners into `registry` (exposed so
-/// tests can build private registries that mirror the builtin one).
+/// Registers the builtin topology runners (fixed-gain and fading) into
+/// `registry` (exposed so tests can build private registries that
+/// mirror the builtin one).
 void register_builtin_scenarios(Scenario_registry& registry);
 
 } // namespace anc::engine

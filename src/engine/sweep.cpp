@@ -30,6 +30,38 @@ std::vector<std::string> schemes_for(const Scenario& scenario, const Sweep_grid&
     return out;
 }
 
+/// The cartesian product of every non-scenario, non-scheme, non-repetition
+/// axis, in the documented axis order (snr > alice > bob > payload >
+/// exchanges > detector_threshold > interleave_rows > coherence_block >
+/// mean_link_gain).  Scheme is left at its default; the caller stamps it.
+std::vector<Scenario_config> point_configs(const Sweep_grid& grid)
+{
+    std::vector<Scenario_config> points;
+    for (const double snr_db : grid.snr_db)
+        for (const double alice_amplitude : grid.alice_amplitudes)
+            for (const double bob_amplitude : grid.bob_amplitudes)
+                for (const std::size_t payload_bits : grid.payload_bits)
+                    for (const std::size_t exchanges : grid.exchanges)
+                        for (const double threshold_db : grid.detector_thresholds_db)
+                            for (const std::size_t rows : grid.interleave_rows)
+                                for (const std::size_t block : grid.coherence_blocks)
+                                    for (const double link_gain : grid.mean_link_gains) {
+                                        Scenario_config config;
+                                        config.snr_db = snr_db;
+                                        config.alice_amplitude = alice_amplitude;
+                                        config.bob_amplitude = bob_amplitude;
+                                        config.payload_bits = payload_bits;
+                                        config.exchanges = exchanges;
+                                        config.receiver.interference_detector
+                                            .variance_threshold_db = threshold_db;
+                                        config.fec_interleave_rows = rows;
+                                        config.coherence_block = block;
+                                        config.mean_link_gain = link_gain;
+                                        points.push_back(std::move(config));
+                                    }
+    return points;
+}
+
 } // namespace
 
 std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& registry)
@@ -40,10 +72,16 @@ std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& 
     require_non_empty(!grid.bob_amplitudes.empty(), "bob_amplitudes");
     require_non_empty(!grid.payload_bits.empty(), "payload_bits");
     require_non_empty(!grid.exchanges.empty(), "exchanges");
+    require_non_empty(!grid.detector_thresholds_db.empty(), "detector_thresholds_db");
+    require_non_empty(!grid.interleave_rows.empty(), "interleave_rows");
+    require_non_empty(!grid.coherence_blocks.empty(), "coherence_blocks");
+    require_non_empty(!grid.mean_link_gains.empty(), "mean_link_gains");
     require_non_empty(grid.repetitions > 0, "repetitions");
 
     // Every requested scheme must be meaningful somewhere in the grid.
     std::set<std::string> unmatched{grid.schemes.begin(), grid.schemes.end()};
+
+    const std::vector<Scenario_config> points = point_configs(grid);
 
     std::vector<Sweep_task> tasks;
     std::size_t scenario_seed_base = 0;
@@ -55,29 +93,16 @@ std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& 
         std::size_t scheme_block = 0; // tasks per scheme within this scenario
         for (const std::string& scheme : schemes) {
             std::size_t offset = 0; // position within the scheme-collapsed block
-            for (const double snr_db : grid.snr_db) {
-                for (const double alice_amplitude : grid.alice_amplitudes) {
-                    for (const double bob_amplitude : grid.bob_amplitudes) {
-                        for (const std::size_t payload_bits : grid.payload_bits) {
-                            for (const std::size_t exchanges : grid.exchanges) {
-                                for (std::size_t rep = 0; rep < grid.repetitions;
-                                     ++rep) {
-                                    Sweep_task task;
-                                    task.index = tasks.size();
-                                    task.seed_index = scenario_seed_base + offset++;
-                                    task.scenario = scenario_name;
-                                    task.config.scheme = scheme;
-                                    task.config.snr_db = snr_db;
-                                    task.config.alice_amplitude = alice_amplitude;
-                                    task.config.bob_amplitude = bob_amplitude;
-                                    task.config.payload_bits = payload_bits;
-                                    task.config.exchanges = exchanges;
-                                    task.repetition = rep;
-                                    tasks.push_back(std::move(task));
-                                }
-                            }
-                        }
-                    }
+            for (const Scenario_config& point : points) {
+                for (std::size_t rep = 0; rep < grid.repetitions; ++rep) {
+                    Sweep_task task;
+                    task.index = tasks.size();
+                    task.seed_index = scenario_seed_base + offset++;
+                    task.scenario = scenario_name;
+                    task.config = point;
+                    task.config.scheme = scheme;
+                    task.repetition = rep;
+                    tasks.push_back(std::move(task));
                 }
             }
             scheme_block = offset;

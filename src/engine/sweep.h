@@ -29,6 +29,15 @@ struct Sweep_grid {
     std::vector<double> bob_amplitudes = {1.0};
     std::vector<std::size_t> payload_bits = {2048};
     std::vector<std::size_t> exchanges = {25};
+    /// Interference-detector variance threshold (the detector ablation);
+    /// lands in Scenario_config::receiver.interference_detector.
+    std::vector<double> detector_thresholds_db = {10.0};
+    /// Application-layer FEC interleaver depth (0 = off; the FEC ablation).
+    std::vector<std::size_t> interleave_rows = {0};
+    /// Fading axes for the *_fading scenarios: samples per Rayleigh
+    /// coherence block, and the multiplier on every topology link gain.
+    std::vector<std::size_t> coherence_blocks = {4096};
+    std::vector<double> mean_link_gains = {1.0};
     /// Independent runs per grid point (the paper repeats 40x).
     std::size_t repetitions = 1;
 };
@@ -47,8 +56,10 @@ struct Sweep_task {
 
 /// Expands the grid in axis order scenario > scheme > snr_db >
 /// alice_amplitude > bob_amplitude > payload_bits > exchanges >
-/// repetition.  Throws std::invalid_argument on an empty axis, an
-/// unknown scenario, or a requested scheme no scenario supports.
+/// detector_threshold_db > interleave_rows > coherence_block >
+/// mean_link_gain > repetition.  Throws std::invalid_argument on an
+/// empty axis, an unknown scenario, or a requested scheme no scenario
+/// supports.
 std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& registry);
 
 /// Expansion against the builtin registry.

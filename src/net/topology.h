@@ -13,6 +13,18 @@
 
 namespace anc::net {
 
+/// Per-link gain dynamics shared by a whole topology install.  The
+/// default (`fixed`) is the paper's constant-gain channel; `rayleigh_block`
+/// overlays Rayleigh block fading on every link (each link gets an
+/// independent fading seed drawn from the install rng, so realizations
+/// stay deterministic per scenario seed).
+struct Link_fading {
+    chan::Gain_model model = chan::Gain_model::fixed;
+    /// Samples per coherence block under rayleigh_block (0 = quasi-static:
+    /// one fade for the whole transmission).
+    std::size_t coherence_block = 4096;
+};
+
 // ---- Alice-Bob (Fig. 1): Alice <-> Router <-> Bob --------------------
 
 struct Alice_bob_nodes {
@@ -32,6 +44,9 @@ struct Alice_bob_gains {
 /// each other (no direct link).
 void install_alice_bob(chan::Medium& medium, const Alice_bob_nodes& nodes,
                        const Alice_bob_gains& gains, Pcg32& rng);
+void install_alice_bob(chan::Medium& medium, const Alice_bob_nodes& nodes,
+                       const Alice_bob_gains& gains, const Link_fading& fading,
+                       Pcg32& rng);
 
 // ---- Chain (Fig. 2): N1 -> N2 -> N3 -> N4 ----------------------------
 
@@ -50,6 +65,8 @@ struct Chain_gains {
 /// out of radio range (N4 never hears N1 — the premise of §2(b)).
 void install_chain(chan::Medium& medium, const Chain_nodes& nodes,
                    const Chain_gains& gains, Pcg32& rng);
+void install_chain(chan::Medium& medium, const Chain_nodes& nodes,
+                   const Chain_gains& gains, const Link_fading& fading, Pcg32& rng);
 
 // ---- "X" (Fig. 11): N1, N3 send through N5 to N4, N2 ------------------
 
@@ -70,5 +87,7 @@ struct X_gains {
 
 void install_x(chan::Medium& medium, const X_nodes& nodes, const X_gains& gains,
                Pcg32& rng);
+void install_x(chan::Medium& medium, const X_nodes& nodes, const X_gains& gains,
+               const Link_fading& fading, Pcg32& rng);
 
 } // namespace anc::net

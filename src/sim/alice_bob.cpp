@@ -35,7 +35,7 @@ World make_world(const Alice_bob_config& config)
     const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
     chan::Medium medium{noise_power, rng.fork(1)};
     Pcg32 link_rng = rng.fork(2);
-    install_alice_bob(medium, config.nodes, config.gains, link_rng);
+    install_alice_bob(medium, config.nodes, config.gains, config.fading, link_rng);
 
     phy::Modem_config alice_modem;
     alice_modem.amplitude = config.alice_amplitude;
@@ -46,7 +46,7 @@ World make_world(const Alice_bob_config& config)
                  net::Net_node{config.nodes.alice, alice_modem},
                  net::Net_node{config.nodes.router},
                  net::Net_node{config.nodes.bob, bob_modem},
-                 Anc_receiver{Anc_receiver_config{}, noise_power},
+                 Anc_receiver{config.receiver, noise_power},
                  noise_power,
                  rng.fork(3)};
 }
@@ -111,6 +111,7 @@ Alice_bob_result run_alice_bob_traditional(const Alice_bob_config& config)
                       world.rng.fork(11)};
 
     for (std::size_t i = 0; i < config.exchanges; ++i) {
+        world.medium.set_fading_epoch(i); // fresh fade per exchange, shared across schemes
         // Alice -> Router -> Bob.
         const net::Packet pa = flow_ab.next();
         ++result.metrics.packets_attempted;
@@ -153,6 +154,7 @@ Alice_bob_result run_alice_bob_cope(const Alice_bob_config& config)
     dsp::Workspace& workspace = dsp::Workspace::current();
     std::uint16_t coded_seq = 1;
     for (std::size_t i = 0; i < config.exchanges; ++i) {
+        world.medium.set_fading_epoch(i); // fresh fade per exchange, shared across schemes
         const net::Packet pa = flow_ab.next();
         const net::Packet pb = flow_ba.next();
         result.metrics.packets_attempted += 2;
@@ -216,6 +218,7 @@ Alice_bob_result run_alice_bob_anc(const Alice_bob_config& config)
 
     dsp::Workspace& workspace = dsp::Workspace::current();
     for (std::size_t i = 0; i < config.exchanges; ++i) {
+        world.medium.set_fading_epoch(i); // fresh fade per exchange, shared across schemes
         const net::Packet pa = flow_ab.next();
         const net::Packet pb = flow_ba.next();
         result.metrics.packets_attempted += 2;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "core/anc_receiver.h"
 #include "core/trigger.h"
 #include "net/topology.h"
 #include "sim/metrics.h"
@@ -30,6 +31,8 @@ struct Alice_bob_config {
     Trigger_config trigger{};
     net::Alice_bob_nodes nodes{};
     net::Alice_bob_gains gains{};
+    net::Link_fading fading{};     // per-link gain dynamics (default: fixed)
+    Anc_receiver_config receiver{}; // knobs for every receiver in the run
     std::uint64_t seed = 1;
 };
 

@@ -34,13 +34,13 @@ World make_world(const Chain_config& config)
     const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
     chan::Medium medium{noise_power, rng.fork(1)};
     Pcg32 link_rng = rng.fork(2);
-    install_chain(medium, config.nodes, config.gains, link_rng);
+    install_chain(medium, config.nodes, config.gains, config.fading, link_rng);
     return World{std::move(medium),
                  net::Net_node{config.nodes.n1},
                  net::Net_node{config.nodes.n2},
                  net::Net_node{config.nodes.n3},
                  net::Net_node{config.nodes.n4},
-                 Anc_receiver{Anc_receiver_config{}, noise_power},
+                 Anc_receiver{config.receiver, noise_power},
                  noise_power,
                  rng.fork(3)};
 }
@@ -84,6 +84,7 @@ Chain_result run_chain_traditional(const Chain_config& config)
                    world.rng.fork(10)};
 
     for (std::size_t i = 0; i < config.packets; ++i) {
+        world.medium.set_fading_epoch(i); // fresh fade per packet
         const net::Packet packet = flow.next();
         ++result.metrics.packets_attempted;
         const auto at_n2 = clean_hop(world, world.n1, world.n2.id(), packet, result.metrics);
@@ -138,7 +139,11 @@ Chain_result run_chain_anc(const Chain_config& config)
         result.metrics.packet_ber.add(ber);
     };
 
+    std::uint64_t round = 0;
     while (produced < config.packets || held) {
+        // The pipeline has no 1:1 exchange index; each loop iteration is
+        // one logical round, so fades refresh per round.
+        world.medium.set_fading_epoch(round++);
         if (!held) {
             if (produced >= config.packets)
                 break;

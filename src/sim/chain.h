@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "core/anc_receiver.h"
 #include "core/trigger.h"
 #include "net/topology.h"
 #include "sim/metrics.h"
@@ -31,6 +32,8 @@ struct Chain_config {
     Trigger_config trigger{};
     net::Chain_nodes nodes{};
     net::Chain_gains gains{};
+    net::Link_fading fading{};      // per-link gain dynamics (default: fixed)
+    Anc_receiver_config receiver{}; // knobs for every receiver in the run
     std::uint64_t seed = 1;
 };
 

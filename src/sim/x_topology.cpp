@@ -37,8 +37,8 @@ World make_world(const X_config& config)
     const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
     chan::Medium medium{noise_power, rng.fork(1)};
     Pcg32 link_rng = rng.fork(2);
-    install_x(medium, config.nodes, config.gains, link_rng);
-    Anc_receiver_config snoop_config;
+    install_x(medium, config.nodes, config.gains, config.fading, link_rng);
+    Anc_receiver_config snoop_config = config.receiver;
     snoop_config.packet_detector.energy_threshold_db = config.snoop_energy_threshold_db;
     return World{std::move(medium),
                  net::Net_node{config.nodes.n1},
@@ -46,7 +46,7 @@ World make_world(const X_config& config)
                  net::Net_node{config.nodes.n3},
                  net::Net_node{config.nodes.n4},
                  net::Net_node{config.nodes.n5},
-                 Anc_receiver{Anc_receiver_config{}, noise_power},
+                 Anc_receiver{config.receiver, noise_power},
                  Anc_receiver{snoop_config, noise_power},
                  noise_power,
                  rng.fork(3)};
@@ -113,6 +113,7 @@ X_result run_x_traditional(const X_config& config)
                       world.rng.fork(11)};
 
     for (std::size_t i = 0; i < config.exchanges; ++i) {
+        world.medium.set_fading_epoch(i); // fresh fade per exchange, shared across schemes
         const net::Packet pa = flow_14.next();
         ++result.metrics.packets_attempted;
         if (const auto at_n5 = clean_hop(world, world.n1, world.n5.id(), pa,
@@ -151,6 +152,7 @@ X_result run_x_cope(const X_config& config)
     dsp::Workspace& workspace = dsp::Workspace::current();
     std::uint16_t coded_seq = 1;
     for (std::size_t i = 0; i < config.exchanges; ++i) {
+        world.medium.set_fading_epoch(i); // fresh fade per exchange, shared across schemes
         const net::Packet pa = flow_14.next();
         const net::Packet pb = flow_32.next();
         result.metrics.packets_attempted += 2;
@@ -240,6 +242,7 @@ X_result run_x_anc(const X_config& config)
 
     dsp::Workspace& workspace = dsp::Workspace::current();
     for (std::size_t i = 0; i < config.exchanges; ++i) {
+        world.medium.set_fading_epoch(i); // fresh fade per exchange, shared across schemes
         const net::Packet pa = flow_14.next();
         const net::Packet pb = flow_32.next();
         result.metrics.packets_attempted += 2;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "core/anc_receiver.h"
 #include "core/trigger.h"
 #include "net/topology.h"
 #include "sim/metrics.h"
@@ -27,6 +28,8 @@ struct X_config {
     Trigger_config trigger{};
     net::X_nodes nodes{};
     net::X_gains gains{};
+    net::Link_fading fading{};      // per-link gain dynamics (default: fixed)
+    Anc_receiver_config receiver{}; // knobs for every receiver in the run
     std::uint64_t seed = 1;
     /// Packet-detection threshold used while snooping a *clean*
     /// transmission on the overhear links (COPE's upload overhearing).

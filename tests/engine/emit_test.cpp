@@ -72,7 +72,7 @@ TEST(Emit, JsonIsBalancedAndCarriesSchema)
     const Sweep_outcome outcome = small_outcome();
     const std::string json = to_json(outcome.tasks, outcome.points);
 
-    EXPECT_EQ(json.rfind("{\"schema\":\"anc.sweep.v1\"", 0), 0u);
+    EXPECT_EQ(json.rfind("{\"schema\":\"anc.sweep.v2\"", 0), 0u);
     long depth = 0;
     for (const char c : json) {
         depth += (c == '{') - (c == '}');

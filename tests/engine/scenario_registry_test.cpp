@@ -17,17 +17,21 @@ std::unique_ptr<Function_scenario> dummy(const std::string& name)
         [](const Scenario_config&, std::uint64_t) { return Scenario_result{}; });
 }
 
-TEST(ScenarioRegistry, BuiltinCarriesTheThreeTopologies)
+TEST(ScenarioRegistry, BuiltinCarriesTheTopologiesAndFadingVariants)
 {
     const Scenario_registry& registry = Scenario_registry::builtin();
-    EXPECT_EQ(registry.size(), 3u);
+    EXPECT_EQ(registry.size(), 5u);
     ASSERT_NE(registry.find("alice_bob"), nullptr);
     ASSERT_NE(registry.find("x_topology"), nullptr);
     ASSERT_NE(registry.find("chain"), nullptr);
+    ASSERT_NE(registry.find("alice_bob_fading"), nullptr);
+    ASSERT_NE(registry.find("x_topology_fading"), nullptr);
 
     const std::vector<std::string> full{"traditional", "cope", "anc"};
     EXPECT_EQ(registry.at("alice_bob").schemes(), full);
     EXPECT_EQ(registry.at("x_topology").schemes(), full);
+    EXPECT_EQ(registry.at("alice_bob_fading").schemes(), full);
+    EXPECT_EQ(registry.at("x_topology_fading").schemes(), full);
     const std::vector<std::string> unidirectional{"traditional", "anc"};
     EXPECT_EQ(registry.at("chain").schemes(), unidirectional);
 }

@@ -1,0 +1,79 @@
+// SCENARIOS.md is the catalog of the scenario registry; this test keeps
+// the two from drifting apart.  Every builtin scenario must have a
+// `## \`name\`` section in the doc, and every such section must name a
+// registered scenario.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "engine/scenario.h"
+
+namespace anc::engine {
+namespace {
+
+std::string scenarios_doc()
+{
+    const std::string path = std::string{ANC_SOURCE_DIR} + "/SCENARIOS.md";
+    std::ifstream in{path};
+    EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// The scenario names documented as `## \`name\`` headings.
+std::set<std::string> documented_scenarios(const std::string& doc)
+{
+    std::set<std::string> names;
+    std::istringstream lines{doc};
+    std::string line;
+    const std::string prefix = "## `";
+    while (std::getline(lines, line)) {
+        if (line.rfind(prefix, 0) != 0)
+            continue;
+        const std::size_t end = line.find('`', prefix.size());
+        if (end != std::string::npos)
+            names.insert(line.substr(prefix.size(), end - prefix.size()));
+    }
+    return names;
+}
+
+TEST(ScenariosDoc, EveryRegisteredScenarioIsDocumented)
+{
+    const std::set<std::string> documented = documented_scenarios(scenarios_doc());
+    for (const std::string& name : Scenario_registry::builtin().names())
+        EXPECT_TRUE(documented.count(name))
+            << "scenario '" << name << "' is registered but has no `## \\`" << name
+            << "\\`` section in SCENARIOS.md";
+}
+
+TEST(ScenariosDoc, EveryDocumentedScenarioIsRegistered)
+{
+    const Scenario_registry& registry = Scenario_registry::builtin();
+    for (const std::string& name : documented_scenarios(scenarios_doc()))
+        EXPECT_NE(registry.find(name), nullptr)
+            << "SCENARIOS.md documents '" << name
+            << "', which is not in the builtin registry";
+}
+
+TEST(ScenariosDoc, SchemesAreListedVerbatim)
+{
+    // Each section lists its schemes; the canonical comma-joined list
+    // must appear somewhere in the doc for every scenario.
+    const std::string doc = scenarios_doc();
+    for (const std::string& name : Scenario_registry::builtin().names()) {
+        const auto& schemes = Scenario_registry::builtin().at(name).schemes();
+        std::string joined;
+        for (const std::string& scheme : schemes)
+            joined += (joined.empty() ? "" : ", ") + scheme;
+        EXPECT_NE(doc.find(joined), std::string::npos)
+            << "SCENARIOS.md never lists '" << joined << "' (schemes of " << name << ")";
+    }
+}
+
+} // namespace
+} // namespace anc::engine
