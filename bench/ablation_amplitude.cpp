@@ -50,15 +50,17 @@ engine::Scenario_result run_cell(const engine::Scenario_config& config, std::uin
 
     const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
     Pcg32 rng{cell_seed, 0xab1a7e};
-    chan::Medium medium{noise_power, rng.fork(1)};
+    chan::Medium medium{noise_power, rng.fork(1), config.math_profile};
     Pcg32 link_rng = rng.fork(2);
     net::Alice_bob_nodes nodes;
     install_alice_bob(medium, nodes, net::Alice_bob_gains{}, link_rng);
-    net::Net_node alice{nodes.alice};
-    net::Net_node bob{nodes.bob};
+    phy::Modem_config node_modem;
+    node_modem.math_profile = config.math_profile;
+    net::Net_node alice{nodes.alice, node_modem};
+    net::Net_node bob{nodes.bob, node_modem};
     Anc_receiver_config receiver_config = config.receiver;
     receiver_config.mu_sigma_only = config.scheme == "mu_sigma";
-    const Anc_receiver receiver{receiver_config, noise_power};
+    const Anc_receiver receiver{receiver_config, noise_power, config.math_profile};
     Pcg32 wrng = rng.fork(3);
     net::Flow flow_ab{1, 3, 2048, wrng.fork(10)};
     net::Flow flow_ba{3, 1, 2048, wrng.fork(11)};
@@ -124,6 +126,9 @@ int main()
         "ablation_amplitude", std::vector<std::string>{"prefix", "mu_sigma"}, run_cell));
 
     engine::Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"ablation_amplitude"};
     grid.snr_db = snrs;
     grid.exchanges = {exchanges};

@@ -34,27 +34,31 @@ namespace {
 
 using namespace anc;
 
-dsp::Signal clean_packet(double snr_db, Pcg32& rng)
+dsp::Signal clean_packet(double snr_db, Pcg32& rng, dsp::Math_profile profile)
 {
     const Bits bits = random_bits(1500, rng);
-    const dsp::Msk_modulator modulator{1.0, rng.next_double() * 6.28};
+    const dsp::Msk_modulator modulator{1.0, rng.next_double() * 6.28, profile};
     dsp::Signal signal = modulator.modulate(bits);
-    chan::Awgn noise{chan::noise_power_for_snr_db(snr_db), rng.fork(1)};
+    chan::Awgn noise{chan::noise_power_for_snr_db(snr_db), rng.fork(1), profile};
     noise.add_in_place(signal);
     return signal;
 }
 
-dsp::Signal collided_packet(double snr_db, double sir_db, Pcg32& rng)
+dsp::Signal collided_packet(double snr_db, double sir_db, Pcg32& rng,
+                            dsp::Math_profile profile)
 {
     const Bits bits_a = random_bits(1500, rng);
     const Bits bits_b = random_bits(1500, rng);
-    const dsp::Msk_modulator mod_a{1.0, rng.next_double() * 6.28};
-    const dsp::Msk_modulator mod_b{amplitude_from_db(-sir_db), rng.next_double() * 6.28};
+    const dsp::Msk_modulator mod_a{1.0, rng.next_double() * 6.28, profile};
+    const dsp::Msk_modulator mod_b{amplitude_from_db(-sir_db),
+                                   rng.next_double() * 6.28, profile};
     chan::Link_params drift;
     drift.phase_drift = 0.004;
     dsp::Signal mix = mod_a.modulate(bits_a);
-    dsp::accumulate(mix, chan::Link_channel{drift}.apply(mod_b.modulate(bits_b)), 300);
-    chan::Awgn noise{chan::noise_power_for_snr_db(snr_db), rng.fork(2)};
+    dsp::accumulate(mix,
+                    chan::Link_channel{drift}.apply(mod_b.modulate(bits_b), 0, profile),
+                    300);
+    chan::Awgn noise{chan::noise_power_for_snr_db(snr_db), rng.fork(2), profile};
     noise.add_in_place(mix);
     return mix;
 }
@@ -78,9 +82,16 @@ engine::Scenario_result run_cell(const engine::Scenario_config& config, std::uin
     Pcg32 rng{static_cast<std::uint64_t>(threshold * 100 + snr)};
     const int trials = static_cast<int>(config.exchanges);
     for (int t = 0; t < trials; ++t) {
-        detected_sir0 += detector.analyze(collided_packet(snr, 0.0, rng)).interfered;
-        detected_sir6 += detector.analyze(collided_packet(snr, 6.0, rng)).interfered;
-        false_alarms += detector.analyze(clean_packet(snr, rng)).interfered;
+        detected_sir0 += detector
+                             .analyze(collided_packet(snr, 0.0, rng,
+                                                      config.math_profile))
+                             .interfered;
+        detected_sir6 += detector
+                             .analyze(collided_packet(snr, 6.0, rng,
+                                                      config.math_profile))
+                             .interfered;
+        false_alarms +=
+            detector.analyze(clean_packet(snr, rng, config.math_profile)).interfered;
     }
 
     engine::Scenario_result out;
@@ -119,6 +130,9 @@ int main()
         "ablation_detector", std::vector<std::string>{"anc"}, run_cell));
 
     engine::Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"ablation_detector"};
     grid.detector_thresholds_db = thresholds;
     grid.snr_db = snrs;

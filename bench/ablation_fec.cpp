@@ -56,13 +56,15 @@ engine::Scenario_result run_cell(const engine::Scenario_config& config, std::uin
 
     const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
     Pcg32 rng{cell_seed, 0xfec};
-    chan::Medium medium{noise_power, rng.fork(1)};
+    chan::Medium medium{noise_power, rng.fork(1), config.math_profile};
     Pcg32 link_rng = rng.fork(2);
     net::Alice_bob_nodes nodes;
     install_alice_bob(medium, nodes, net::Alice_bob_gains{}, link_rng);
-    net::Net_node alice{nodes.alice};
-    net::Net_node bob{nodes.bob};
-    const Anc_receiver receiver{config.receiver, noise_power};
+    phy::Modem_config node_modem;
+    node_modem.math_profile = config.math_profile;
+    net::Net_node alice{nodes.alice, node_modem};
+    net::Net_node bob{nodes.bob, node_modem};
+    const Anc_receiver receiver{config.receiver, noise_power, config.math_profile};
     Pcg32 traffic = rng.fork(3);
 
     for (std::size_t i = 0; i < config.exchanges; ++i) {
@@ -134,6 +136,9 @@ int main()
         "ablation_fec", std::vector<std::string>{"anc"}, run_cell));
 
     engine::Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"ablation_fec"};
     grid.snr_db = snrs;
     grid.interleave_rows = depths;

@@ -59,6 +59,9 @@ int main()
     const std::vector<double> snrs{16.0, 18.0, 20.0, 22.0, 25.0, 30.0, 35.0};
 
     Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"alice_bob", "chain"};
     grid.schemes = {"anc", "traditional"};
     grid.snr_db = snrs;

@@ -10,11 +10,44 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "dsp/math_profile.h"
 #include "engine/engine.h"
 #include "util/stats.h"
 
 namespace anc::bench {
+
+/// Math profiles a sweep should run, from the ANC_MATH_PROFILE
+/// environment variable: "exact" (the default), "fast", or "both"
+/// (profile-tagged rows for each; seed-collapsed, so the pairs share
+/// channel realizations).  Every engine-backed bench driver applies
+/// this, which is how the CI fast-profile job reruns the sweeps without
+/// bespoke flags.  Unknown values throw (via math_profile_from_string).
+inline std::vector<dsp::Math_profile> math_profiles_from_env()
+{
+    const char* env = std::getenv("ANC_MATH_PROFILE");
+    if (env == nullptr || std::string_view{env} == "exact")
+        return {dsp::Math_profile::exact};
+    if (std::string_view{env} == "both")
+        return {dsp::Math_profile::exact, dsp::Math_profile::fast};
+    return {dsp::math_profile_from_string(env)};
+}
+
+/// The summaries restricted to one math profile.  The figure drivers'
+/// tables assume a single point per (scenario, scheme); under
+/// ANC_MATH_PROFILE=both they print the *leading* profile's points while
+/// the emitted JSON still carries every profile-tagged row.
+inline std::vector<engine::Point_summary>
+points_for_profile(const std::vector<engine::Point_summary>& points,
+                   dsp::Math_profile profile)
+{
+    std::vector<engine::Point_summary> out;
+    for (const engine::Point_summary& point : points)
+        if (point.key.math_profile == profile)
+            out.push_back(point);
+    return out;
+}
 
 /// One line describing how the engine ran a sweep, so bench output
 /// records the parallelism it used (results are identical either way).

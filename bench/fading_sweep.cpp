@@ -26,6 +26,15 @@ namespace {
 using namespace anc;
 using namespace anc::engine;
 
+/// p50 of the point's recorded per-block |h| series (the channel-state
+/// CDF every fading run now carries in Scenario_result); 0 when absent.
+double fade_p50(const Point_summary& point)
+{
+    const auto it = point.series.find("fade_magnitude");
+    return it == point.series.end() || it->second.empty() ? 0.0
+                                                          : it->second.quantile(0.5);
+}
+
 /// Mean per-run gain of anc over traditional at one grid point; 0 when
 /// the baseline delivered nothing anywhere (deep-fade regimes kill
 /// whole traditional runs, which is the story, not an error).
@@ -51,6 +60,9 @@ int main()
     const std::vector<double> link_gains{0.8, 1.0};
 
     Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"alice_bob_fading", "x_topology_fading"};
     grid.schemes = {"anc", "traditional"};
     grid.snr_db = snrs;
@@ -66,8 +78,9 @@ int main()
 
     for (const char* scenario : {"alice_bob_fading", "x_topology_fading"}) {
         std::printf("\n%s\n", scenario);
-        std::printf("%8s %10s %11s %10s %10s %16s\n", "SNR(dB)", "coherence",
-                    "gain scale", "anc deliv", "anc BER", "gain vs trad");
+        std::printf("%8s %10s %11s %8s %10s %10s %10s %16s\n", "SNR(dB)", "coherence",
+                    "gain scale", "profile", "anc deliv", "anc BER", "|h| p50",
+                    "gain vs trad");
         for (const double snr : snrs) {
             for (const std::size_t block : blocks) {
                 for (const double link_gain : link_gains) {
@@ -77,9 +90,14 @@ int main()
                             || point.key.coherence_block != block
                             || point.key.mean_link_gain != link_gain)
                             continue;
-                        std::printf("%8.0f %10zu %11.2f %10.2f %10.4f %16.3f\n", snr,
-                                    block, link_gain, point.delivery_rate.mean(),
-                                    point.run_mean_ber.mean(),
+                        // One row per profile-tagged point: under
+                        // ANC_MATH_PROFILE=both, exact and fast print as
+                        // adjacent labeled rows (the paired-corridor view).
+                        std::printf("%8.0f %10zu %11.2f %8s %10.2f %10.4f %10.3f %16.3f\n",
+                                    snr, block, link_gain,
+                                    dsp::to_string(point.key.math_profile),
+                                    point.delivery_rate.mean(),
+                                    point.run_mean_ber.mean(), fade_p50(point),
                                     mean_gain(outcome.tasks, point.key));
                     }
                 }

@@ -26,6 +26,9 @@ int main()
     const std::size_t exchanges = bench::exchange_count();
 
     Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"alice_bob"};
     grid.schemes = {"traditional", "cope", "anc"};
     grid.snr_db = {22.0};
@@ -36,12 +39,16 @@ int main()
     exec.base_seed = 1000;
     const Sweep_outcome outcome = run_grid(grid, exec);
     bench::print_engine_note(outcome.tasks.size(), exec);
+    // Tables read the leading profile's points (unique per scheme);
+    // the JSON/CSV artifacts keep every profile's rows.
+    const std::vector<Point_summary> table_points =
+        bench::points_for_profile(outcome.points, grid.math_profiles.front());
 
-    const Point_summary& anc_point = summary_for(outcome.points, "alice_bob", "anc");
+    const Point_summary& anc_point = summary_for(table_points, "alice_bob", "anc");
     const Cdf gain_over_traditional =
-        paired_gain(outcome.tasks, outcome.points, "alice_bob", "anc", "traditional");
+        paired_gain(outcome.tasks, table_points, "alice_bob", "anc", "traditional");
     const Cdf gain_over_cope =
-        paired_gain(outcome.tasks, outcome.points, "alice_bob", "anc", "cope");
+        paired_gain(outcome.tasks, table_points, "alice_bob", "anc", "cope");
     const Cdf& packet_ber = anc_point.totals.packet_ber;
     const Cdf& overlaps = anc_point.run_mean_overlap;
 

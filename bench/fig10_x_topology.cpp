@@ -21,6 +21,9 @@ int main()
     const std::size_t exchanges = bench::exchange_count();
 
     Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"x_topology"};
     grid.schemes = {"traditional", "cope", "anc"};
     grid.snr_db = {22.0};
@@ -31,12 +34,16 @@ int main()
     exec.base_seed = 2000;
     const Sweep_outcome outcome = run_grid(grid, exec);
     bench::print_engine_note(outcome.tasks.size(), exec);
+    // Tables read the leading profile's points (unique per scheme);
+    // the JSON/CSV artifacts keep every profile's rows.
+    const std::vector<Point_summary> table_points =
+        bench::points_for_profile(outcome.points, grid.math_profiles.front());
 
-    const Point_summary& anc_point = summary_for(outcome.points, "x_topology", "anc");
+    const Point_summary& anc_point = summary_for(table_points, "x_topology", "anc");
     const Cdf gain_over_traditional =
-        paired_gain(outcome.tasks, outcome.points, "x_topology", "anc", "traditional");
+        paired_gain(outcome.tasks, table_points, "x_topology", "anc", "traditional");
     const Cdf gain_over_cope =
-        paired_gain(outcome.tasks, outcome.points, "x_topology", "anc", "cope");
+        paired_gain(outcome.tasks, table_points, "x_topology", "anc", "cope");
     const auto overhear_attempts =
         static_cast<std::size_t>(anc_point.scalars.at("overhear_attempts"));
     const auto overhear_failures =

@@ -21,6 +21,9 @@ int main()
     const std::size_t packets = bench::exchange_count();
 
     Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"chain"};
     grid.snr_db = {22.0};
     grid.exchanges = {packets};
@@ -30,10 +33,14 @@ int main()
     exec.base_seed = 3000;
     const Sweep_outcome outcome = run_grid(grid, exec);
     bench::print_engine_note(outcome.tasks.size(), exec);
+    // Tables read the leading profile's points (unique per scheme);
+    // the JSON/CSV artifacts keep every profile's rows.
+    const std::vector<Point_summary> table_points =
+        bench::points_for_profile(outcome.points, grid.math_profiles.front());
 
-    const Point_summary& anc_point = summary_for(outcome.points, "chain", "anc");
+    const Point_summary& anc_point = summary_for(table_points, "chain", "anc");
     const Cdf gain_over_traditional =
-        paired_gain(outcome.tasks, outcome.points, "chain", "anc", "traditional");
+        paired_gain(outcome.tasks, table_points, "chain", "anc", "traditional");
     const Cdf& ber_at_n2 = anc_point.series.at("ber_at_n2");
 
     std::printf("(%zu runs x %zu packets, payload 2048 bits, SNR 22 dB)\n\n", runs,

@@ -31,6 +31,9 @@ int main()
 
     const std::vector<double> sir_points{-3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0};
     Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"alice_bob"};
     grid.schemes = {"anc"};
     grid.snr_db = {20.0};
@@ -44,13 +47,17 @@ int main()
     exec.base_seed = 4000;
     const Sweep_outcome outcome = run_grid(grid, exec);
     bench::print_engine_note(outcome.tasks.size(), exec);
+    // Tables read the leading profile's points (unique per scheme);
+    // the JSON/CSV artifacts keep every profile's rows.
+    const std::vector<Point_summary> table_points =
+        bench::points_for_profile(outcome.points, grid.math_profiles.front());
 
     std::printf("%10s %12s %12s %12s\n", "SIR(dB)", "BER@Alice", "delivered", "BER p90");
     double measured_at_minus3 = 0.0;
     double measured_at_0 = 0.0;
     // Points come back in grid-axis order, i.e. ascending SIR.
-    for (std::size_t i = 0; i < outcome.points.size(); ++i) {
-        const Point_summary& point = outcome.points[i];
+    for (std::size_t i = 0; i < table_points.size(); ++i) {
+        const Point_summary& point = table_points[i];
         const double sir_db = sir_points[i];
         const Cdf& ber = point.series.at("ber_at_alice");
         const std::size_t delivered = ber.count();

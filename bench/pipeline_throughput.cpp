@@ -3,9 +3,14 @@
 // builds and runs (CI included).
 //
 // Times the Fig. 8 hot path stage by stage — modulate, medium mix, relay
-// amplify-and-forward, demodulate — plus the full alice_bob ANC exchange
-// end-to-end, in samples per second, and counts heap allocations per
-// steady-state iteration (the zero-allocation invariant of PERF.md).
+// amplify-and-forward, demodulate, interference decode — plus the full
+// alice_bob ANC exchange end-to-end, in samples per second, and counts
+// heap allocations per steady-state iteration (the zero-allocation
+// invariant of PERF.md).  Stages with a `_fast` suffix run the same
+// workload under dsp::Math_profile::fast (PERF.md "Math profiles"); the
+// unsuffixed stages are the historical bit-exact path.  With
+// --min-fast-gain R the process exits non-zero unless the fast
+// end-to-end exchange reaches at least R times the exact one.
 //
 // Output: a human table on stdout and, with --json PATH, a BENCH_dsp.json
 // document.  With --baseline PATH the measured throughputs are compared
@@ -23,6 +28,7 @@
 //
 // Usage: pipeline_throughput [--json PATH] [--baseline PATH]
 //                            [--min-ratio R] [--normalize] [--quick]
+//                            [--min-fast-gain R]
 
 #include <algorithm>
 #include <atomic>
@@ -38,7 +44,9 @@
 #include <vector>
 
 #include "channel/medium.h"
+#include "core/interference_decoder.h"
 #include "core/relay.h"
+#include "dsp/math_profile.h"
 #include "dsp/msk.h"
 #include "dsp/ops.h"
 #include "dsp/workspace.h"
@@ -167,21 +175,23 @@ Bits frame_sized_bits(std::size_t count, std::uint64_t seed)
 constexpr std::size_t bench_frame_bits = 2304; // ~payload 2048 + overhead
 constexpr double bench_snr_db = 25.0;
 
-Stage_result bench_modulate(double min_seconds)
+Stage_result bench_modulate(double min_seconds, dsp::Math_profile profile)
 {
     const Bits bits = frame_sized_bits(bench_frame_bits, 0xA0);
-    const dsp::Msk_modulator modulator{1.0, 0.37};
+    const dsp::Msk_modulator modulator{1.0, 0.37, profile};
     auto signal = dsp::Workspace::current().signal();
-    return time_stage("modulate", bits.size() + 1, 2, min_seconds, [&] {
+    const char* name =
+        profile == dsp::Math_profile::exact ? "modulate" : "modulate_fast";
+    return time_stage(name, bits.size() + 1, 2, min_seconds, [&] {
         modulator.modulate_into(bits, *signal);
     });
 }
 
-Stage_result bench_mix(double min_seconds)
+Stage_result bench_mix(double min_seconds, dsp::Math_profile profile)
 {
     const double noise_power = chan::noise_power_for_snr_db(bench_snr_db);
     Pcg32 rng{7, 3};
-    chan::Medium medium{noise_power, rng.fork(1)};
+    chan::Medium medium{noise_power, rng.fork(1), profile};
     net::Alice_bob_nodes nodes;
     net::Alice_bob_gains gains;
     Pcg32 link_rng = rng.fork(2);
@@ -199,7 +209,8 @@ Stage_result bench_mix(double min_seconds)
     const std::uint64_t mixed = 280 + signal_b.size() + 64;
 
     auto out = dsp::Workspace::current().signal();
-    return time_stage("mix", mixed, 2, min_seconds, [&] {
+    const char* name = profile == dsp::Math_profile::exact ? "mix" : "mix_fast";
+    return time_stage(name, mixed, 2, min_seconds, [&] {
         medium.receive_into(nodes.router, on_air, 64, *out);
     });
 }
@@ -264,6 +275,43 @@ Stage_result bench_relay(double min_seconds)
     });
 }
 
+Stage_result bench_interference_decode(double min_seconds, dsp::Math_profile profile)
+{
+    // The Eq. 7-8 phase-solver loop over a realistic two-signal collision
+    // (the stage the exact profile pins on 4 atan2 calls per sample).
+    const double noise_power = chan::noise_power_for_snr_db(bench_snr_db);
+    Pcg32 rng{21, 13};
+    chan::Medium medium{noise_power, rng.fork(1)};
+    net::Alice_bob_nodes nodes;
+    net::Alice_bob_gains gains;
+    Pcg32 link_rng = rng.fork(2);
+    install_alice_bob(medium, nodes, gains, link_rng);
+
+    const Bits bits_a = frame_sized_bits(bench_frame_bits, 0xE0);
+    const Bits bits_b = frame_sized_bits(bench_frame_bits, 0xE1);
+    const dsp::Msk_modulator modulator{1.0, 0.0};
+    const dsp::Signal signal_a = modulator.modulate(bits_a);
+    const dsp::Signal signal_b = modulator.modulate(bits_b);
+    const std::vector<chan::Transmission> on_air{{nodes.alice, signal_a, 0},
+                                                 {nodes.bob, signal_b, 96}};
+    dsp::Signal received;
+    medium.receive_into(nodes.router, on_air, 0, received);
+
+    const std::vector<double> known_diffs = dsp::phase_differences_for_bits(bits_a);
+    const Interference_decoder decoder{profile};
+    dsp::Workspace& workspace = dsp::Workspace::current();
+    auto bits = workspace.bits();
+    auto phi_differences = workspace.reals();
+    auto match_errors = workspace.reals();
+    const char* name = profile == dsp::Math_profile::exact
+                           ? "interference_decode"
+                           : "interference_decode_fast";
+    return time_stage(name, received.size(), 2, min_seconds, [&] {
+        decoder.decode_into(received, known_diffs, 0.95, 0.90, *bits,
+                            *phi_differences, *match_errors);
+    });
+}
+
 Stage_result bench_demodulate(double min_seconds)
 {
     const dsp::Msk_modulator modulator{1.0, 1.1};
@@ -275,12 +323,13 @@ Stage_result bench_demodulate(double min_seconds)
     });
 }
 
-Stage_result bench_exchange(double min_seconds, bool quick)
+Stage_result bench_exchange(double min_seconds, bool quick, dsp::Math_profile profile)
 {
     sim::Alice_bob_config config;
     config.payload_bits = 2048;
     config.exchanges = quick ? 2 : 4;
     config.snr_db = bench_snr_db;
+    config.math_profile = profile;
     config.seed = 12345;
 
     // Samples the exchange pushes through the pipeline: measure once (the
@@ -288,7 +337,10 @@ Stage_result bench_exchange(double min_seconds, bool quick)
     const sim::Alice_bob_result probe = sim::run_alice_bob_anc(config);
     const auto samples = static_cast<std::uint64_t>(probe.metrics.airtime_symbols);
 
-    return time_stage("alice_bob_exchange", samples, 1, min_seconds, [&] {
+    const char* name = profile == dsp::Math_profile::exact
+                           ? "alice_bob_exchange"
+                           : "alice_bob_exchange_fast";
+    return time_stage(name, samples, 1, min_seconds, [&] {
         const sim::Alice_bob_result result = sim::run_alice_bob_anc(config);
         if (result.metrics.packets_delivered == 0)
             std::fprintf(stderr, "warning: exchange delivered nothing\n");
@@ -339,6 +391,7 @@ int main(int argc, char** argv)
     std::string json_path;
     std::string baseline_path;
     double min_ratio = 0.75;
+    double min_fast_gain = 0.0;
     bool normalize = false;
     bool quick = false;
 
@@ -350,6 +403,8 @@ int main(int argc, char** argv)
             baseline_path = argv[++i];
         else if (arg == "--min-ratio" && i + 1 < argc)
             min_ratio = std::strtod(argv[++i], nullptr);
+        else if (arg == "--min-fast-gain" && i + 1 < argc)
+            min_fast_gain = std::strtod(argv[++i], nullptr);
         else if (arg == "--normalize")
             normalize = true;
         else if (arg == "--quick")
@@ -357,7 +412,8 @@ int main(int argc, char** argv)
         else {
             std::fprintf(stderr,
                          "usage: %s [--json PATH] [--baseline PATH] "
-                         "[--min-ratio R] [--normalize] [--quick]\n",
+                         "[--min-ratio R] [--normalize] [--quick] "
+                         "[--min-fast-gain R]\n",
                          argv[0]);
             return 2;
         }
@@ -365,13 +421,20 @@ int main(int argc, char** argv)
 
     const double min_seconds = quick ? 0.1 : 0.5;
 
+    constexpr dsp::Math_profile exact = dsp::Math_profile::exact;
+    constexpr dsp::Math_profile fast = dsp::Math_profile::fast;
     std::vector<Stage_result> stages;
-    stages.push_back(bench_modulate(min_seconds));
-    stages.push_back(bench_mix(min_seconds));
+    stages.push_back(bench_modulate(min_seconds, exact));
+    stages.push_back(bench_modulate(min_seconds, fast));
+    stages.push_back(bench_mix(min_seconds, exact));
+    stages.push_back(bench_mix(min_seconds, fast));
     stages.push_back(bench_fading_mix(min_seconds));
     stages.push_back(bench_relay(min_seconds));
     stages.push_back(bench_demodulate(min_seconds));
-    stages.push_back(bench_exchange(min_seconds, quick));
+    stages.push_back(bench_interference_decode(min_seconds, exact));
+    stages.push_back(bench_interference_decode(min_seconds, fast));
+    stages.push_back(bench_exchange(min_seconds, quick, exact));
+    stages.push_back(bench_exchange(min_seconds, quick, fast));
 
     std::printf("%-20s %16s %12s %10s %8s\n", "stage", "samples/sec", "samples/iter",
                 "iters", "allocs");
@@ -383,9 +446,11 @@ int main(int argc, char** argv)
                     static_cast<unsigned long long>(stage.iterations),
                     static_cast<unsigned long long>(stage.heap_allocs_per_iteration));
         // The sample-pipeline kernels must be allocation-free on a warm
-        // workspace (PERF.md); the full exchange is exempt — its packet
-        // bookkeeping (frames, payloads, flows) escapes by design.
-        if (stage.name != "alice_bob_exchange" && stage.heap_allocs_per_iteration != 0)
+        // workspace (PERF.md); the full exchanges (both profiles) are
+        // exempt — their packet bookkeeping (frames, payloads, flows)
+        // escapes by design.
+        if (stage.name.rfind("alice_bob_exchange", 0) != 0
+            && stage.heap_allocs_per_iteration != 0)
             alloc_violation = true;
     }
     if (alloc_violation) {
@@ -393,6 +458,34 @@ int main(int argc, char** argv)
                      "error: a sample-pipeline stage allocated on a warm workspace "
                      "(zero-allocation invariant, see PERF.md)\n");
         return 1;
+    }
+
+    // The fast profile's end-to-end payoff, printed always and gated by
+    // --min-fast-gain (the acceptance target is >= 2x; CI gates with
+    // headroom for runner noise).  The gate itself fires *after* the
+    // JSON write below, so a failing run still leaves its diagnostic
+    // artifact — same contract as the baseline gate.
+    bool fast_gain_failed = false;
+    {
+        const Stage_result* exact_e2e = nullptr;
+        const Stage_result* fast_e2e = nullptr;
+        for (const Stage_result& stage : stages) {
+            if (stage.name == "alice_bob_exchange")
+                exact_e2e = &stage;
+            else if (stage.name == "alice_bob_exchange_fast")
+                fast_e2e = &stage;
+        }
+        if (exact_e2e && fast_e2e && exact_e2e->samples_per_sec > 0.0) {
+            const double gain = fast_e2e->samples_per_sec / exact_e2e->samples_per_sec;
+            std::printf("\nfast profile e2e gain: %.2fx (%.0f -> %.0f samples/s)\n",
+                        gain, exact_e2e->samples_per_sec, fast_e2e->samples_per_sec);
+            if (min_fast_gain > 0.0 && gain < min_fast_gain) {
+                std::fprintf(stderr,
+                             "error: fast e2e gain %.2fx below required %.2fx\n",
+                             gain, min_fast_gain);
+                fast_gain_failed = true;
+            }
+        }
     }
 
     if (!json_path.empty()) {
@@ -463,5 +556,5 @@ int main(int argc, char** argv)
             return 1;
         }
     }
-    return 0;
+    return fast_gain_failed ? 1 : 0;
 }

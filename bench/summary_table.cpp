@@ -21,6 +21,9 @@ int main()
 
     // All three topologies under every scheme at the 22 dB operating point.
     Sweep_grid grid;
+    // exact by default; ANC_MATH_PROFILE=fast|both adds the fast profile
+    // (profile-tagged rows; the CI fast-profile job uses this).
+    grid.math_profiles = bench::math_profiles_from_env();
     grid.scenarios = {"alice_bob", "x_topology", "chain"};
     grid.snr_db = {22.0};
     grid.exchanges = {exchanges};
@@ -43,18 +46,26 @@ int main()
     bench::print_engine_note(outcome.tasks.size(), exec);
     bench::print_engine_note(sir_outcome.tasks.size(), sir_exec);
 
+    // The table reads the leading profile's points/tasks (unique per
+    // scheme); the JSON/CSV artifacts keep every profile's rows.
+    const dsp::Math_profile table_profile = grid.math_profiles.front();
+    const std::vector<Point_summary> table_points =
+        bench::points_for_profile(outcome.points, table_profile);
+
     const auto gain_mean = [&](const char* scenario, const char* baseline) {
-        return paired_gain(outcome.tasks, outcome.points, scenario, "anc", baseline)
+        return paired_gain(outcome.tasks, table_points, scenario, "anc", baseline)
             .mean();
     };
 
     // Mean of per-run means (each run weighted equally, like the
     // original hand-rolled loops), not the pooled per-packet mean.
-    const auto per_run_series_mean = [](const std::vector<Task_result>& tasks,
-                                        const char* scenario, const char* series) {
+    const auto per_run_series_mean = [table_profile](
+                                         const std::vector<Task_result>& tasks,
+                                         const char* scenario, const char* series) {
         Cdf means;
         for (const Task_result& task : tasks) {
-            if (task.task.scenario != scenario || task.task.config.scheme != "anc")
+            if (task.task.scenario != scenario || task.task.config.scheme != "anc"
+                || task.task.config.math_profile != table_profile)
                 continue;
             const Cdf& samples = task.result.series.at(series);
             if (!samples.empty())
@@ -63,7 +74,7 @@ int main()
         return means;
     };
 
-    const Point_summary& ab = summary_for(outcome.points, "alice_bob", "anc");
+    const Point_summary& ab = summary_for(table_points, "alice_bob", "anc");
     const Cdf chain_ber = per_run_series_mean(outcome.tasks, "chain", "ber_at_n2");
     const Cdf sir_ber =
         per_run_series_mean(sir_outcome.tasks, "alice_bob", "ber_at_alice");

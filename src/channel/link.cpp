@@ -13,24 +13,93 @@ namespace {
 // 1/sqrt(2): each quadrature of h_k ~ CN(0,1) has variance 1/2.
 constexpr double inv_sqrt2 = 0.70710678118654752440;
 
+/// out[n] += signal[n] * rotor_n for n in [begin, end), where rotor_n
+/// advances by `step` per sample (the fast profile's incremental
+/// rotation).  A zero drift makes `step` unity; that case is hoisted
+/// into a constant-rotor multiply-add loop with no serial dependence.
+void accumulate_rotor(dsp::Signal_view signal, std::size_t begin, std::size_t end,
+                      dsp::Sample rotor, dsp::Sample step, bool constant_rotor,
+                      dsp::Sample* out)
+{
+    const double* in = reinterpret_cast<const double*>(signal.data());
+    double* acc = reinterpret_cast<double*>(out);
+    if (constant_rotor) {
+        const double rr = rotor.real();
+        const double ri = rotor.imag();
+        for (std::size_t n = begin; n < end; ++n) {
+            const double re = in[2 * n];
+            const double im = in[2 * n + 1];
+            acc[2 * n] += re * rr - im * ri;
+            acc[2 * n + 1] += re * ri + im * rr;
+        }
+        return;
+    }
+    double rr = rotor.real();
+    double ri = rotor.imag();
+    const double sr = step.real();
+    const double si = step.imag();
+    for (std::size_t n = begin; n < end; ++n) {
+        const double re = in[2 * n];
+        const double im = in[2 * n + 1];
+        acc[2 * n] += re * rr - im * ri;
+        acc[2 * n + 1] += re * ri + im * rr;
+        const double next_rr = rr * sr - ri * si;
+        ri = rr * si + ri * sr;
+        rr = next_rr;
+    }
+}
+
 } // namespace
+
+double agc_detection_threshold_db(double base_threshold_db, double link_gain)
+{
+    if (link_gain <= 0.0)
+        throw std::invalid_argument{
+            "agc_detection_threshold_db: link gain must be positive"};
+    return base_threshold_db + 20.0 * std::log10(link_gain);
+}
 
 /// Shared rayleigh_block kernel: accumulate the faded, rotated signal
 /// onto `out` (which must already span signal.size() samples).
 void Link_channel::accumulate_faded(dsp::Signal_view signal, std::uint64_t fading_epoch,
-                                    dsp::Sample* out) const
+                                    dsp::Sample* out, dsp::Math_profile profile) const
 {
     const std::size_t block_len =
         params_.coherence_block == 0 ? signal.size() : params_.coherence_block;
     for (std::size_t begin_n = 0; begin_n < signal.size(); begin_n += block_len) {
         const dsp::Sample fade = block_gain(fading_epoch, begin_n / block_len);
         const std::size_t end_n = std::min(begin_n + block_len, signal.size());
+        if (profile == dsp::Math_profile::fast) {
+            // One sincos at the block boundary, then the rotor recurrence
+            // (fade folded into the rotor, so the inner loop is identical
+            // to the fixed-gain fast kernel).
+            const dsp::Sample rotor =
+                dsp::profile_polar(profile, params_.gain,
+                              params_.phase
+                                  + params_.phase_drift * static_cast<double>(begin_n))
+                * fade;
+            const dsp::Sample step =
+                dsp::profile_polar(profile, 1.0, params_.phase_drift);
+            accumulate_rotor(signal, begin_n, end_n, rotor, step,
+                             params_.phase_drift == 0.0, out);
+            continue;
+        }
         for (std::size_t n = begin_n; n < end_n; ++n) {
             const double rotation =
                 params_.phase + params_.phase_drift * static_cast<double>(n);
             out[n] += signal[n] * std::polar(params_.gain, rotation) * fade;
         }
     }
+}
+
+void Link_channel::accumulate_fixed_fast(dsp::Signal_view signal, dsp::Sample* out) const
+{
+    const dsp::Sample rotor =
+        dsp::profile_polar(dsp::Math_profile::fast, params_.gain, params_.phase);
+    const dsp::Sample step =
+        dsp::profile_polar(dsp::Math_profile::fast, 1.0, params_.phase_drift);
+    accumulate_rotor(signal, 0, signal.size(), rotor, step,
+                     params_.phase_drift == 0.0, out);
 }
 
 Link_channel::Link_channel(Link_params params)
@@ -53,10 +122,16 @@ dsp::Sample Link_channel::block_gain(std::uint64_t fading_epoch, std::size_t blo
     return {re, im};
 }
 
-dsp::Signal Link_channel::apply(dsp::Signal_view signal, std::uint64_t fading_epoch) const
+dsp::Signal Link_channel::apply(dsp::Signal_view signal, std::uint64_t fading_epoch,
+                                dsp::Math_profile profile) const
 {
     dsp::Signal out;
     if (params_.gain_model == Gain_model::fixed) {
+        if (profile == dsp::Math_profile::fast) {
+            out.assign(params_.delay + signal.size(), dsp::Sample{0.0, 0.0});
+            accumulate_fixed_fast(signal, out.data() + params_.delay);
+            return out;
+        }
         out.reserve(params_.delay + signal.size());
         out.assign(params_.delay, dsp::Sample{0.0, 0.0});
         for (std::size_t n = 0; n < signal.size(); ++n) {
@@ -66,25 +141,30 @@ dsp::Signal Link_channel::apply(dsp::Signal_view signal, std::uint64_t fading_ep
         return out;
     }
     out.assign(params_.delay + signal.size(), dsp::Sample{0.0, 0.0});
-    accumulate_faded(signal, fading_epoch, out.data() + params_.delay);
+    accumulate_faded(signal, fading_epoch, out.data() + params_.delay, profile);
     return out;
 }
 
 void Link_channel::apply_onto(dsp::Signal_view signal, std::size_t at,
-                              dsp::Signal& acc, std::uint64_t fading_epoch) const
+                              dsp::Signal& acc, std::uint64_t fading_epoch,
+                              dsp::Math_profile profile) const
 {
     const std::size_t begin = at + params_.delay;
     if (acc.size() < begin + signal.size())
         acc.resize(begin + signal.size(), dsp::Sample{0.0, 0.0});
     dsp::Sample* out = acc.data() + begin;
     if (params_.gain_model == Gain_model::fixed) {
+        if (profile == dsp::Math_profile::fast) {
+            accumulate_fixed_fast(signal, out);
+            return;
+        }
         for (std::size_t n = 0; n < signal.size(); ++n) {
             const double rotation = params_.phase + params_.phase_drift * static_cast<double>(n);
             out[n] += signal[n] * std::polar(params_.gain, rotation);
         }
         return;
     }
-    accumulate_faded(signal, fading_epoch, out);
+    accumulate_faded(signal, fading_epoch, out, profile);
 }
 
 } // namespace anc::chan

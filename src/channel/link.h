@@ -21,7 +21,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 
+#include "dsp/math_profile.h"
 #include "dsp/sample.h"
 
 namespace anc::chan {
@@ -46,7 +48,21 @@ struct Link_params {
     /// Root of the per-block gain draws: block k at fading epoch e uses
     /// mix_seed(mix_seed(fading_seed, e), k).
     std::uint64_t fading_seed = 0;
+    /// Per-link AGC-style packet-detection threshold (dB above the noise
+    /// floor) for receivers *snooping* this link — a weak link (gain < 1)
+    /// delivers packets below the standard carrier-sense threshold, so a
+    /// deliberate snooper listens lower by the link's budget deficit
+    /// (§11.5; the X topology's overhear links install this).  Empty
+    /// means "use the receiver's standard threshold".  The Medium exposes
+    /// it via detection_threshold_db(from, to).
+    std::optional<double> detection_threshold_db{};
 };
+
+/// The AGC rule behind the per-link threshold: lower a base carrier-sense
+/// threshold by the link's power budget deficit, −20·log10(gain) dB (a
+/// unit-gain link keeps the base; gain 0.5 listens ≈6 dB lower).  Requires
+/// gain > 0.
+double agc_detection_threshold_db(double base_threshold_db, double link_gain);
 
 /// Fixed:          y[n] = h * e^{i(gamma + drift*n)} * x[n - delay]
 /// Rayleigh block: y[n] = h_{e,k(n)} * h * e^{i(gamma + drift*n)} * x[n - delay]
@@ -59,7 +75,8 @@ class Link_channel {
 public:
     explicit Link_channel(Link_params params = {});
 
-    dsp::Signal apply(dsp::Signal_view signal, std::uint64_t fading_epoch = 0) const;
+    dsp::Signal apply(dsp::Signal_view signal, std::uint64_t fading_epoch = 0,
+                      dsp::Math_profile profile = dsp::Math_profile::exact) const;
 
     /// Accumulate the channel's output into `acc` starting at sample
     /// `at`: acc[at + delay + n] += y[n], growing acc (zero-filled) as
@@ -67,8 +84,16 @@ public:
     /// application — no intermediate per-link signal is materialized.
     /// `acc` must not alias `signal` (the accumulation reads `signal`
     /// while writing, and may reallocate `acc`).
+    ///
+    /// Under Math_profile::fast the per-sample std::polar rotation is
+    /// replaced by an incremental complex rotor (one sincos per span or
+    /// per fading block, then a multiply recurrence); the drift-free case
+    /// degenerates to a constant-rotor multiply-add loop that
+    /// auto-vectorizes.  Rotor drift over a frame is ≲1e-13 relative —
+    /// inside the corridor bounds.
     void apply_onto(dsp::Signal_view signal, std::size_t at, dsp::Signal& acc,
-                    std::uint64_t fading_epoch = 0) const;
+                    std::uint64_t fading_epoch = 0,
+                    dsp::Math_profile profile = dsp::Math_profile::exact) const;
 
     /// The complex fading coefficient h_{epoch,block} (rayleigh_block
     /// only) — a pure function of (params' fading_seed, epoch, block).
@@ -84,7 +109,10 @@ private:
     /// Shared rayleigh_block kernel behind apply/apply_onto: accumulate
     /// the faded, rotated signal onto `out` (spanning signal.size()).
     void accumulate_faded(dsp::Signal_view signal, std::uint64_t fading_epoch,
-                          dsp::Sample* out) const;
+                          dsp::Sample* out, dsp::Math_profile profile) const;
+
+    /// Fixed-gain fast-profile kernel: rotor-recurrence accumulation.
+    void accumulate_fixed_fast(dsp::Signal_view signal, dsp::Sample* out) const;
 
     Link_params params_;
 };

@@ -1,13 +1,14 @@
 #include "channel/medium.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "dsp/ops.h"
 
 namespace anc::chan {
 
-Medium::Medium(double noise_power, Pcg32 rng)
-    : noise_power_{noise_power}, rng_{rng}
+Medium::Medium(double noise_power, Pcg32 rng, dsp::Math_profile profile)
+    : noise_power_{noise_power}, rng_{rng}, profile_{profile}
 {
 }
 
@@ -27,6 +28,42 @@ const Link_channel& Medium::link(Node_id from, Node_id to) const
     if (it == links_.end())
         throw std::out_of_range{"Medium::link: no such link"};
     return it->second;
+}
+
+std::optional<double> Medium::detection_threshold_db(Node_id from, Node_id to) const
+{
+    const auto it = links_.find({from, to});
+    if (it == links_.end())
+        return std::nullopt;
+    return it->second.params().detection_threshold_db;
+}
+
+void Medium::set_detection_threshold_db(Node_id from, Node_id to,
+                                        std::optional<double> threshold_db)
+{
+    const auto it = links_.find({from, to});
+    if (it == links_.end())
+        throw std::out_of_range{"Medium::set_detection_threshold_db: no such link"};
+    Link_params params = it->second.params();
+    params.detection_threshold_db = threshold_db;
+    it->second = Link_channel{params};
+}
+
+void Medium::append_fade_magnitudes(Node_id from, Node_id to, std::size_t samples,
+                                    std::vector<double>& out) const
+{
+    const auto it = links_.find({from, to});
+    if (it == links_.end() || samples == 0)
+        return;
+    const Link_channel& channel = it->second;
+    if (channel.params().gain_model != Gain_model::rayleigh_block)
+        return;
+    const std::size_t block_len = channel.params().coherence_block == 0
+                                      ? samples
+                                      : channel.params().coherence_block;
+    const std::size_t blocks = (samples + block_len - 1) / block_len;
+    for (std::size_t block = 0; block < blocks; ++block)
+        out.push_back(std::abs(channel.block_gain(fading_epoch_, block)));
 }
 
 dsp::Signal Medium::receive(Node_id receiver,
@@ -50,10 +87,11 @@ void Medium::receive_into(Node_id receiver,
         const auto it = links_.find({tx.from, receiver});
         if (it == links_.end())
             continue; // out of radio range
-        it->second.apply_onto(tx.signal, tx.start, out, fading_epoch_);
+        it->second.apply_onto(tx.signal, tx.start, out, fading_epoch_, profile_);
     }
     out.resize(out.size() + trailing_noise, dsp::Sample{0.0, 0.0});
-    Awgn noise{noise_power_, rng_.fork(static_cast<std::uint64_t>(receiver) + 1)};
+    Awgn noise{noise_power_, rng_.fork(static_cast<std::uint64_t>(receiver) + 1),
+               profile_};
     noise.add_in_place(out);
 }
 

@@ -41,7 +41,11 @@ class Medium {
 public:
     /// `noise_power` is the receiver noise floor (same at every node, as
     /// assumed in §8); `rng` seeds the per-receive noise streams.
-    Medium(double noise_power, Pcg32 rng);
+    /// `profile` selects the math profile every receive() runs under:
+    /// `exact` is the historical bit-identical path, `fast` the
+    /// corridor-validated SIMD/counter-noise path (dsp/math_profile.h).
+    Medium(double noise_power, Pcg32 rng,
+           dsp::Math_profile profile = dsp::Math_profile::exact);
 
     /// Define the channel of the ordered pair (from -> to).  Pairs without
     /// a link are out of radio range: the receiver hears nothing from that
@@ -52,6 +56,18 @@ public:
 
     /// The link's channel; throws if absent.
     const Link_channel& link(Node_id from, Node_id to) const;
+
+    /// Per-link AGC detection threshold for receivers snooping
+    /// (from -> to): the link's Link_params::detection_threshold_db, or
+    /// empty when the link has none (or does not exist) — "use the
+    /// standard carrier-sense threshold".
+    std::optional<double> detection_threshold_db(Node_id from, Node_id to) const;
+
+    /// Install or clear the per-link threshold on an existing link
+    /// (throws std::out_of_range when absent).  Keeps the link's other
+    /// parameters — including its random phase — untouched.
+    void set_detection_threshold_db(Node_id from, Node_id to,
+                                    std::optional<double> threshold_db);
 
     /// What `receiver` hears during a round in which `transmissions` are
     /// on the air: sum over in-range senders of link(sender, receiver)
@@ -74,6 +90,7 @@ public:
                       dsp::Signal& out);
 
     double noise_power() const { return noise_power_; }
+    dsp::Math_profile math_profile() const { return profile_; }
 
     /// The fading epoch applied to every rayleigh_block link during
     /// receive(): a logical packet/exchange counter the simulation
@@ -83,10 +100,20 @@ public:
     void set_fading_epoch(std::uint64_t epoch) { fading_epoch_ = epoch; }
     std::uint64_t fading_epoch() const { return fading_epoch_; }
 
+    /// Channel-state introspection: append |h_{epoch,block}| for every
+    /// coherence block a transmission of `samples` samples over
+    /// (from -> to) spans at the medium's *current* fading epoch.  Pure
+    /// (block gains are counter-based), so recording consumes no RNG
+    /// state and cannot perturb results.  No-op for fixed-gain or absent
+    /// links.
+    void append_fade_magnitudes(Node_id from, Node_id to, std::size_t samples,
+                                std::vector<double>& out) const;
+
 private:
     std::map<std::pair<Node_id, Node_id>, Link_channel> links_;
     double noise_power_;
     Pcg32 rng_;
+    dsp::Math_profile profile_;
     std::uint64_t fading_epoch_ = 0;
 };
 

@@ -75,12 +75,14 @@ std::optional<phy::Parsed_frame> recover_from_tail(const Bits& bits,
 
 } // namespace
 
-Anc_receiver::Anc_receiver(Anc_receiver_config config, double noise_power)
+Anc_receiver::Anc_receiver(Anc_receiver_config config, double noise_power,
+                           dsp::Math_profile profile)
     : config_{config},
       noise_power_{noise_power},
       modem_{config.modem},
       packet_detector_{noise_power, config.packet_detector},
-      interference_detector_{noise_power, config.interference_detector}
+      interference_detector_{noise_power, config.interference_detector},
+      decoder_{profile}
 {
 }
 

@@ -84,7 +84,13 @@ struct Anc_receiver_config {
 
 class Anc_receiver {
 public:
-    Anc_receiver(Anc_receiver_config config, double noise_power);
+    /// `profile` selects the math kernels of the interference decoder
+    /// (Eq. 7–8 atan2): the default keeps the historical bit-exact path;
+    /// the sims pass their run-level math profile down here.
+    Anc_receiver(Anc_receiver_config config, double noise_power,
+                 dsp::Math_profile profile = dsp::Math_profile::exact);
+
+    dsp::Math_profile math_profile() const { return decoder_.math_profile(); }
 
     /// Process one received round.  `buffer` holds the frames this node
     /// sent or overheard (§7.3).

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "dsp/math_profile.h"
 #include "dsp/sample.h"
 #include "util/bits.h"
 
@@ -45,6 +46,18 @@ struct Symbol_decode_result {
 
 class Interference_decoder {
 public:
+    /// The math profile selects the Eq. 7–8 arg/atan2 kernels: `exact`
+    /// is the historical libm path, `fast` the bounded-error fastmath
+    /// one (see dsp/math_profile.h; the ANC receiver passes its own
+    /// profile down).
+    explicit Interference_decoder(
+        dsp::Math_profile profile = dsp::Math_profile::exact)
+        : profile_{profile}
+    {
+    }
+
+    dsp::Math_profile math_profile() const { return profile_; }
+
     /// `samples`: the received stream, aligned so samples[k] carries the
     /// known signal's k-th sample (alignment is the pilot matcher's job).
     /// `known_diffs`: the known signal's per-transition phase differences
@@ -94,6 +107,9 @@ public:
                                        double b,
                                        std::vector<double>& phi_differences,
                                        std::vector<double>& match_errors) const;
+
+private:
+    dsp::Math_profile profile_ = dsp::Math_profile::exact;
 };
 
 } // namespace anc

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/ops.h"
 #include "util/phase.h"
 
 namespace anc::dsp {
@@ -50,23 +51,31 @@ std::vector<double> dqpsk_phase_steps_for_bits(std::span<const std::uint8_t> bit
     return steps;
 }
 
-Dqpsk_modulator::Dqpsk_modulator(double amplitude, double initial_phase)
-    : amplitude_{amplitude}, initial_phase_{initial_phase}
+Dqpsk_modulator::Dqpsk_modulator(double amplitude, double initial_phase,
+                                 Math_profile profile)
+    : amplitude_{amplitude}, initial_phase_{initial_phase}, profile_{profile}
 {
 }
 
 Signal Dqpsk_modulator::modulate(std::span<const std::uint8_t> bits) const
 {
     const std::vector<double> steps = dqpsk_phase_steps_for_bits(bits);
-    Signal signal;
-    signal.reserve(steps.size() + 1);
+    std::vector<double> phases;
+    phases.reserve(steps.size() + 1);
     double phase = initial_phase_;
-    signal.push_back(std::polar(amplitude_, phase));
+    phases.push_back(phase);
     for (const double step : steps) {
         phase = wrap_phase(phase + step);
-        signal.push_back(std::polar(amplitude_, phase));
+        phases.push_back(phase);
     }
+    Signal signal;
+    polar_into(phases, amplitude_, profile_, signal);
     return signal;
+}
+
+Dqpsk_demodulator::Dqpsk_demodulator(Math_profile profile)
+    : profile_{profile}
+{
 }
 
 Bits Dqpsk_demodulator::demodulate(Signal_view signal) const
@@ -76,7 +85,7 @@ Bits Dqpsk_demodulator::demodulate(Signal_view signal) const
         return bits;
     bits.reserve(2 * (signal.size() - 1));
     for (std::size_t n = 0; n + 1 < signal.size(); ++n) {
-        const double diff = std::arg(signal[n + 1] * std::conj(signal[n]));
+        const double diff = profile_arg(profile_, signal[n + 1] * std::conj(signal[n]));
         const auto [b0, b1] = dqpsk_bits_for_symbol(dqpsk_nearest_symbol(diff));
         bits.push_back(b0);
         bits.push_back(b1);

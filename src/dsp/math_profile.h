@@ -1,0 +1,78 @@
+// The math-profile seam: one enum that selects, at every transcendental
+// call site of the sample pipeline, between the bit-exact libm kernels
+// and the fast approximate ones (util/fastmath.h).
+//
+//   exact — byte-identical to the historical implementation.  Every
+//           golden test, sweep JSON, and figure reproduction runs here
+//           by default; nothing about this profile may drift.
+//   fast  — SIMD-friendly polynomial transcendentals and counter-based
+//           noise.  Outputs differ from `exact` in low-order bits (and
+//           the noise stream is a different, equally-valid realization),
+//           so results are validated *statistically*: the corridor tests
+//           (tests/engine/math_profile_corridor_test.cpp) bound the
+//           BER/delivery-rate deviation from `exact`, per the
+//           relaxed-determinism design in PERF.md "Math profiles".
+//
+// Call sites branch on the profile (`profile == Math_profile::exact`)
+// with the exact expression kept verbatim in the exact arm — the seam is
+// also the landing zone for future backends (explicit AVX2 kernels would
+// become a third enum value dispatched the same way).
+
+#pragma once
+
+#include <complex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/fastmath.h"
+
+namespace anc::dsp {
+
+enum class Math_profile {
+    exact, ///< libm + sequential Box–Muller; the determinism contract
+    fast,  ///< fastmath kernels + counter-based noise; corridor-validated
+};
+
+inline const char* to_string(Math_profile profile)
+{
+    return profile == Math_profile::exact ? "exact" : "fast";
+}
+
+/// Parse "exact" / "fast"; throws std::invalid_argument otherwise.
+inline Math_profile math_profile_from_string(std::string_view name)
+{
+    if (name == "exact")
+        return Math_profile::exact;
+    if (name == "fast")
+        return Math_profile::fast;
+    throw std::invalid_argument{"math_profile_from_string: unknown profile '"
+                                + std::string{name} + "'"};
+}
+
+/// Profile-dispatched atan2.
+inline double profile_atan2(Math_profile profile, double y, double x)
+{
+    return profile == Math_profile::exact ? std::atan2(y, x) : fast_atan2(y, x);
+}
+
+/// Profile-dispatched std::arg.
+inline double profile_arg(Math_profile profile, std::complex<double> value)
+{
+    return profile == Math_profile::exact ? std::arg(value)
+                                          : fast_atan2(value.imag(), value.real());
+}
+
+/// Profile-dispatched std::polar (magnitude · e^{i·angle}).
+inline std::complex<double> profile_polar(Math_profile profile, double magnitude,
+                                          double angle)
+{
+    if (profile == Math_profile::exact)
+        return std::polar(magnitude, angle);
+    double s = 0.0;
+    double c = 0.0;
+    fast_sincos(angle, s, c);
+    return {magnitude * c, magnitude * s};
+}
+
+} // namespace anc::dsp

@@ -29,8 +29,9 @@ void phase_differences_for_bits_into(std::span<const std::uint8_t> bits,
         out.push_back(msk_phase_step(bit));
 }
 
-Msk_modulator::Msk_modulator(double amplitude, double initial_phase)
-    : amplitude_{amplitude}, initial_phase_{initial_phase}
+Msk_modulator::Msk_modulator(double amplitude, double initial_phase,
+                             Math_profile profile)
+    : amplitude_{amplitude}, initial_phase_{initial_phase}, profile_{profile}
 {
 }
 
@@ -45,6 +46,24 @@ void Msk_modulator::modulate_into(std::span<const std::uint8_t> bits, Signal& ou
 {
     out.clear();
     out.reserve(bits.size() + 1);
+    if (profile_ == Math_profile::fast) {
+        // A ±π/2 phase step is multiplication by ±i, which is a *lossless*
+        // component swap/negate — the envelope stays exactly amplitude_
+        // and no per-sample sincos or phase accumulator is needed.  Only
+        // the initial sample differs from the exact path (fast_sincos vs
+        // libm, low-order bits).
+        double s = 0.0;
+        double c = 0.0;
+        fast_sincos(initial_phase_, s, c);
+        Sample current{amplitude_ * c, amplitude_ * s};
+        out.push_back(current);
+        for (const std::uint8_t bit : bits) {
+            current = bit ? Sample{-current.imag(), current.real()}
+                          : Sample{current.imag(), -current.real()};
+            out.push_back(current);
+        }
+        return;
+    }
     double phase = initial_phase_;
     out.push_back(std::polar(amplitude_, phase));
     bool unbounded = true; // the caller's initial phase may exceed 2*pi

@@ -93,6 +93,26 @@ void accumulate(Signal& acc, Signal_view signal, std::size_t offset)
         a[i] += s[i];
 }
 
+void polar_into(std::span<const double> phases, double amplitude,
+                Math_profile profile, Signal& out)
+{
+    const std::size_t n = phases.size();
+    out.resize(n);
+    if (profile == Math_profile::exact) {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = std::polar(amplitude, phases[i]);
+        return;
+    }
+    double* data = reinterpret_cast<double*>(out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        double c = 0.0;
+        fast_sincos(phases[i], s, c);
+        data[2 * i] = amplitude * c;
+        data[2 * i + 1] = amplitude * s;
+    }
+}
+
 double normalize_power_in_place(Signal& signal, double target_power)
 {
     const double current = power(signal);

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
+#include "dsp/math_profile.h"
 #include "dsp/sample.h"
 
 namespace anc::dsp {
@@ -44,6 +46,13 @@ void add_into(Signal& acc, Signal_view signal);
 /// In-place accumulate: acc[offset + i] += signal[i], growing acc if
 /// needed.  Used by the medium to mix any number of transmitters.
 void accumulate(Signal& acc, Signal_view signal, std::size_t offset);
+
+/// out[i] = amplitude · e^{i·phases[i]} — the batched polar fill behind
+/// the phase-accumulating modulators.  `exact` evaluates std::polar per
+/// element (byte-identical to the historical per-sample loop); `fast`
+/// runs fast_sincos in a branch-light loop the compiler can pipeline.
+void polar_into(std::span<const double> phases, double amplitude,
+                Math_profile profile, Signal& out);
 
 /// Scale `signal` so its mean power becomes `target_power`, in one
 /// measure-then-scale pass over the buffer (no intermediate copy).  A

@@ -34,6 +34,7 @@ sim::Alice_bob_config alice_bob_config_for(const Scenario_config& config,
     sim_config.alice_amplitude = config.alice_amplitude;
     sim_config.bob_amplitude = config.bob_amplitude;
     sim_config.receiver = config.receiver;
+    sim_config.math_profile = config.math_profile;
     sim_config.seed = seed;
     return sim_config;
 }
@@ -53,6 +54,10 @@ Scenario_result run_alice_bob_sim(const Scenario_config& config,
     result.metrics = std::move(sim_result.metrics);
     result.series["ber_at_alice"] = std::move(sim_result.ber_at_alice);
     result.series["ber_at_bob"] = std::move(sim_result.ber_at_bob);
+    // Channel-state series, present only on fading runs so fixed-gain
+    // sweep JSON stays byte-identical to the pre-series emitters.
+    if (!sim_result.fade_magnitude.empty())
+        result.series["fade_magnitude"] = std::move(sim_result.fade_magnitude);
     return result;
 }
 
@@ -80,6 +85,7 @@ sim::X_config x_config_for(const Scenario_config& config, std::uint64_t seed)
     sim_config.exchanges = config.exchanges;
     sim_config.snr_db = config.snr_db;
     sim_config.receiver = config.receiver;
+    sim_config.math_profile = config.math_profile;
     sim_config.seed = seed;
     return sim_config;
 }
@@ -98,6 +104,8 @@ Scenario_result run_x_sim(const Scenario_config& config, const sim::X_config& si
     result.metrics = std::move(sim_result.metrics);
     result.series["ber_at_n2"] = std::move(sim_result.ber_at_n2);
     result.series["ber_at_n4"] = std::move(sim_result.ber_at_n4);
+    if (!sim_result.fade_magnitude.empty())
+        result.series["fade_magnitude"] = std::move(sim_result.fade_magnitude);
     result.scalars["overhear_attempts"] =
         static_cast<double>(sim_result.overhear_attempts);
     result.scalars["overhear_failures"] =
@@ -128,6 +136,7 @@ Scenario_result run_chain(const Scenario_config& config, std::uint64_t seed)
     sim_config.packets = config.exchanges;
     sim_config.snr_db = config.snr_db;
     sim_config.receiver = config.receiver;
+    sim_config.math_profile = config.math_profile;
     sim_config.seed = seed;
 
     const sim::Chain_result sim_result = config.scheme == "traditional"

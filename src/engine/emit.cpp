@@ -81,7 +81,8 @@ void json_cdf(std::ostream& out, const Cdf& cdf)
 void json_key_fields(std::ostream& out, const Point_key& key)
 {
     out << "\"scenario\":\"" << json_escape(key.scenario) << "\",\"scheme\":\""
-        << json_escape(key.scheme) << "\",\"snr_db\":" << fmt(key.snr_db)
+        << json_escape(key.scheme) << "\",\"math_profile\":\""
+        << dsp::to_string(key.math_profile) << "\",\"snr_db\":" << fmt(key.snr_db)
         << ",\"alice_amplitude\":" << fmt(key.alice_amplitude)
         << ",\"bob_amplitude\":" << fmt(key.bob_amplitude)
         << ",\"payload_bits\":" << key.payload_bits
@@ -120,15 +121,17 @@ void json_scalars(std::ostream& out, const std::map<std::string, double>& scalar
 
 void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results)
 {
-    out << "index,scenario,scheme,snr_db,alice_amplitude,bob_amplitude,payload_bits,"
-           "exchanges,detector_threshold_db,interleave_rows,coherence_block,"
-           "mean_link_gain,repetition,seed,packets_attempted,packets_delivered,"
-           "payload_bits_delivered,airtime_symbols,delivery_rate,mean_ber,"
-           "mean_overlap,raw_throughput,throughput\n";
+    out << "#schema=" << sweep_schema << '\n';
+    out << "index,scenario,scheme,math_profile,snr_db,alice_amplitude,bob_amplitude,"
+           "payload_bits,exchanges,detector_threshold_db,interleave_rows,"
+           "coherence_block,mean_link_gain,repetition,seed,packets_attempted,"
+           "packets_delivered,payload_bits_delivered,airtime_symbols,delivery_rate,"
+           "mean_ber,mean_overlap,raw_throughput,throughput\n";
     for (const Task_result& result : results) {
         const Sweep_task& task = result.task;
         const sim::Run_metrics& metrics = result.result.metrics;
         out << task.index << ',' << task.scenario << ',' << task.config.scheme << ','
+            << dsp::to_string(task.config.math_profile) << ','
             << fmt(task.config.snr_db) << ',' << fmt(task.config.alice_amplitude) << ','
             << fmt(task.config.bob_amplitude) << ',' << task.config.payload_bits << ','
             << task.config.exchanges << ','
@@ -146,15 +149,17 @@ void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results)
 
 void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summaries)
 {
-    out << "scenario,scheme,snr_db,alice_amplitude,bob_amplitude,payload_bits,"
-           "exchanges,detector_threshold_db,interleave_rows,coherence_block,"
-           "mean_link_gain,runs,packets_attempted,packets_delivered,delivery_rate,"
-           "mean_ber,mean_overlap,throughput_mean,throughput_p50,throughput_p90,"
-           "throughput_min,throughput_max\n";
+    out << "#schema=" << sweep_schema << '\n';
+    out << "scenario,scheme,math_profile,snr_db,alice_amplitude,bob_amplitude,"
+           "payload_bits,exchanges,detector_threshold_db,interleave_rows,"
+           "coherence_block,mean_link_gain,runs,packets_attempted,packets_delivered,"
+           "delivery_rate,mean_ber,mean_overlap,throughput_mean,throughput_p50,"
+           "throughput_p90,throughput_min,throughput_max\n";
     for (const Point_summary& summary : summaries) {
         const Point_key& key = summary.key;
         const Cdf_stats throughput = stats_of(summary.throughput);
-        out << key.scenario << ',' << key.scheme << ',' << fmt(key.snr_db) << ','
+        out << key.scenario << ',' << key.scheme << ','
+            << dsp::to_string(key.math_profile) << ',' << fmt(key.snr_db) << ','
             << fmt(key.alice_amplitude) << ',' << fmt(key.bob_amplitude) << ','
             << key.payload_bits << ',' << key.exchanges << ','
             << fmt(key.detector_threshold_db) << ',' << key.interleave_rows << ','
@@ -173,7 +178,7 @@ void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summ
 void write_json(std::ostream& out, const std::vector<Task_result>& results,
                 const std::vector<Point_summary>& summaries)
 {
-    out << "{\"schema\":\"anc.sweep.v2\",\"tasks\":[";
+    out << "{\"schema\":\"" << sweep_schema << "\",\"tasks\":[";
     bool first = true;
     for (const Task_result& result : results) {
         out << (first ? "" : ",") << "{\"index\":" << result.task.index << ",";

@@ -18,6 +18,12 @@
 
 namespace anc::engine {
 
+/// Schema identifier embedded in every emitted sweep artifact (the JSON
+/// document's "schema" field and a leading `#schema=` comment line on
+/// both CSVs).  v3 = v2 plus the `math_profile` tag on every task/point
+/// row; readers of v2 may treat the new field as defaulted to "exact".
+inline constexpr const char* sweep_schema = "anc.sweep.v3";
+
 /// One CSV row per task (the raw sweep), header included.
 void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results);
 

@@ -20,6 +20,7 @@ Point_key key_of(const Sweep_task& task)
     key.interleave_rows = task.config.fec_interleave_rows;
     key.coherence_block = task.config.coherence_block;
     key.mean_link_gain = task.config.mean_link_gain;
+    key.math_profile = task.config.math_profile;
     return key;
 }
 

@@ -31,6 +31,8 @@ struct Point_key {
     std::size_t interleave_rows = 0;
     std::size_t coherence_block = 4096;
     double mean_link_gain = 1.0;
+    /// Fast and exact rows aggregate into distinct points (never mixed).
+    dsp::Math_profile math_profile = dsp::Math_profile::exact;
 
     friend auto operator<=>(const Point_key&, const Point_key&) = default;
 };

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/anc_receiver.h"
+#include "dsp/math_profile.h"
 #include "sim/metrics.h"
 #include "util/stats.h"
 
@@ -52,6 +53,13 @@ struct Scenario_config {
     /// link gain (mean amplitude; mean *power* scales by its square).
     std::size_t coherence_block = 4096;
     double mean_link_gain = 1.0;
+    /// Math profile the whole run executes under (dsp/math_profile.h):
+    /// `exact` (default) is byte-identical to the historical runs;
+    /// `fast` trades bit-exactness for the SIMD/counter-noise kernels
+    /// and is validated by the statistical corridor tests.  Every
+    /// emitted row is tagged with this value so fast results are never
+    /// silently mixed with exact ones.
+    dsp::Math_profile math_profile = dsp::Math_profile::exact;
 };
 
 /// What one run produces: the standard metrics plus named auxiliary

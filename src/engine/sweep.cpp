@@ -76,6 +76,7 @@ std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& 
     require_non_empty(!grid.interleave_rows.empty(), "interleave_rows");
     require_non_empty(!grid.coherence_blocks.empty(), "coherence_blocks");
     require_non_empty(!grid.mean_link_gains.empty(), "mean_link_gains");
+    require_non_empty(!grid.math_profiles.empty(), "math_profiles");
     require_non_empty(grid.repetitions > 0, "repetitions");
 
     // Every requested scheme must be meaningful somewhere in the grid.
@@ -90,22 +91,29 @@ std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& 
         const std::vector<std::string> schemes = schemes_for(scenario, grid);
         for (const std::string& scheme : schemes)
             unmatched.erase(scheme);
-        std::size_t scheme_block = 0; // tasks per scheme within this scenario
+        std::size_t scheme_block = 0; // tasks per (scheme, profile) block
         for (const std::string& scheme : schemes) {
-            std::size_t offset = 0; // position within the scheme-collapsed block
-            for (const Scenario_config& point : points) {
-                for (std::size_t rep = 0; rep < grid.repetitions; ++rep) {
-                    Sweep_task task;
-                    task.index = tasks.size();
-                    task.seed_index = scenario_seed_base + offset++;
-                    task.scenario = scenario_name;
-                    task.config = point;
-                    task.config.scheme = scheme;
-                    task.repetition = rep;
-                    tasks.push_back(std::move(task));
+            // The math-profile axis is seed-collapsed exactly like the
+            // scheme axis: the offset restarts per profile, so tasks
+            // that differ only in scheme and/or profile share a
+            // seed_index (paired channel realizations).
+            for (const dsp::Math_profile profile : grid.math_profiles) {
+                std::size_t offset = 0; // position within the collapsed block
+                for (const Scenario_config& point : points) {
+                    for (std::size_t rep = 0; rep < grid.repetitions; ++rep) {
+                        Sweep_task task;
+                        task.index = tasks.size();
+                        task.seed_index = scenario_seed_base + offset++;
+                        task.scenario = scenario_name;
+                        task.config = point;
+                        task.config.scheme = scheme;
+                        task.config.math_profile = profile;
+                        task.repetition = rep;
+                        tasks.push_back(std::move(task));
+                    }
                 }
+                scheme_block = offset;
             }
-            scheme_block = offset;
         }
         scenario_seed_base += scheme_block;
     }

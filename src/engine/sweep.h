@@ -38,6 +38,11 @@ struct Sweep_grid {
     /// coherence block, and the multiplier on every topology link gain.
     std::vector<std::size_t> coherence_blocks = {4096};
     std::vector<double> mean_link_gains = {1.0};
+    /// Math profiles to run (dsp/math_profile.h).  Like the scheme axis,
+    /// this axis is *seed-collapsed*: tasks differing only in profile
+    /// share a seed_index, so `fast` and `exact` points see identical
+    /// channel realizations and the corridor comparison is paired.
+    std::vector<dsp::Math_profile> math_profiles = {dsp::Math_profile::exact};
     /// Independent runs per grid point (the paper repeats 40x).
     std::size_t repetitions = 1;
 };
@@ -54,8 +59,8 @@ struct Sweep_task {
     std::size_t repetition = 0; ///< 0 .. repetitions-1 within this grid point
 };
 
-/// Expands the grid in axis order scenario > scheme > snr_db >
-/// alice_amplitude > bob_amplitude > payload_bits > exchanges >
+/// Expands the grid in axis order scenario > scheme > math_profile >
+/// snr_db > alice_amplitude > bob_amplitude > payload_bits > exchanges >
 /// detector_threshold_db > interleave_rows > coherence_block >
 /// mean_link_gain > repetition.  Throws std::invalid_argument on an
 /// empty axis, an unknown scenario, or a requested scheme no scenario

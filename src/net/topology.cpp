@@ -75,9 +75,16 @@ void install_x(chan::Medium& medium, const X_nodes& nodes, const X_gains& gains,
         medium.set_link(spoke, nodes.n5, link_with(gains.spoke, fading, rng));
         medium.set_link(nodes.n5, spoke, link_with(gains.spoke, fading, rng));
     }
-    // Overhearing links.
-    medium.set_link(nodes.n1, nodes.n2, link_with(gains.overhear, fading, rng));
-    medium.set_link(nodes.n3, nodes.n4, link_with(gains.overhear, fading, rng));
+    // Overhearing links carry the per-link AGC detection threshold: a
+    // node snooping a clean upload listens below the standard
+    // carrier-sense threshold by the link's budget deficit (the
+    // promoted Medium-layer form of the old X_config snoop knob).
+    chan::Link_params overhear_12 = link_with(gains.overhear, fading, rng);
+    overhear_12.detection_threshold_db = gains.overhear_detection_threshold_db;
+    medium.set_link(nodes.n1, nodes.n2, overhear_12);
+    chan::Link_params overhear_34 = link_with(gains.overhear, fading, rng);
+    overhear_34.detection_threshold_db = gains.overhear_detection_threshold_db;
+    medium.set_link(nodes.n3, nodes.n4, overhear_34);
     // Weak cross links: the other sender is audible while overhearing.
     medium.set_link(nodes.n3, nodes.n2, link_with(gains.cross, fading, rng));
     medium.set_link(nodes.n1, nodes.n4, link_with(gains.cross, fading, rng));

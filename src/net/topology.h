@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include <optional>
+
 #include "channel/medium.h"
 #include "util/rng.h"
 
@@ -83,6 +85,19 @@ struct X_gains {
     double overhear = 0.50; // n1 -> n2 and n3 -> n4 (the snooping links)
     double cross = 0.25;    // n3 -> n2 and n1 -> n4 (interference while
                             // overhearing; the cause of §11.5's losses)
+    /// Per-link AGC detection threshold installed on the two overhear
+    /// links (chan::Link_params::detection_threshold_db), consulted by
+    /// nodes snooping a *clean* transmission.  The standard 15 dB
+    /// carrier-sense threshold sits above the overhear link's entire
+    /// budget at the bottom of the operating band: gain 0.5 puts the
+    /// snooped power ~6 dB below a unit-gain link, so at 20 dB SNR the
+    /// packet lands ~14 dB above the floor — under 15 dB, which silently
+    /// zeroed every COPE delivery there (every seed; the demodulator
+    /// itself is fine at 14 dB).  A deliberate snooper listens lower by
+    /// the link's budget deficit: 15 − 6 = 9 dB, the
+    /// chan::agc_detection_threshold_db rule rounded to the historical
+    /// value.  Empty disables the override (pre-fix behavior).
+    std::optional<double> overhear_detection_threshold_db = 9.0;
 };
 
 void install_x(chan::Medium& medium, const X_nodes& nodes, const X_gains& gains,

@@ -19,14 +19,16 @@ Bits Modem::frame_bits(const Frame_header& header, std::span<const std::uint8_t>
 dsp::Signal Modem::modulate(std::span<const std::uint8_t> frame_bits,
                             double initial_phase) const
 {
-    const dsp::Msk_modulator modulator{config_.amplitude, initial_phase};
+    const dsp::Msk_modulator modulator{config_.amplitude, initial_phase,
+                                       config_.math_profile};
     return modulator.modulate(frame_bits);
 }
 
 void Modem::modulate_into(std::span<const std::uint8_t> frame_bits,
                           double initial_phase, dsp::Signal& out) const
 {
-    const dsp::Msk_modulator modulator{config_.amplitude, initial_phase};
+    const dsp::Msk_modulator modulator{config_.amplitude, initial_phase,
+                                       config_.math_profile};
     modulator.modulate_into(frame_bits, out);
 }
 

@@ -27,28 +27,36 @@ struct World {
     Anc_receiver receiver;
     double noise_power;
     Pcg32 rng;
+    /// |h| per coherence block of every transmission (fading runs only);
+    /// folded into the result's fade_magnitude CDF by the runners.
+    std::vector<double> fade_magnitudes;
 };
 
 World make_world(const Alice_bob_config& config)
 {
     Pcg32 rng{config.seed, 0x0a11ce0bu};
     const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
-    chan::Medium medium{noise_power, rng.fork(1)};
+    chan::Medium medium{noise_power, rng.fork(1), config.math_profile};
     Pcg32 link_rng = rng.fork(2);
     install_alice_bob(medium, config.nodes, config.gains, config.fading, link_rng);
 
     phy::Modem_config alice_modem;
     alice_modem.amplitude = config.alice_amplitude;
+    alice_modem.math_profile = config.math_profile;
     phy::Modem_config bob_modem;
     bob_modem.amplitude = config.bob_amplitude;
+    bob_modem.math_profile = config.math_profile;
+    phy::Modem_config router_modem;
+    router_modem.math_profile = config.math_profile;
 
     return World{std::move(medium),
                  net::Net_node{config.nodes.alice, alice_modem},
-                 net::Net_node{config.nodes.router},
+                 net::Net_node{config.nodes.router, router_modem},
                  net::Net_node{config.nodes.bob, bob_modem},
-                 Anc_receiver{config.receiver, noise_power},
+                 Anc_receiver{config.receiver, noise_power, config.math_profile},
                  noise_power,
-                 rng.fork(3)};
+                 rng.fork(3),
+                 {}};
 }
 
 /// One clean (collision-free) transmission from `from` to `to`; returns
@@ -63,6 +71,8 @@ std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
     from.transmit_into(packet, world.rng, *signal);
     const chan::Transmission txs[] = {{from.id(), *signal, 0}};
     metrics.airtime_symbols += static_cast<double>(signal->size());
+    world.medium.append_fade_magnitudes(from.id(), to, signal->size(),
+                                        world.fade_magnitudes);
     auto received = workspace.signal();
     world.medium.receive_into(to, txs, rx_guard, *received);
     const Receive_outcome outcome =
@@ -137,6 +147,7 @@ Alice_bob_result run_alice_bob_traditional(const Alice_bob_config& config)
             }
         }
     }
+    result.fade_magnitude.add_all(world.fade_magnitudes);
     return result;
 }
 
@@ -179,6 +190,10 @@ Alice_bob_result run_alice_bob_cope(const Alice_bob_config& config)
         world.router.transmit_into(coded, world.rng, *signal);
         const chan::Transmission txs[] = {{world.router.id(), *signal, 0}};
         result.metrics.airtime_symbols += static_cast<double>(signal->size());
+        world.medium.append_fade_magnitudes(world.router.id(), world.alice.id(),
+                                            signal->size(), world.fade_magnitudes);
+        world.medium.append_fade_magnitudes(world.router.id(), world.bob.id(),
+                                            signal->size(), world.fade_magnitudes);
 
         auto at_alice = workspace.signal();
         world.medium.receive_into(world.alice.id(), txs, rx_guard, *at_alice);
@@ -202,6 +217,7 @@ Alice_bob_result run_alice_bob_cope(const Alice_bob_config& config)
         decode_side(*at_alice, pa, pb, result.ber_at_alice);
         decode_side(*at_bob, pb, pa, result.ber_at_bob);
     }
+    result.fade_magnitude.add_all(world.fade_magnitudes);
     return result;
 }
 
@@ -238,6 +254,10 @@ Alice_bob_result run_alice_bob_anc(const Alice_bob_config& config)
             std::max(end_a, end_b) - std::min(delay_a, delay_b));
         result.metrics.overlaps.add(overlap_fraction(delay_a, signal_a->size(), delay_b,
                                                      signal_b->size()));
+        world.medium.append_fade_magnitudes(world.alice.id(), world.router.id(),
+                                            signal_a->size(), world.fade_magnitudes);
+        world.medium.append_fade_magnitudes(world.bob.id(), world.router.id(),
+                                            signal_b->size(), world.fade_magnitudes);
 
         auto at_router = workspace.signal();
         world.medium.receive_into(world.router.id(), round1, rx_guard, *at_router);
@@ -249,6 +269,10 @@ Alice_bob_result run_alice_bob_anc(const Alice_bob_config& config)
             continue;
         const chan::Transmission round2[] = {{world.router.id(), *forwarded, 0}};
         result.metrics.airtime_symbols += static_cast<double>(forwarded->size());
+        world.medium.append_fade_magnitudes(world.router.id(), world.alice.id(),
+                                            forwarded->size(), world.fade_magnitudes);
+        world.medium.append_fade_magnitudes(world.router.id(), world.bob.id(),
+                                            forwarded->size(), world.fade_magnitudes);
 
         auto at_alice = workspace.signal();
         world.medium.receive_into(world.alice.id(), round2, rx_guard, *at_alice);
@@ -267,6 +291,7 @@ Alice_bob_result run_alice_bob_anc(const Alice_bob_config& config)
         decode_side(*at_alice, world.alice, pb, result.ber_at_alice);
         decode_side(*at_bob, world.bob, pa, result.ber_at_bob);
     }
+    result.fade_magnitude.add_all(world.fade_magnitudes);
     return result;
 }
 

@@ -33,6 +33,10 @@ struct Alice_bob_config {
     net::Alice_bob_gains gains{};
     net::Link_fading fading{};     // per-link gain dynamics (default: fixed)
     Anc_receiver_config receiver{}; // knobs for every receiver in the run
+    /// Math profile for the whole run: medium noise, link rotations,
+    /// modulators, and the interference decoder (dsp/math_profile.h).
+    /// `exact` (the default) is byte-identical to the historical runs.
+    dsp::Math_profile math_profile = dsp::Math_profile::exact;
     std::uint64_t seed = 1;
 };
 
@@ -40,6 +44,9 @@ struct Alice_bob_result {
     Run_metrics metrics;
     Cdf ber_at_alice; // BER of Bob's packets as decoded by Alice
     Cdf ber_at_bob;   // BER of Alice's packets as decoded by Bob
+    /// Channel-state series under rayleigh_block fading: |h| of every
+    /// coherence block each transmission spanned (empty for fixed gains).
+    Cdf fade_magnitude;
 };
 
 Alice_bob_result run_alice_bob_traditional(const Alice_bob_config& config);

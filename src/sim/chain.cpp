@@ -32,15 +32,17 @@ World make_world(const Chain_config& config)
 {
     Pcg32 rng{config.seed, 0xc4a17u};
     const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
-    chan::Medium medium{noise_power, rng.fork(1)};
+    chan::Medium medium{noise_power, rng.fork(1), config.math_profile};
     Pcg32 link_rng = rng.fork(2);
     install_chain(medium, config.nodes, config.gains, config.fading, link_rng);
+    phy::Modem_config node_modem;
+    node_modem.math_profile = config.math_profile;
     return World{std::move(medium),
-                 net::Net_node{config.nodes.n1},
-                 net::Net_node{config.nodes.n2},
-                 net::Net_node{config.nodes.n3},
-                 net::Net_node{config.nodes.n4},
-                 Anc_receiver{config.receiver, noise_power},
+                 net::Net_node{config.nodes.n1, node_modem},
+                 net::Net_node{config.nodes.n2, node_modem},
+                 net::Net_node{config.nodes.n3, node_modem},
+                 net::Net_node{config.nodes.n4, node_modem},
+                 Anc_receiver{config.receiver, noise_power, config.math_profile},
                  noise_power,
                  rng.fork(3)};
 }

@@ -34,6 +34,9 @@ struct Chain_config {
     net::Chain_gains gains{};
     net::Link_fading fading{};      // per-link gain dynamics (default: fixed)
     Anc_receiver_config receiver{}; // knobs for every receiver in the run
+    /// Math profile for the whole run (dsp/math_profile.h); `exact` is
+    /// byte-identical to the historical runs.
+    dsp::Math_profile math_profile = dsp::Math_profile::exact;
     std::uint64_t seed = 1;
 };
 

@@ -26,30 +26,53 @@ struct World {
     net::Net_node n4;
     net::Net_node n5;
     Anc_receiver receiver;
-    Anc_receiver snoop_receiver; // lower detection threshold (overhear links)
+    Anc_receiver snoop_at_n2; // per-link AGC threshold of n1 -> n2
+    Anc_receiver snoop_at_n4; // per-link AGC threshold of n3 -> n4
     double noise_power;
     Pcg32 rng;
+    /// |h| per coherence block of every transmission (fading runs only).
+    std::vector<double> fade_magnitudes;
 };
+
+/// A receiver for snooping the clean (from -> to) link: the Medium's
+/// per-link AGC detection threshold (installed by install_x on the
+/// overhear links) replaces the standard carrier-sense threshold; a link
+/// without an override keeps the receiver's default.
+Anc_receiver snoop_receiver_for(const chan::Medium& medium, const X_config& config,
+                                chan::Node_id from, chan::Node_id to,
+                                double noise_power)
+{
+    Anc_receiver_config snoop_config = config.receiver;
+    if (const auto threshold_db = medium.detection_threshold_db(from, to))
+        snoop_config.packet_detector.energy_threshold_db = *threshold_db;
+    return Anc_receiver{snoop_config, noise_power, config.math_profile};
+}
 
 World make_world(const X_config& config)
 {
     Pcg32 rng{config.seed, 0x0f2a9u};
     const double noise_power = chan::noise_power_for_snr_db(config.snr_db);
-    chan::Medium medium{noise_power, rng.fork(1)};
+    chan::Medium medium{noise_power, rng.fork(1), config.math_profile};
     Pcg32 link_rng = rng.fork(2);
     install_x(medium, config.nodes, config.gains, config.fading, link_rng);
-    Anc_receiver_config snoop_config = config.receiver;
-    snoop_config.packet_detector.energy_threshold_db = config.snoop_energy_threshold_db;
+    phy::Modem_config node_modem;
+    node_modem.math_profile = config.math_profile;
+    Anc_receiver snoop_at_n2 = snoop_receiver_for(medium, config, config.nodes.n1,
+                                                  config.nodes.n2, noise_power);
+    Anc_receiver snoop_at_n4 = snoop_receiver_for(medium, config, config.nodes.n3,
+                                                  config.nodes.n4, noise_power);
     return World{std::move(medium),
-                 net::Net_node{config.nodes.n1},
-                 net::Net_node{config.nodes.n2},
-                 net::Net_node{config.nodes.n3},
-                 net::Net_node{config.nodes.n4},
-                 net::Net_node{config.nodes.n5},
-                 Anc_receiver{config.receiver, noise_power},
-                 Anc_receiver{snoop_config, noise_power},
+                 net::Net_node{config.nodes.n1, node_modem},
+                 net::Net_node{config.nodes.n2, node_modem},
+                 net::Net_node{config.nodes.n3, node_modem},
+                 net::Net_node{config.nodes.n4, node_modem},
+                 net::Net_node{config.nodes.n5, node_modem},
+                 Anc_receiver{config.receiver, noise_power, config.math_profile},
+                 std::move(snoop_at_n2),
+                 std::move(snoop_at_n4),
                  noise_power,
-                 rng.fork(3)};
+                 rng.fork(3),
+                 {}};
 }
 
 std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
@@ -63,6 +86,8 @@ std::optional<phy::Received_frame> clean_hop(World& world, net::Net_node& from,
     from.transmit_into(packet, world.rng, *signal);
     const chan::Transmission txs[] = {{from.id(), *signal, 0}};
     metrics.airtime_symbols += static_cast<double>(signal->size());
+    world.medium.append_fade_magnitudes(from.id(), to, signal->size(),
+                                        world.fade_magnitudes);
     if (also_heard_at)
         world.medium.receive_into(overhearer, txs, rx_guard, *also_heard_at);
     auto received = workspace.signal();
@@ -135,6 +160,7 @@ X_result run_x_traditional(const X_config& config)
             }
         }
     }
+    result.fade_magnitude.add_all(world.fade_magnitudes);
     return result;
 }
 
@@ -167,7 +193,7 @@ X_result run_x_cope(const X_config& config)
         {
             ++result.overhear_attempts;
             const Receive_outcome snoop =
-                world.snoop_receiver.receive(*heard_at_n2, empty_sent_packet_buffer());
+                world.snoop_at_n2.receive(*heard_at_n2, empty_sent_packet_buffer());
             if (snoop.status == Receive_status::clean)
                 pa_overheard = packet_from_frame(*snoop.frame);
             else
@@ -182,7 +208,7 @@ X_result run_x_cope(const X_config& config)
         {
             ++result.overhear_attempts;
             const Receive_outcome snoop =
-                world.snoop_receiver.receive(*heard_at_n4, empty_sent_packet_buffer());
+                world.snoop_at_n4.receive(*heard_at_n4, empty_sent_packet_buffer());
             if (snoop.status == Receive_status::clean)
                 pb_overheard = packet_from_frame(*snoop.frame);
             else
@@ -226,6 +252,7 @@ X_result run_x_cope(const X_config& config)
         decode_side(world.n2.id(), pa_overheard, pb, result.ber_at_n2);
         decode_side(world.n4.id(), pb_overheard, pa, result.ber_at_n4);
     }
+    result.fade_magnitude.add_all(world.fade_magnitudes);
     return result;
 }
 
@@ -263,6 +290,10 @@ X_result run_x_anc(const X_config& config)
             std::max(end_1, end_3) - std::min(delay_1, delay_3));
         result.metrics.overlaps.add(
             overlap_fraction(delay_1, signal_1->size(), delay_3, signal_3->size()));
+        world.medium.append_fade_magnitudes(world.n1.id(), world.n5.id(),
+                                            signal_1->size(), world.fade_magnitudes);
+        world.medium.append_fade_magnitudes(world.n3.id(), world.n5.id(),
+                                            signal_3->size(), world.fade_magnitudes);
 
         auto at_n5 = workspace.signal();
         world.medium.receive_into(world.n5.id(), on_air, rx_guard, *at_n5);
@@ -295,6 +326,10 @@ X_result run_x_anc(const X_config& config)
             continue;
         const chan::Transmission round2[] = {{world.n5.id(), *forwarded, 0}};
         result.metrics.airtime_symbols += static_cast<double>(forwarded->size());
+        world.medium.append_fade_magnitudes(world.n5.id(), world.n2.id(),
+                                            forwarded->size(), world.fade_magnitudes);
+        world.medium.append_fade_magnitudes(world.n5.id(), world.n4.id(),
+                                            forwarded->size(), world.fade_magnitudes);
 
         const auto decode_side = [&](chan::Node_id at, const net::Net_node& node,
                                      const net::Packet& wanted, Cdf& side_ber) {
@@ -310,6 +345,7 @@ X_result run_x_anc(const X_config& config)
         decode_side(world.n2.id(), world.n2, pb, result.ber_at_n2);
         decode_side(world.n4.id(), world.n4, pa, result.ber_at_n4);
     }
+    result.fade_magnitude.add_all(world.fade_magnitudes);
     return result;
 }
 

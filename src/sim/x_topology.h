@@ -30,27 +30,25 @@ struct X_config {
     net::X_gains gains{};
     net::Link_fading fading{};      // per-link gain dynamics (default: fixed)
     Anc_receiver_config receiver{}; // knobs for every receiver in the run
+    /// Math profile for the whole run (dsp/math_profile.h); `exact` is
+    /// byte-identical to the historical runs.
+    dsp::Math_profile math_profile = dsp::Math_profile::exact;
     std::uint64_t seed = 1;
-    /// Packet-detection threshold used while snooping a *clean*
-    /// transmission on the overhear links (COPE's upload overhearing).
-    /// The default threshold (15 dB above the noise floor) sits above
-    /// the overhear link's entire budget at the bottom of the operating
-    /// band: with overhear gain 0.5 the snooped power is 0.25 P, i.e.
-    /// ~6 dB below a unit-gain link, so at 20 dB SNR the snooped packet
-    /// lands ~14 dB above the floor — *under* a 15 dB threshold, which
-    /// silently zeroed every COPE delivery there (every seed; the
-    /// demodulator itself is fine at 14 dB).  A snooping node
-    /// deliberately listens below the standard carrier-sense threshold
-    /// by the overhear link's deficit: 15 - 6 = 9 dB.  ANC's
-    /// under-interference snooping keeps the standard detector (see
-    /// run_x_anc).
-    double snoop_energy_threshold_db = 9.0;
+    // The snooping detection threshold moved to the Medium layer: it is
+    // now the *per-link* AGC threshold installed on the overhear links
+    // (net::X_gains::overhear_detection_threshold_db; queried back here
+    // through chan::Medium::detection_threshold_db).  ANC's
+    // under-interference snooping keeps the standard detector (see
+    // run_x_anc).
 };
 
 struct X_result {
     Run_metrics metrics;
     Cdf ber_at_n2; // BER of flow n3 -> n2 packets decoded at n2
     Cdf ber_at_n4;
+    /// Channel-state series under rayleigh_block fading: |h| of every
+    /// coherence block each transmission spanned (empty for fixed gains).
+    Cdf fade_magnitude;
     std::size_t overhear_attempts = 0;
     std::size_t overhear_failures = 0;
 

@@ -11,21 +11,13 @@ constexpr std::uint64_t mult = 6364136223846793005ULL;
 
 } // namespace
 
-std::uint64_t splitmix64(std::uint64_t x)
+Counter_normal::Counter_normal(std::uint64_t seed, std::uint64_t stream)
+    : key_a_{splitmix64(mix_seed(seed, stream) + 0x6a09e667f3bcc909ULL)},
+      key_b_{splitmix64(mix_seed(seed, stream) ^ 0xbb67ae8584caa73bULL)}
 {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30u)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27u)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31u);
-}
-
-std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index)
-{
-    // Advance the SplitMix64 sequence seeded at `base` by `index` steps'
-    // worth of increment, then finalize.  Distinct indices map to
-    // distinct pre-mix words, and the finalizer is a bijection, so
-    // collisions are impossible for a fixed base.
-    return splitmix64(base + index * 0x9e3779b97f4a7c15ULL);
+    // Both lanes mix (seed, stream) together: if only one lane saw the
+    // stream, two streams sharing a seed would share that lane's hash
+    // words — i.e. identical Box-Muller radii (correlated magnitudes).
 }
 
 Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)

@@ -174,5 +174,46 @@ TEST(PhaseSolver, NoiseRobustness)
     EXPECT_GT(hits, trials * 95 / 100);
 }
 
+TEST(PhaseSolver, FastProfileTracksExactWithinKernelBounds)
+{
+    // The fast profile swaps the four arg() calls for fast_atan2; the
+    // solution phases must agree with the exact solver to the kernel's
+    // documented bound — far inside the +-pi/2 Eq. 8 decision margins.
+    Pcg32 rng{314, 15};
+    double max_dev = 0.0;
+    for (int trial = 0; trial < 20000; ++trial) {
+        const double a = 0.5 + rng.next_double();
+        const double b = 0.5 + rng.next_double();
+        const dsp::Sample y{(rng.next_double() - 0.5) * 2.0 * (a + b),
+                            (rng.next_double() - 0.5) * 2.0 * (a + b)};
+        if (std::abs(y) < 1e-6)
+            continue;
+        const Phase_solutions exact = solve_phases(y, a, b);
+        const Phase_solutions fast =
+            solve_phases(y, a, b, dsp::Math_profile::fast);
+        EXPECT_EQ(exact.clamped, fast.clamped);
+        EXPECT_EQ(exact.d, fast.d); // d and the factors are profile-free
+        for (std::size_t p = 0; p < exact.pair.size(); ++p) {
+            max_dev = std::max(max_dev,
+                               phase_distance(exact.pair[p].theta, fast.pair[p].theta));
+            max_dev = std::max(max_dev,
+                               phase_distance(exact.pair[p].phi, fast.pair[p].phi));
+        }
+    }
+    EXPECT_LT(max_dev, 5e-11);
+}
+
+TEST(PhaseSolver, ExactOverloadIsTheDefault)
+{
+    const dsp::Sample y{0.8, -0.6};
+    const Phase_solutions implicit = solve_phases(y, 1.0, 0.7);
+    const Phase_solutions explicit_exact =
+        solve_phases(y, 1.0, 0.7, dsp::Math_profile::exact);
+    EXPECT_EQ(implicit.pair[0].theta, explicit_exact.pair[0].theta);
+    EXPECT_EQ(implicit.pair[0].phi, explicit_exact.pair[0].phi);
+    EXPECT_EQ(implicit.pair[1].theta, explicit_exact.pair[1].theta);
+    EXPECT_EQ(implicit.pair[1].phi, explicit_exact.pair[1].phi);
+}
+
 } // namespace
 } // namespace anc

@@ -53,10 +53,12 @@ TEST(Emit, TasksCsvHasHeaderAndOneRowPerTask)
     std::ostringstream out;
     write_tasks_csv(out, outcome.tasks);
     const std::string csv = out.str();
-    EXPECT_EQ(count_lines(csv), 1u + outcome.tasks.size());
-    EXPECT_EQ(csv.rfind("index,scenario,scheme,", 0), 0u);
-    EXPECT_NE(csv.find("toy,anc"), std::string::npos);
-    EXPECT_NE(csv.find("toy,traditional"), std::string::npos);
+    // One schema comment line, one header, one row per task.
+    EXPECT_EQ(count_lines(csv), 2u + outcome.tasks.size());
+    EXPECT_EQ(csv.rfind(std::string{"#schema="} + sweep_schema + "\n", 0), 0u);
+    EXPECT_NE(csv.find("index,scenario,scheme,math_profile,"), std::string::npos);
+    EXPECT_NE(csv.find("toy,anc,exact"), std::string::npos);
+    EXPECT_NE(csv.find("toy,traditional,exact"), std::string::npos);
 }
 
 TEST(Emit, SummaryCsvHasOneRowPerPoint)
@@ -64,7 +66,9 @@ TEST(Emit, SummaryCsvHasOneRowPerPoint)
     const Sweep_outcome outcome = small_outcome();
     std::ostringstream out;
     write_summary_csv(out, outcome.points);
-    EXPECT_EQ(count_lines(out.str()), 1u + outcome.points.size());
+    const std::string csv = out.str();
+    EXPECT_EQ(count_lines(csv), 2u + outcome.points.size());
+    EXPECT_EQ(csv.rfind(std::string{"#schema="} + sweep_schema + "\n", 0), 0u);
 }
 
 TEST(Emit, JsonIsBalancedAndCarriesSchema)
@@ -72,7 +76,8 @@ TEST(Emit, JsonIsBalancedAndCarriesSchema)
     const Sweep_outcome outcome = small_outcome();
     const std::string json = to_json(outcome.tasks, outcome.points);
 
-    EXPECT_EQ(json.rfind("{\"schema\":\"anc.sweep.v2\"", 0), 0u);
+    EXPECT_EQ(json.rfind(std::string{"{\"schema\":\""} + sweep_schema + "\"", 0), 0u);
+    EXPECT_NE(json.find("\"math_profile\":\"exact\""), std::string::npos);
     long depth = 0;
     for (const char c : json) {
         depth += (c == '{') - (c == '}');

@@ -53,14 +53,37 @@ TEST(XSim, CopeDeliversAtBottomOfBand)
 TEST(XSim, SnoopThresholdDoesNotDisturbHighSnr)
 {
     // At 25 dB the historical 15 dB threshold already overheard fine;
-    // the lowered snoop default must deliver at least as much there.
+    // the lowered per-link snoop default must deliver at least as much
+    // there.  Clearing the override restores the pre-fix behavior (the
+    // snooper falls back to the standard carrier-sense threshold).
     X_config historical = small_config(2);
-    historical.snoop_energy_threshold_db = 15.0; // pre-fix behavior
+    historical.gains.overhear_detection_threshold_db.reset(); // pre-fix
     const X_result old_threshold = run_x_cope(historical);
     const X_result new_threshold = run_x_cope(small_config(2));
     EXPECT_GE(new_threshold.metrics.packets_delivered,
               old_threshold.metrics.packets_delivered);
     EXPECT_LE(new_threshold.overhear_failures, old_threshold.overhear_failures);
+}
+
+TEST(XSim, AgcRuleKeepsBottomOfBandOverhearing)
+{
+    // The general Medium-layer form of the 20 dB fix: derive the
+    // overhear links' threshold from the AGC rule (base carrier-sense
+    // threshold minus the link's budget deficit) instead of the rounded
+    // historical 9 dB, and COPE must still deliver at 20 dB SNR.
+    for (const std::uint64_t seed : {1ull, 2ull, 42ull}) {
+        X_config config = small_config(seed);
+        config.snr_db = 20.0;
+        config.gains.overhear_detection_threshold_db =
+            chan::agc_detection_threshold_db(
+                phy::Packet_detector::Config{}.energy_threshold_db,
+                config.gains.overhear);
+        const X_result result = run_x_cope(config);
+        EXPECT_GT(result.metrics.packets_delivered, 0u) << "seed " << seed;
+        EXPECT_GE(result.metrics.packets_delivered,
+                  result.metrics.packets_attempted / 2)
+            << "seed " << seed;
+    }
 }
 
 TEST(XSim, AncDeliversMost)
