@@ -1,0 +1,245 @@
+// anc_sweep — the command-line front-end over the scenario registry
+// (the ROADMAP's "CLI front-end" open item): a thin argv ->
+// engine::Sweep_grid translation that reuses the engine's emitters, so
+// any registered scenario can be swept without writing a driver.
+//
+//   anc_sweep --scenario alice_bob --snr 16:35:2 --math-profile simd
+//             --json out.json
+//
+// Axis syntax: every numeric axis accepts either a comma list
+// ("21,23,25") or a start:stop:step range ("16:35:2", stop inclusive
+// when landed on exactly).  --scenario and --scheme repeat.  Profiles
+// come as a comma list of exact/fast/simd or the shorthands "both"
+// (exact,fast) and "all".
+//
+// Output: the aggregate table on stdout (unless --quiet), plus --json /
+// --csv artifacts in the engine's anc.sweep.v3 schemas.  The
+// ANC_ENGINE_JSON / ANC_ENGINE_CSV environment emitters keep working —
+// the flags are additive, not a replacement.  Deterministic in
+// (--seed, grid): identical results at any --threads value.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace {
+
+using namespace anc;
+
+int usage(const char* argv0, const char* error = nullptr)
+{
+    // Exit status: 0 for an explicit --help, 2 for usage errors.
+    if (error != nullptr)
+        std::fprintf(stderr, "error: %s\n\n", error);
+    std::fprintf(
+        stderr,
+        "usage: %s --scenario NAME [options]\n"
+        "\n"
+        "grid axes (LIST = comma list or start:stop:step range):\n"
+        "  --scenario NAME        registry scenario; repeatable\n"
+        "  --scheme NAME          restrict to this scheme; repeatable\n"
+        "  --snr LIST             SNR sweep in dB (default 25)\n"
+        "  --alice-amplitude LIST / --bob-amplitude LIST\n"
+        "  --payload-bits LIST    payload size axis (default 2048)\n"
+        "  --exchanges LIST       packet pairs per run (default 25)\n"
+        "  --detector-threshold LIST  interference variance threshold, dB\n"
+        "  --interleave-rows LIST     FEC interleaver depth (0 = off)\n"
+        "  --coherence-block LIST     fading coherence block, samples\n"
+        "  --mean-link-gain LIST      fading link-gain multiplier\n"
+        "  --math-profile LIST    exact|fast|simd, or both|all (default exact)\n"
+        "  --repetitions N        independent runs per point (default 1)\n"
+        "\n"
+        "execution and output:\n"
+        "  --threads N            worker threads (0 = hardware concurrency)\n"
+        "  --seed N               base seed for the deterministic runs\n"
+        "  --json PATH            write the full anc.sweep.v3 JSON document\n"
+        "  --csv PATH             write the aggregate CSV\n"
+        "  --tasks-csv PATH       write the per-task CSV\n"
+        "  --quiet                suppress the stdout table\n"
+        "  --list-scenarios       print registered scenarios and exit\n",
+        argv0);
+    return error == nullptr ? 0 : 2;
+}
+
+/// Parse LIST as doubles: "a,b,c" or "start:stop:step" (stop inclusive
+/// when the lattice lands on it; step > 0).
+std::vector<double> parse_axis(const std::string& text)
+{
+    std::vector<double> values;
+    const std::size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+        const std::size_t colon2 = text.find(':', colon + 1);
+        if (colon2 == std::string::npos)
+            throw std::invalid_argument{"range must be start:stop:step: " + text};
+        const double start = std::stod(text.substr(0, colon));
+        const double stop = std::stod(text.substr(colon + 1, colon2 - colon - 1));
+        const double step = std::stod(text.substr(colon2 + 1));
+        if (step <= 0.0)
+            throw std::invalid_argument{"range step must be positive: " + text};
+        // Half-step slack keeps "16:35:2" ending on 34 and "16:34:2" on
+        // 34 too, without accumulating error over long ranges.
+        for (double v = start; v <= stop + step * 0.5; v += step)
+            values.push_back(v);
+        // An inverted (or NaN) range yields nothing; fail it here with
+        // the offending text instead of letting grid expansion report a
+        // bare "empty axis".
+        if (values.empty())
+            throw std::invalid_argument{"empty range (start > stop?): " + text};
+        return values;
+    }
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string item = text.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty())
+            values.push_back(std::stod(item));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (values.empty())
+        throw std::invalid_argument{"empty axis value: " + text};
+    return values;
+}
+
+std::vector<std::size_t> parse_size_axis(const std::string& text)
+{
+    std::vector<std::size_t> values;
+    for (const double v : parse_axis(text)) {
+        if (v < 0.0)
+            throw std::invalid_argument{"axis value must be non-negative: " + text};
+        values.push_back(static_cast<std::size_t>(v + 0.5));
+    }
+    return values;
+}
+
+std::vector<dsp::Math_profile> parse_profiles(const std::string& text)
+{
+    if (text == "both")
+        return {dsp::Math_profile::exact, dsp::Math_profile::fast};
+    if (text == "all")
+        return {dsp::Math_profile::exact, dsp::Math_profile::fast,
+                dsp::Math_profile::simd};
+    std::vector<dsp::Math_profile> profiles;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string item = text.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty())
+            profiles.push_back(dsp::math_profile_from_string(item));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (profiles.empty())
+        throw std::invalid_argument{"empty --math-profile value"};
+    return profiles;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    engine::Sweep_grid grid;
+    grid.scenarios.clear();
+    engine::Executor_config config;
+    std::string json_path;
+    std::string csv_path;
+    std::string tasks_csv_path;
+    bool quiet = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            const auto value = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument{arg + " needs a value"};
+                return argv[++i];
+            };
+            if (arg == "--scenario")
+                grid.scenarios.push_back(value());
+            else if (arg == "--scheme")
+                grid.schemes.push_back(value());
+            else if (arg == "--snr")
+                grid.snr_db = parse_axis(value());
+            else if (arg == "--alice-amplitude")
+                grid.alice_amplitudes = parse_axis(value());
+            else if (arg == "--bob-amplitude")
+                grid.bob_amplitudes = parse_axis(value());
+            else if (arg == "--payload-bits")
+                grid.payload_bits = parse_size_axis(value());
+            else if (arg == "--exchanges")
+                grid.exchanges = parse_size_axis(value());
+            else if (arg == "--detector-threshold")
+                grid.detector_thresholds_db = parse_axis(value());
+            else if (arg == "--interleave-rows")
+                grid.interleave_rows = parse_size_axis(value());
+            else if (arg == "--coherence-block")
+                grid.coherence_blocks = parse_size_axis(value());
+            else if (arg == "--mean-link-gain")
+                grid.mean_link_gains = parse_axis(value());
+            else if (arg == "--math-profile")
+                grid.math_profiles = parse_profiles(value());
+            else if (arg == "--repetitions")
+                grid.repetitions = parse_size_axis(value()).front();
+            else if (arg == "--threads")
+                config.threads = parse_size_axis(value()).front();
+            else if (arg == "--seed")
+                config.base_seed = std::strtoull(value().c_str(), nullptr, 10);
+            else if (arg == "--json")
+                json_path = value();
+            else if (arg == "--csv")
+                csv_path = value();
+            else if (arg == "--tasks-csv")
+                tasks_csv_path = value();
+            else if (arg == "--quiet")
+                quiet = true;
+            else if (arg == "--list-scenarios") {
+                for (const std::string& name :
+                     engine::Scenario_registry::builtin().names())
+                    std::printf("%s\n", name.c_str());
+                return 0;
+            } else if (arg == "--help" || arg == "-h") {
+                return usage(argv[0]);
+            } else {
+                return usage(argv[0], ("unknown argument " + arg).c_str());
+            }
+        }
+        if (grid.scenarios.empty())
+            return usage(argv[0], "at least one --scenario is required");
+
+        const engine::Sweep_outcome outcome = engine::run_grid(grid, config);
+
+        if (!quiet)
+            engine::print_summary_table(stdout, outcome.points);
+        const auto write_file = [](const std::string& path, auto&& writer) {
+            std::ofstream out{path};
+            if (!out)
+                throw std::runtime_error{"cannot write " + path};
+            writer(out);
+        };
+        if (!json_path.empty())
+            write_file(json_path, [&](std::ostream& out) {
+                engine::write_json(out, outcome.tasks, outcome.points);
+            });
+        if (!csv_path.empty())
+            write_file(csv_path, [&](std::ostream& out) {
+                engine::write_summary_csv(out, outcome.points);
+            });
+        if (!tasks_csv_path.empty())
+            write_file(tasks_csv_path, [&](std::ostream& out) {
+                engine::write_tasks_csv(out, outcome.tasks);
+            });
+    } catch (const std::exception& error) {
+        return usage(argv[0], error.what());
+    }
+    return 0;
+}

@@ -19,11 +19,13 @@
 namespace anc::bench {
 
 /// Math profiles a sweep should run, from the ANC_MATH_PROFILE
-/// environment variable: "exact" (the default), "fast", or "both"
-/// (profile-tagged rows for each; seed-collapsed, so the pairs share
-/// channel realizations).  Every engine-backed bench driver applies
-/// this, which is how the CI fast-profile job reruns the sweeps without
-/// bespoke flags.  Unknown values throw (via math_profile_from_string).
+/// environment variable: "exact" (the default), "fast", "simd", "both"
+/// (exact + fast), or "all" (exact + fast + simd).  Multi-profile values
+/// emit profile-tagged rows for each; the axis is seed-collapsed, so the
+/// tuples share channel realizations.  Every engine-backed bench driver
+/// applies this, which is how the CI profile-matrix jobs rerun the
+/// sweeps without bespoke flags.  Unknown values throw (via
+/// math_profile_from_string).
 inline std::vector<dsp::Math_profile> math_profiles_from_env()
 {
     const char* env = std::getenv("ANC_MATH_PROFILE");
@@ -31,6 +33,9 @@ inline std::vector<dsp::Math_profile> math_profiles_from_env()
         return {dsp::Math_profile::exact};
     if (std::string_view{env} == "both")
         return {dsp::Math_profile::exact, dsp::Math_profile::fast};
+    if (std::string_view{env} == "all")
+        return {dsp::Math_profile::exact, dsp::Math_profile::fast,
+                dsp::Math_profile::simd};
     return {dsp::math_profile_from_string(env)};
 }
 

@@ -69,7 +69,7 @@ void Link_channel::accumulate_faded(dsp::Signal_view signal, std::uint64_t fadin
     for (std::size_t begin_n = 0; begin_n < signal.size(); begin_n += block_len) {
         const dsp::Sample fade = block_gain(fading_epoch, begin_n / block_len);
         const std::size_t end_n = std::min(begin_n + block_len, signal.size());
-        if (profile == dsp::Math_profile::fast) {
+        if (profile != dsp::Math_profile::exact) {
             // One sincos at the block boundary, then the rotor recurrence
             // (fade folded into the rotor, so the inner loop is identical
             // to the fixed-gain fast kernel).
@@ -127,7 +127,7 @@ dsp::Signal Link_channel::apply(dsp::Signal_view signal, std::uint64_t fading_ep
 {
     dsp::Signal out;
     if (params_.gain_model == Gain_model::fixed) {
-        if (profile == dsp::Math_profile::fast) {
+        if (profile != dsp::Math_profile::exact) {
             out.assign(params_.delay + signal.size(), dsp::Sample{0.0, 0.0});
             accumulate_fixed_fast(signal, out.data() + params_.delay);
             return out;
@@ -154,7 +154,10 @@ void Link_channel::apply_onto(dsp::Signal_view signal, std::size_t at,
         acc.resize(begin + signal.size(), dsp::Sample{0.0, 0.0});
     dsp::Sample* out = acc.data() + begin;
     if (params_.gain_model == Gain_model::fixed) {
-        if (profile == dsp::Math_profile::fast) {
+        if (profile != dsp::Math_profile::exact) {
+            // The simd profile shares the fast rotor kernels: the
+            // recurrence is mul/add only (no transcendental per sample),
+            // already auto-vectorized in the drift-free case.
             accumulate_fixed_fast(signal, out);
             return;
         }

@@ -31,11 +31,17 @@ Window_stats energy_stats(dsp::Signal_view window)
     // With random phase offsets, about half the samples land above the
     // mean, so the 2/N prefactor makes this the conditional expectation
     // E[|y|^2 | |y|^2 > mu].
+    //
+    // The accumulation is branchless: under interference roughly every
+    // other sample crosses the mean, so the old data-driven branch
+    // mispredicted constantly; the select compiles to a cmov/blend and
+    // the loop pipelines.  Byte-identical to the guarded form — adding
+    // +0.0 to a non-negative partial sum is the identity, and energies
+    // are non-negative — so the serial chain's value is unchanged.
+    const double mu = stats.mu_raw;
     double above = 0.0;
-    for (const double v : e) {
-        if (v > stats.mu_raw)
-            above += v;
-    }
+    for (const double v : e)
+        above += v > mu ? v : 0.0;
     stats.sigma_raw = 2.0 * above / static_cast<double>(e.size());
     return stats;
 }

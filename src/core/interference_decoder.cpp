@@ -6,128 +6,84 @@
 
 #include "core/phase_solver.h"
 #include "dsp/workspace.h"
-#include "util/fastmath.h"
 #include "util/phase.h"
+#include "util/simd.h"
 
 namespace anc {
 
 namespace {
 
-/// wrap_phase_bounded with branchless control flow: the two corrections
-/// become conditional-move selects, which matters in the candidate
-/// selection loop where the branch direction is noise-driven (a taken /
-/// not-taken pattern the predictor cannot learn).  Value-identical to
-/// wrap_phase_bounded on |angle| <= 2*pi, boundary cases included.
-inline double wrap_branchless(double angle)
-{
-    constexpr double two_pi = 2.0 * std::numbers::pi;
-    const double up = angle <= -std::numbers::pi ? two_pi : 0.0;
-    const double down = angle > std::numbers::pi ? two_pi : 0.0;
-    return angle + up - down;
-}
-
-/// phase_distance_bounded on already-wrapped inputs, branchless.
-inline double distance_branchless(double a, double b)
-{
-    return std::abs(wrap_branchless(a - b));
-}
-
-/// The fast-profile core: solve all samples into flat per-candidate
-/// phase arrays first (a branch-light loop of independent iterations —
-/// the four fast_atan2 calls pipeline across samples), then run the
-/// Eq. 7-8 candidate selection over the arrays.  Scratch comes from the
-/// per-thread Workspace (the executor binds one per worker), so the
-/// steady state allocates nothing.  Produces the same candidate
-/// structure as solve_phases(..., fast): pair[0] = (theta+, phi-),
-/// pair[1] = (theta-, phi+).
-void estimate_fast(dsp::Signal_view samples,
-                   std::span<const double> known_diffs,
-                   double a,
-                   double b,
-                   std::vector<double>& phi_differences,
-                   std::vector<double>& match_errors)
+/// The shared SoA core behind the fast and simd profiles: the Eq. 7
+/// candidate generation into flat per-candidate phase arrays (the
+/// 3-atan2 arg(y) factorization — see the kernel derivation notes in
+/// util/simd.cpp), the Eq. 8 branchless selection over them, and
+/// differential demodulation of the unknown tail.  One kernel source of
+/// truth serves both profiles (anc::simd): the fast profile pins the
+/// scalar implementations — the historical fast path, verbatim — while
+/// the simd profile goes through the runtime-dispatched entry points
+/// and reaches the AVX2 lanes when the backend is active.  The lane
+/// kernels are bit-compatible with the scalar ones, so the two
+/// profiles' outputs are byte-identical either way.
+///
+/// Candidate arrays cover just the known-signal span (the selection
+/// never reads past it), and scratch comes from the per-thread
+/// Workspace (the executor binds one per worker): zero allocations in
+/// steady state.
+void estimate_batched(dsp::Signal_view samples,
+                      std::span<const double> known_diffs,
+                      double a,
+                      double b,
+                      std::vector<double>& phi_differences,
+                      std::vector<double>& match_errors,
+                      bool simd_dispatch)
 {
     const std::size_t count = samples.size();
     const std::size_t transitions = count - 1;
-
-    dsp::Workspace& workspace = dsp::Workspace::current();
-    auto theta_plus = workspace.reals();
-    auto theta_minus = workspace.reals();
-    auto phi_minus = workspace.reals();
-    auto phi_plus = workspace.reals();
-    theta_plus->resize(count);
-    theta_minus->resize(count);
-    phi_minus->resize(count);
-    phi_plus->resize(count);
-    double* tp = theta_plus->data();
-    double* tm = theta_minus->data();
-    double* pm = phi_minus->data();
-    double* pp = phi_plus->data();
-
+    const std::size_t known =
+        known_diffs.size() < transitions ? known_diffs.size() : transitions;
     const double* in = reinterpret_cast<const double*>(samples.data());
-    const double a2b2 = a * a + b * b;
-    const double inv_2ab = 1.0 / (2.0 * a * b);
-    for (std::size_t i = 0; i < count; ++i) {
-        const double re = in[2 * i];
-        const double im = in[2 * i + 1];
-        const double norm = re * re + im * im;
-        const double d_raw = (norm - a2b2) * inv_2ab;
-        const double d = std::clamp(d_raw, -1.0, 1.0);
-        const double root = std::sqrt(std::max(1.0 - d * d, 0.0));
-        // The four candidates factor through arg(y): with T = A+Bd+iB√
-        // and P = B+Ad+iA√, theta± = arg(y) ± arg(T) and phi∓ =
-        // arg(y) ∓ arg(P) (arg of a product is the wrapped sum of args).
-        // Three atan2 per sample instead of four, and arg(T), arg(P)
-        // live in [0, π] (√ ≥ 0), so every sum is in (−2π, 2π) — the
-        // exact domain of the branch-only wrap.
-        const double wy = fast_atan2(im, re);
-        const double wt = fast_atan2(b * root, a + b * d);
-        const double wp = fast_atan2(a * root, b + a * d);
-        tp[i] = wrap_branchless(wy + wt);
-        tm[i] = wrap_branchless(wy - wt);
-        pm[i] = wrap_branchless(wy - wp);
-        pp[i] = wrap_branchless(wy + wp);
-    }
 
-    for (std::size_t n = 0; n < transitions; ++n) {
-        if (n < known_diffs.size()) {
-            const double known = known_diffs[n];
-            const auto error_of = [known](double theta_next, double theta_cur) {
-                return distance_branchless(
-                    wrap_branchless(theta_next - theta_cur), known);
-            };
-            // The four candidates in the exact path's iteration order
-            // (next 0/1 x cur 0/1), reduced with strict-< comparisons so
-            // the earliest minimum wins ties exactly as the sequential
-            // scan does — but branchlessly (the winner is data-dependent
-            // and a conditional branch here mispredicts constantly).
-            const double e00 = error_of(tp[n + 1], tp[n]);
-            const double e01 = error_of(tp[n + 1], tm[n]);
-            const double e10 = error_of(tm[n + 1], tp[n]);
-            const double e11 = error_of(tm[n + 1], tm[n]);
-            const double p00 = wrap_branchless(pm[n + 1] - pm[n]);
-            const double p01 = wrap_branchless(pm[n + 1] - pp[n]);
-            const double p10 = wrap_branchless(pp[n + 1] - pm[n]);
-            const double p11 = wrap_branchless(pp[n + 1] - pp[n]);
-            const bool b01 = e01 < e00;
-            const double ea = b01 ? e01 : e00;
-            const double pa = b01 ? p01 : p00;
-            const bool b11 = e11 < e10;
-            const double eb = b11 ? e11 : e10;
-            const double pb = b11 ? p11 : p10;
-            const bool bb = eb < ea;
-            phi_differences.push_back(bb ? pb : pa);
-            match_errors.push_back(bb ? eb : ea);
+    phi_differences.resize(transitions);
+    match_errors.resize(known);
+
+    if (known > 0) {
+        dsp::Workspace& workspace = dsp::Workspace::current();
+        auto theta_plus = workspace.reals();
+        auto theta_minus = workspace.reals();
+        auto phi_minus = workspace.reals();
+        auto phi_plus = workspace.reals();
+        theta_plus->resize(known + 1);
+        theta_minus->resize(known + 1);
+        phi_minus->resize(known + 1);
+        phi_plus->resize(known + 1);
+        if (simd_dispatch) {
+            anc::simd::anc_candidates_batch(in, known + 1, a, b,
+                                            theta_plus->data(),
+                                            theta_minus->data(),
+                                            phi_minus->data(), phi_plus->data());
+            anc::simd::anc_select_batch(theta_plus->data(), theta_minus->data(),
+                                        phi_minus->data(), phi_plus->data(),
+                                        known_diffs.data(), known,
+                                        phi_differences.data(),
+                                        match_errors.data());
         } else {
-            const double ar = in[2 * n];
-            const double ai = in[2 * n + 1];
-            const double br = in[2 * n + 2];
-            const double bi = in[2 * n + 3];
-            // arg(next * conj(cur)), with the products std::complex
-            // multiplication performs.
-            phi_differences.push_back(
-                fast_atan2(br * -ai + bi * ar, br * ar - bi * -ai));
+            anc::simd::detail::anc_candidates_batch_scalar(
+                in, known + 1, a, b, theta_plus->data(), theta_minus->data(),
+                phi_minus->data(), phi_plus->data());
+            anc::simd::detail::anc_select_batch_scalar(
+                theta_plus->data(), theta_minus->data(), phi_minus->data(),
+                phi_plus->data(), known_diffs.data(), known,
+                phi_differences.data(), match_errors.data());
         }
+    }
+    if (known < transitions) {
+        if (simd_dispatch)
+            anc::simd::diff_arg_batch(in + 2 * known, transitions - known,
+                                      phi_differences.data() + known);
+        else
+            anc::simd::detail::diff_arg_batch_scalar(
+                in + 2 * known, transitions - known,
+                phi_differences.data() + known);
     }
 }
 
@@ -166,8 +122,10 @@ void Interference_decoder::estimate_phi_differences_into(
     match_errors.reserve(known_diffs.size() < transitions ? known_diffs.size()
                                                           : transitions);
 
-    if (profile_ == dsp::Math_profile::fast) {
-        estimate_fast(samples, known_diffs, a, b, phi_differences, match_errors);
+    if (profile_ != dsp::Math_profile::exact) {
+        estimate_batched(samples, known_diffs, a, b, phi_differences,
+                         match_errors,
+                         profile_ == dsp::Math_profile::simd);
         return;
     }
 

@@ -60,8 +60,21 @@ void scan_energy_into(Signal_view signal, std::size_t window,
     const double* e = scratch_energies.data();
     const std::size_t count = scratch_energies.size();
     const std::size_t windows = count - window + 1;
-    window_mean.reserve(windows);
-    window_variance.reserve(windows);
+
+    // Split the historical single loop into (a) the serial sliding-sum
+    // recurrence — an IEEE addition chain whose order defines the
+    // byte-identical contract, so it cannot be reassociated — and (b)
+    // the per-window mean/variance arithmetic, which is element-wise
+    // independent and auto-vectorizes (two divides, a multiply and a
+    // clamped subtract per window run 4 lanes wide instead of hiding
+    // inside the recurrence's dependency chain).  Same operations per
+    // element, same order within each element: byte-identical to the
+    // fused loop (tests/dsp/energy_scan_test.cpp pins this against a
+    // reference transcription of the historical kernel).
+    window_mean.resize(windows);
+    window_variance.resize(windows);
+    double* sums = window_mean.data();
+    double* sum_sqs = window_variance.data();
 
     double sum = 0.0;
     double sum_sq = 0.0;
@@ -69,19 +82,26 @@ void scan_energy_into(Signal_view signal, std::size_t window,
         sum += e[i];
         sum_sq += e[i] * e[i];
     }
+    sums[0] = sum;
+    sum_sqs[0] = sum_sq;
+    for (std::size_t start = 1; start < windows; ++start) {
+        sum += e[start - 1 + window] - e[start - 1];
+        sum_sq += e[start - 1 + window] * e[start - 1 + window]
+                  - e[start - 1] * e[start - 1];
+        sums[start] = sum;
+        sum_sqs[start] = sum_sq;
+    }
+
     const auto w = static_cast<double>(window);
-    for (std::size_t start = 0;; ++start) {
-        const double mean = sum / w;
-        // Population variance; clamp tiny negatives from cancellation.
-        double variance = sum_sq / w - mean * mean;
-        if (variance < 0.0)
-            variance = 0.0;
-        window_mean.push_back(mean);
-        window_variance.push_back(variance);
-        if (start + window >= count)
-            break;
-        sum += e[start + window] - e[start];
-        sum_sq += e[start + window] * e[start + window] - e[start] * e[start];
+    for (std::size_t start = 0; start < windows; ++start) {
+        const double mean = sums[start] / w;
+        // Population variance; clamp tiny negatives from cancellation
+        // (the comparison form preserves a -0.0 exactly as the
+        // historical `if (variance < 0.0) variance = 0.0;` did).
+        double variance = sum_sqs[start] / w - mean * mean;
+        variance = variance < 0.0 ? 0.0 : variance;
+        sums[start] = mean;
+        sum_sqs[start] = variance;
     }
 }
 

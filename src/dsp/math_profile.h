@@ -13,10 +13,23 @@
 //           BER/delivery-rate deviation from `exact`, per the
 //           relaxed-determinism design in PERF.md "Math profiles".
 //
+//   simd  — the explicit AVX2+FMA kernel backend (util/simd.h).  Batch
+//           call sites (interference decode, AWGN fill, DQPSK polar)
+//           route through anc::simd's runtime-dispatched lane kernels;
+//           single-sample call sites use the scalar fast kernels.  The
+//           lane kernels are *bit-compatible* with the scalar fast
+//           kernels (same arithmetic, four lanes at a time), so `simd`
+//           output is byte-identical to `fast` everywhere — on AVX2
+//           hardware, under the ANC_FORCE_SCALAR_SIMD override, and on
+//           machines with no AVX2 at all, where the guaranteed scalar
+//           fallback (the fast kernels themselves) serves.  `simd` is
+//           therefore valid config on every machine and inherits the
+//           fast profile's whole statistical validation.
+//
 // Call sites branch on the profile (`profile == Math_profile::exact`)
-// with the exact expression kept verbatim in the exact arm — the seam is
-// also the landing zone for future backends (explicit AVX2 kernels would
-// become a third enum value dispatched the same way).
+// with the exact expression kept verbatim in the exact arm; non-exact
+// profiles share the fast scalar kernels unless a batch call site
+// dispatches `simd` to the lane kernels.
 
 #pragma once
 
@@ -32,20 +45,28 @@ namespace anc::dsp {
 enum class Math_profile {
     exact, ///< libm + sequential Box–Muller; the determinism contract
     fast,  ///< fastmath kernels + counter-based noise; corridor-validated
+    simd,  ///< AVX2+FMA lane kernels, runtime-dispatched; ≡ fast bitwise
 };
 
 inline const char* to_string(Math_profile profile)
 {
-    return profile == Math_profile::exact ? "exact" : "fast";
+    switch (profile) {
+    case Math_profile::exact: return "exact";
+    case Math_profile::fast: return "fast";
+    case Math_profile::simd: return "simd";
+    }
+    return "exact";
 }
 
-/// Parse "exact" / "fast"; throws std::invalid_argument otherwise.
+/// Parse "exact" / "fast" / "simd"; throws std::invalid_argument otherwise.
 inline Math_profile math_profile_from_string(std::string_view name)
 {
     if (name == "exact")
         return Math_profile::exact;
     if (name == "fast")
         return Math_profile::fast;
+    if (name == "simd")
+        return Math_profile::simd;
     throw std::invalid_argument{"math_profile_from_string: unknown profile '"
                                 + std::string{name} + "'"};
 }

@@ -46,12 +46,13 @@ void Msk_modulator::modulate_into(std::span<const std::uint8_t> bits, Signal& ou
 {
     out.clear();
     out.reserve(bits.size() + 1);
-    if (profile_ == Math_profile::fast) {
-        // A ±π/2 phase step is multiplication by ±i, which is a *lossless*
-        // component swap/negate — the envelope stays exactly amplitude_
-        // and no per-sample sincos or phase accumulator is needed.  Only
-        // the initial sample differs from the exact path (fast_sincos vs
-        // libm, low-order bits).
+    if (profile_ != Math_profile::exact) {
+        // Fast and simd share this path: a ±π/2 phase step is
+        // multiplication by ±i, which is a *lossless* component
+        // swap/negate — the envelope stays exactly amplitude_ and no
+        // per-sample sincos or phase accumulator is needed (nothing for
+        // lanes to speed up).  Only the initial sample differs from the
+        // exact path (fast_sincos vs libm, low-order bits).
         double s = 0.0;
         double c = 0.0;
         fast_sincos(initial_phase_, s, c);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/energy_scan.h"
+#include "util/simd.h"
 
 namespace anc::dsp {
 
@@ -104,6 +105,12 @@ void polar_into(std::span<const double> phases, double amplitude,
         return;
     }
     double* data = reinterpret_cast<double*>(out.data());
+    if (profile == Math_profile::simd) {
+        // Batched lanes (4 sincos per step), bit-identical to the fast
+        // loop below — see util/simd.h.
+        simd::polar_batch(phases.data(), amplitude, data, n);
+        return;
+    }
     for (std::size_t i = 0; i < n; ++i) {
         double s = 0.0;
         double c = 0.0;

@@ -55,10 +55,12 @@ struct Scenario_config {
     double mean_link_gain = 1.0;
     /// Math profile the whole run executes under (dsp/math_profile.h):
     /// `exact` (default) is byte-identical to the historical runs;
-    /// `fast` trades bit-exactness for the SIMD/counter-noise kernels
-    /// and is validated by the statistical corridor tests.  Every
-    /// emitted row is tagged with this value so fast results are never
-    /// silently mixed with exact ones.
+    /// `fast` trades bit-exactness for the polynomial/counter-noise
+    /// kernels and is validated by the statistical corridor tests;
+    /// `simd` runs the same math through the runtime-dispatched AVX2
+    /// backend (bit-identical to `fast`, valid on every machine).  Every
+    /// emitted row is tagged with this value so relaxed-profile results
+    /// are never silently mixed with exact ones.
     dsp::Math_profile math_profile = dsp::Math_profile::exact;
 };
 

@@ -38,10 +38,11 @@ struct Sweep_grid {
     /// coherence block, and the multiplier on every topology link gain.
     std::vector<std::size_t> coherence_blocks = {4096};
     std::vector<double> mean_link_gains = {1.0};
-    /// Math profiles to run (dsp/math_profile.h).  Like the scheme axis,
-    /// this axis is *seed-collapsed*: tasks differing only in profile
-    /// share a seed_index, so `fast` and `exact` points see identical
-    /// channel realizations and the corridor comparison is paired.
+    /// Math profiles to run (dsp/math_profile.h): any of exact, fast,
+    /// simd.  Like the scheme axis, this axis is *seed-collapsed*: tasks
+    /// differing only in profile share a seed_index, so relaxed-profile
+    /// and `exact` points see identical channel realizations and the
+    /// corridor comparison is paired.
     std::vector<dsp::Math_profile> math_profiles = {dsp::Math_profile::exact};
     /// Independent runs per grid point (the paper repeats 40x).
     std::size_t repetitions = 1;

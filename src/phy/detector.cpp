@@ -26,11 +26,27 @@ std::optional<Packet_bounds> Packet_detector::detect(dsp::Signal_view signal) co
     const std::vector<double>& mean = *window_mean;
     const double threshold = noise_power_ * from_db(config_.energy_threshold_db);
 
+    // Threshold scans in a block-vectorizable form: the inner 8-wide
+    // any-above reduction has no break and compiles to vector compares,
+    // so the scan streams through the (mostly sub-threshold) head and
+    // tail at SIMD speed; only a hit block is re-scanned scalar.  The
+    // found indices are exactly the sequential scan's (first/last
+    // strictly-above window) — no FP arithmetic changes.
+    constexpr std::size_t block = 8;
+
     // First window above threshold marks the packet head.
     std::size_t first = mean.size();
-    for (std::size_t i = 0; i < mean.size(); ++i) {
-        if (mean[i] > threshold) {
-            first = i;
+    std::size_t at = 0;
+    for (; at + block <= mean.size(); at += block) {
+        bool any = false;
+        for (std::size_t j = 0; j < block; ++j)
+            any |= mean[at + j] > threshold;
+        if (any)
+            break;
+    }
+    for (; at < mean.size(); ++at) {
+        if (mean[at] > threshold) {
+            first = at;
             break;
         }
     }
@@ -39,7 +55,16 @@ std::optional<Packet_bounds> Packet_detector::detect(dsp::Signal_view signal) co
 
     // Last window above threshold marks the tail.
     std::size_t last = first;
-    for (std::size_t i = mean.size(); i-- > first;) {
+    std::size_t end = mean.size();
+    while (end - first >= block) {
+        bool any = false;
+        for (std::size_t j = 0; j < block; ++j)
+            any |= mean[end - block + j] > threshold;
+        if (any)
+            break;
+        end -= block;
+    }
+    for (std::size_t i = end; i-- > first;) {
         if (mean[i] > threshold) {
             last = i;
             break;
@@ -74,6 +99,24 @@ Interference_report Interference_detector::analyze(dsp::Signal_view packet) cons
     const double threshold = from_db(config_.variance_threshold_db);
     const double sigma2 = noise_power_;
 
+    // Hoist the per-window arithmetic — a max, two multiplies, and the
+    // divide that dominated this loop — out of the run-tracking scan
+    // into an element-wise pass that auto-vectorizes (4 divides per
+    // step).  The energies scratch is dead after scan_energy_into, so
+    // the ratios reuse it: no extra buffer, still zero allocations on a
+    // warm workspace.  Per-window values are bit-identical to the fused
+    // loop's (same operations, same order per element).
+    std::vector<double>& ratios = *energies;
+    ratios.resize(variance.size());
+    for (std::size_t i = 0; i < variance.size(); ++i) {
+        // Variance a clean constant-envelope signal of this power would
+        // show: cross term 2*|s|^2*sigma^2 plus the noise-energy variance
+        // sigma^4.  (|s|^2 ~ window mean minus the noise floor.)
+        const double signal_power = std::max(mean[i] - sigma2, 1e-12);
+        const double clean_variance = 2.0 * signal_power * sigma2 + sigma2 * sigma2;
+        ratios[i] = variance[i] / clean_variance;
+    }
+
     // The overlap region is the *envelope* of every sustained
     // above-threshold run.  A single collision can show transient dips:
     // when the two carriers' relative phase drifts through +-pi/2 (CFO),
@@ -87,15 +130,12 @@ Interference_report Interference_detector::analyze(dsp::Signal_view packet) cons
     bool found = false;
     // Track the peak ratio in linear space and convert to dB once at the
     // end: log10 is monotone, so max-then-log equals log-then-max, and
-    // a per-window log10 was a measurable cost of every receive.
+    // a per-window log10 was a measurable cost of every receive.  Ratios
+    // are non-negative, so this reduction is order-independent and the
+    // split from the run scan cannot change its value.
     double peak_ratio = 1e-12;
-    for (std::size_t i = 0; i < variance.size(); ++i) {
-        // Variance a clean constant-envelope signal of this power would
-        // show: cross term 2*|s|^2*sigma^2 plus the noise-energy variance
-        // sigma^4.  (|s|^2 ~ window mean minus the noise floor.)
-        const double signal_power = std::max(mean[i] - sigma2, 1e-12);
-        const double clean_variance = 2.0 * signal_power * sigma2 + sigma2 * sigma2;
-        const double ratio = variance[i] / clean_variance;
+    for (std::size_t i = 0; i < ratios.size(); ++i) {
+        const double ratio = ratios[i];
         peak_ratio = std::max(peak_ratio, ratio);
         if (ratio > threshold) {
             if (run == 0)

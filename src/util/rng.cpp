@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/simd.h"
+
 namespace anc {
 
 namespace {
@@ -18,6 +20,34 @@ Counter_normal::Counter_normal(std::uint64_t seed, std::uint64_t stream)
     // Both lanes mix (seed, stream) together: if only one lane saw the
     // stream, two streams sharing a seed would share that lane's hash
     // words — i.e. identical Box-Muller radii (correlated magnitudes).
+}
+
+void Counter_normal::fill_simd(std::uint64_t first_counter, double* out,
+                               std::size_t count) const
+{
+    // Full 4-pair (8-normal) blocks go to the AVX2 lanes; the remainder
+    // — and the whole span when the backend resolved to scalar — goes to
+    // fill(), which is element-wise identical (draws are pure in
+    // (key, counter), so the seam carries no state).
+    std::size_t head = 0;
+    if (simd::kernels_active()) {
+        head = count & ~std::size_t{7};
+        simd::detail::counter_normal_fill_avx2(key_a_, key_b_, first_counter, out,
+                                               head);
+    }
+    fill(first_counter + head / 2, out + head, count - head);
+}
+
+void Counter_normal::add_scaled_simd(std::uint64_t first_counter, double scale,
+                                     double* inout, std::size_t count) const
+{
+    std::size_t head = 0;
+    if (simd::kernels_active()) {
+        head = count & ~std::size_t{7};
+        simd::detail::counter_normal_add_scaled_avx2(key_a_, key_b_, first_counter,
+                                                     scale, inout, head);
+    }
+    add_scaled(first_counter + head / 2, scale, inout + head, count - head);
 }
 
 Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)

@@ -1,0 +1,289 @@
+#include "util/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+#include <string_view>
+
+#include "util/cpu_features.h"
+#include "util/fastmath.h"
+
+// Dispatchers and the scalar fallback implementations.  This TU is
+// compiled at the baseline architecture, so every function here runs on
+// any x86-64 (or non-x86) machine; the AVX2 entry points in
+// simd_kernels.cpp are only ever reached through the active_backend()
+// checks below.
+//
+// The scalar fallbacks ARE the existing fast kernels, looped — that is
+// the "guaranteed scalar fallback" of the dispatch contract, and it is
+// what makes Math_profile::simd bit-identical to Math_profile::fast by
+// construction (see util/simd.h).
+
+namespace anc::simd {
+
+namespace detail {
+
+namespace {
+
+/// wrap_phase_bounded with branchless control flow — the same kernel the
+/// interference decoder's fast path uses (value-identical to
+/// wrap_phase_bounded on |angle| <= 2*pi, boundary cases included).
+inline double wrap_branchless(double angle)
+{
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    const double up = angle <= -std::numbers::pi ? two_pi : 0.0;
+    const double down = angle > std::numbers::pi ? two_pi : 0.0;
+    return angle + up - down;
+}
+
+inline double distance_branchless(double a, double b)
+{
+    return std::abs(wrap_branchless(a - b));
+}
+
+} // namespace
+
+void atan2_batch_scalar(const double* y, const double* x, double* out,
+                        std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = fast_atan2(y[i], x[i]);
+}
+
+void sincos_batch_scalar(const double* angles, double* sin_out, double* cos_out,
+                         std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        fast_sincos(angles[i], sin_out[i], cos_out[i]);
+}
+
+void log_batch_scalar(const double* x, double* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = fast_log(x[i]);
+}
+
+void polar_batch_scalar(const double* angles, double magnitude,
+                        double* interleaved_out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        double c = 0.0;
+        fast_sincos(angles[i], s, c);
+        interleaved_out[2 * i] = magnitude * c;
+        interleaved_out[2 * i + 1] = magnitude * s;
+    }
+}
+
+void anc_candidates_batch_scalar(const double* interleaved_samples,
+                                 std::size_t count, double a, double b,
+                                 double* theta_plus, double* theta_minus,
+                                 double* phi_minus, double* phi_plus)
+{
+    // The fast profile's candidate loop (the decoder's historical fast
+    // path, now with this as its single source of truth): the four
+    // Eq. 7 candidates factor through arg(y) — with T = A+Bd+iB√ and
+    // P = B+Ad+iA√, theta± = arg(y) ± arg(T) and phi∓ = arg(y) ∓ arg(P)
+    // (arg of a product is the wrapped sum of args).  Three atan2 per
+    // sample instead of four, and arg(T), arg(P) live in [0, π]
+    // (√ ≥ 0), so every sum is in (−2π, 2π) — the exact domain of the
+    // branch-only wrap.  The iterations are independent and
+    // branch-light, so the atan2 calls pipeline across samples.
+    const double a2b2 = a * a + b * b;
+    const double inv_2ab = 1.0 / (2.0 * a * b);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double re = interleaved_samples[2 * i];
+        const double im = interleaved_samples[2 * i + 1];
+        const double norm = re * re + im * im;
+        const double d_raw = (norm - a2b2) * inv_2ab;
+        const double d = std::clamp(d_raw, -1.0, 1.0);
+        const double root = std::sqrt(std::max(1.0 - d * d, 0.0));
+        const double wy = fast_atan2(im, re);
+        const double wt = fast_atan2(b * root, a + b * d);
+        const double wp = fast_atan2(a * root, b + a * d);
+        theta_plus[i] = wrap_branchless(wy + wt);
+        theta_minus[i] = wrap_branchless(wy - wt);
+        phi_minus[i] = wrap_branchless(wy - wp);
+        phi_plus[i] = wrap_branchless(wy + wp);
+    }
+}
+
+void anc_select_batch_scalar(const double* theta_plus, const double* theta_minus,
+                             const double* phi_minus, const double* phi_plus,
+                             const double* known_diffs, std::size_t transitions,
+                             double* phi_out, double* error_out)
+{
+    const double* tp = theta_plus;
+    const double* tm = theta_minus;
+    const double* pm = phi_minus;
+    const double* pp = phi_plus;
+    for (std::size_t n = 0; n < transitions; ++n) {
+        const double known = known_diffs[n];
+        const auto error_of = [known](double theta_next, double theta_cur) {
+            return distance_branchless(wrap_branchless(theta_next - theta_cur),
+                                       known);
+        };
+        // The four candidates in the exact path's iteration order (next
+        // 0/1 x cur 0/1), reduced with strict-< so the earliest minimum
+        // wins ties exactly as the sequential scan does.
+        const double e00 = error_of(tp[n + 1], tp[n]);
+        const double e01 = error_of(tp[n + 1], tm[n]);
+        const double e10 = error_of(tm[n + 1], tp[n]);
+        const double e11 = error_of(tm[n + 1], tm[n]);
+        const double p00 = wrap_branchless(pm[n + 1] - pm[n]);
+        const double p01 = wrap_branchless(pm[n + 1] - pp[n]);
+        const double p10 = wrap_branchless(pp[n + 1] - pm[n]);
+        const double p11 = wrap_branchless(pp[n + 1] - pp[n]);
+        const bool b01 = e01 < e00;
+        const double ea = b01 ? e01 : e00;
+        const double pa = b01 ? p01 : p00;
+        const bool b11 = e11 < e10;
+        const double eb = b11 ? e11 : e10;
+        const double pb = b11 ? p11 : p10;
+        const bool bb = eb < ea;
+        phi_out[n] = bb ? pb : pa;
+        error_out[n] = bb ? eb : ea;
+    }
+}
+
+void diff_arg_batch_scalar(const double* interleaved_samples,
+                           std::size_t transitions, double* out)
+{
+    for (std::size_t n = 0; n < transitions; ++n) {
+        const double ar = interleaved_samples[2 * n];
+        const double ai = interleaved_samples[2 * n + 1];
+        const double br = interleaved_samples[2 * n + 2];
+        const double bi = interleaved_samples[2 * n + 3];
+        // arg(next * conj(cur)), with the products std::complex
+        // multiplication performs.
+        out[n] = fast_atan2(br * -ai + bi * ar, br * ar - bi * -ai);
+    }
+}
+
+} // namespace detail
+
+Backend resolve_backend(bool cpu_has_avx2, bool cpu_has_fma, bool force_scalar)
+{
+    if (force_scalar || !cpu_has_avx2 || !cpu_has_fma)
+        return Backend::scalar;
+    return Backend::avx2;
+}
+
+bool force_scalar_from_env()
+{
+    const char* env = std::getenv("ANC_FORCE_SCALAR_SIMD");
+    return env != nullptr && *env != '\0' && std::string_view{env} != "0";
+}
+
+Backend active_backend()
+{
+    // Decided once per run: CPUID does not change under a process, and a
+    // stable decision is what makes the simd profile's determinism
+    // arguments ("bit-identical at any thread count") trivially hold.
+    static const Backend backend = resolve_backend(
+        cpu_features().avx2, cpu_features().fma, force_scalar_from_env());
+    return backend;
+}
+
+bool kernels_active()
+{
+    return active_backend() == Backend::avx2;
+}
+
+// ---------------------------------------------------------- dispatchers
+// Full 4-wide blocks go to the AVX2 lanes; tails (and the scalar
+// backend) go to the fallback.  The two are element-wise identical, so
+// the split point is invisible in the output.
+
+void atan2_batch(const double* y, const double* x, double* out, std::size_t n)
+{
+    std::size_t head = 0;
+    if (kernels_active()) {
+        head = n & ~std::size_t{3};
+        detail::atan2_batch_avx2(y, x, out, head);
+    }
+    detail::atan2_batch_scalar(y + head, x + head, out + head, n - head);
+}
+
+void sincos_batch(const double* angles, double* sin_out, double* cos_out,
+                  std::size_t n)
+{
+    std::size_t head = 0;
+    if (kernels_active()) {
+        head = n & ~std::size_t{3};
+        detail::sincos_batch_avx2(angles, sin_out, cos_out, head);
+    }
+    detail::sincos_batch_scalar(angles + head, sin_out + head, cos_out + head,
+                                n - head);
+}
+
+void log_batch(const double* x, double* out, std::size_t n)
+{
+    std::size_t head = 0;
+    if (kernels_active()) {
+        head = n & ~std::size_t{3};
+        detail::log_batch_avx2(x, out, head);
+    }
+    detail::log_batch_scalar(x + head, out + head, n - head);
+}
+
+void polar_batch(const double* angles, double magnitude, double* interleaved_out,
+                 std::size_t n)
+{
+    std::size_t head = 0;
+    if (kernels_active()) {
+        head = n & ~std::size_t{3};
+        detail::polar_batch_avx2(angles, magnitude, interleaved_out, head);
+    }
+    detail::polar_batch_scalar(angles + head, magnitude,
+                               interleaved_out + 2 * head, n - head);
+}
+
+void anc_candidates_batch(const double* interleaved_samples, std::size_t count,
+                          double a, double b, double* theta_plus,
+                          double* theta_minus, double* phi_minus, double* phi_plus)
+{
+    std::size_t head = 0;
+    if (kernels_active()) {
+        head = count & ~std::size_t{3};
+        detail::anc_candidates_batch_avx2(interleaved_samples, head, a, b,
+                                          theta_plus, theta_minus, phi_minus,
+                                          phi_plus);
+    }
+    detail::anc_candidates_batch_scalar(interleaved_samples + 2 * head,
+                                        count - head, a, b, theta_plus + head,
+                                        theta_minus + head, phi_minus + head,
+                                        phi_plus + head);
+}
+
+void anc_select_batch(const double* theta_plus, const double* theta_minus,
+                      const double* phi_minus, const double* phi_plus,
+                      const double* known_diffs, std::size_t transitions,
+                      double* phi_out, double* error_out)
+{
+    std::size_t head = 0;
+    if (kernels_active()) {
+        head = transitions & ~std::size_t{3};
+        detail::anc_select_batch_avx2(theta_plus, theta_minus, phi_minus, phi_plus,
+                                      known_diffs, head, phi_out, error_out);
+    }
+    detail::anc_select_batch_scalar(theta_plus + head, theta_minus + head,
+                                    phi_minus + head, phi_plus + head,
+                                    known_diffs + head, transitions - head,
+                                    phi_out + head, error_out + head);
+}
+
+void diff_arg_batch(const double* interleaved_samples, std::size_t transitions,
+                    double* out)
+{
+    std::size_t head = 0;
+    if (kernels_active()) {
+        head = transitions & ~std::size_t{3};
+        detail::diff_arg_batch_avx2(interleaved_samples, head, out);
+    }
+    detail::diff_arg_batch_scalar(interleaved_samples + 2 * head,
+                                  transitions - head, out + head);
+}
+
+} // namespace anc::simd

@@ -1,0 +1,178 @@
+// The explicit SIMD kernel backend behind dsp::Math_profile::simd.
+//
+// Design contract — *bit-compatibility with the scalar fast kernels*:
+// every batch kernel here computes, per element, exactly the arithmetic
+// of its scalar counterpart in util/fastmath.h / util/rng.h (same
+// operations, same order, no FMA contraction in the value chains), just
+// four lanes at a time.  IEEE-754 arithmetic is deterministic, so the
+// AVX2 lanes, the scalar fallback, and the plain `fast` profile all
+// produce byte-identical values.  That one invariant buys the whole
+// validation story:
+//
+//   * `simd` inherits every statistical corridor already proven for
+//     `fast` (the emitted metrics are bit-identical, only the tag and
+//     the throughput differ);
+//   * dispatch is *safe to decide per run*: a run on an AVX2 box, a run
+//     under ANC_FORCE_SCALAR_SIMD=1, and a run on a machine without
+//     AVX2 emit byte-identical documents;
+//   * the lane-vs-scalar tests (tests/util/simd_kernels_test.cpp) can
+//     assert exact equality — the strongest possible ULP bound (0).
+//
+// Dispatch model: `active_backend()` is decided once per process from
+// anc::cpu_features() (AVX2 and FMA both required) and the
+// ANC_FORCE_SCALAR_SIMD environment variable (any non-empty value other
+// than "0" forces the scalar fallback — that keeps the fallback path
+// continuously tested on AVX2 hardware, in CI and locally).  The batch
+// entry points below branch on it internally; `Math_profile::simd` is
+// therefore valid configuration everywhere and merely resolves to the
+// best implementation available.
+//
+// The AVX2 implementations live in src/util/simd_kernels.cpp, the only
+// translation unit compiled with -mavx2 -mfma (and -ffp-contract=off,
+// so the compiler cannot fuse the mul/add chains the bit-compatibility
+// contract pins down).  Nothing in that TU is reachable without passing
+// through the dispatchers in simd.cpp.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anc::simd {
+
+/// Which implementation the batch kernels resolve to this run.
+enum class Backend {
+    scalar, ///< the existing fast kernels, looped — guaranteed everywhere
+    avx2,   ///< explicit AVX2+FMA lanes (4 doubles wide)
+};
+
+inline const char* to_string(Backend backend)
+{
+    return backend == Backend::avx2 ? "avx2" : "scalar";
+}
+
+/// The pure dispatch rule: AVX2 needs both the AVX2 and FMA CPUID flags
+/// (the kernel TU is compiled with -mavx2 -mfma) and no force-scalar
+/// override.  Exposed separately from active_backend() so the decision
+/// logic is unit-testable without faking CPUID or the environment.
+Backend resolve_backend(bool cpu_has_avx2, bool cpu_has_fma, bool force_scalar);
+
+/// True when ANC_FORCE_SCALAR_SIMD is set to a non-empty value other
+/// than "0" in this process's environment.
+bool force_scalar_from_env();
+
+/// The backend every batch kernel below uses, decided once per run
+/// (first call) from cpu_features() and ANC_FORCE_SCALAR_SIMD.
+Backend active_backend();
+
+/// active_backend() == Backend::avx2.
+bool kernels_active();
+
+// ------------------------------------------------------------- kernels
+// All kernels accept any n; the AVX2 path handles the full 4-wide
+// blocks and hands the tail to the scalar fallback (which is
+// element-wise identical, so the seam is invisible in the output).
+
+/// out[i] = fast_atan2(y[i], x[i]).
+void atan2_batch(const double* y, const double* x, double* out, std::size_t n);
+
+/// (sin_out[i], cos_out[i]) = fast_sincos(angles[i]).  Same domain note
+/// as fast_sincos: |angle| ≲ 1e6.
+void sincos_batch(const double* angles, double* sin_out, double* cos_out,
+                  std::size_t n);
+
+/// out[i] = fast_log(x[i]); positive normal doubles only (fast_log's
+/// documented domain).
+void log_batch(const double* x, double* out, std::size_t n);
+
+/// interleaved_out[2i] = magnitude·cos(angles[i]),
+/// interleaved_out[2i+1] = magnitude·sin(angles[i]) — the batched
+/// profile_polar the DQPSK modulator and rotor setup use.
+void polar_batch(const double* angles, double magnitude, double* interleaved_out,
+                 std::size_t n);
+
+/// The Eq. 7 candidate generation of the interference decoder, SoA: for
+/// each interleaved complex sample y, emit the four wrapped candidate
+/// phases (theta+, theta-, phi-, phi+) into split arrays.  Element-wise
+/// identical to the fast profile's candidate loop
+/// (core/interference_decoder.cpp).
+void anc_candidates_batch(const double* interleaved_samples, std::size_t count,
+                          double a, double b, double* theta_plus,
+                          double* theta_minus, double* phi_minus,
+                          double* phi_plus);
+
+/// The Eq. 8 branchless candidate selection over the split arrays: for
+/// transition n (0-based), pick among the four (theta, phi) difference
+/// candidates the one whose theta step best matches known_diffs[n], with
+/// the exact iteration-order tie-break of the sequential scan.  Writes
+/// phi_out[n] and error_out[n] for n in [0, transitions).
+void anc_select_batch(const double* theta_plus, const double* theta_minus,
+                      const double* phi_minus, const double* phi_plus,
+                      const double* known_diffs, std::size_t transitions,
+                      double* phi_out, double* error_out);
+
+/// Differential demodulation over the unknown region: out[n] =
+/// fast_atan2 of y[n+1]·conj(y[n]) for n in [0, transitions), reading
+/// interleaved samples [0, transitions].
+void diff_arg_batch(const double* interleaved_samples, std::size_t transitions,
+                    double* out);
+
+namespace detail {
+
+// Per-backend entry points, exposed so the tests can compare the two
+// implementations directly on the same machine.  The *_avx2 functions
+// live in the -mavx2 -mfma translation unit and must only be called
+// when cpu_features() reports avx2 && fma; they additionally require
+// the stated block alignment of n (the dispatchers feed tails to the
+// scalar path).
+
+void atan2_batch_scalar(const double* y, const double* x, double* out,
+                        std::size_t n);
+void sincos_batch_scalar(const double* angles, double* sin_out, double* cos_out,
+                         std::size_t n);
+void log_batch_scalar(const double* x, double* out, std::size_t n);
+void polar_batch_scalar(const double* angles, double magnitude,
+                        double* interleaved_out, std::size_t n);
+void anc_candidates_batch_scalar(const double* interleaved_samples,
+                                 std::size_t count, double a, double b,
+                                 double* theta_plus, double* theta_minus,
+                                 double* phi_minus, double* phi_plus);
+void anc_select_batch_scalar(const double* theta_plus, const double* theta_minus,
+                             const double* phi_minus, const double* phi_plus,
+                             const double* known_diffs, std::size_t transitions,
+                             double* phi_out, double* error_out);
+void diff_arg_batch_scalar(const double* interleaved_samples,
+                           std::size_t transitions, double* out);
+
+// n % 4 == 0 for all of these.
+void atan2_batch_avx2(const double* y, const double* x, double* out, std::size_t n);
+void sincos_batch_avx2(const double* angles, double* sin_out, double* cos_out,
+                       std::size_t n);
+void log_batch_avx2(const double* x, double* out, std::size_t n);
+void polar_batch_avx2(const double* angles, double magnitude,
+                      double* interleaved_out, std::size_t n);
+void anc_candidates_batch_avx2(const double* interleaved_samples, std::size_t count,
+                               double a, double b, double* theta_plus,
+                               double* theta_minus, double* phi_minus,
+                               double* phi_plus);
+void anc_select_batch_avx2(const double* theta_plus, const double* theta_minus,
+                           const double* phi_minus, const double* phi_plus,
+                           const double* known_diffs, std::size_t transitions,
+                           double* phi_out, double* error_out);
+void diff_arg_batch_avx2(const double* interleaved_samples, std::size_t transitions,
+                         double* out);
+
+/// Counter_normal's batched Box–Muller: 4 counter pairs (8 normals) per
+/// step, bit-identical to Counter_normal::fill at the same counters.
+/// count % 8 == 0; the dispatcher (util/rng.cpp) handles tails.
+void counter_normal_fill_avx2(std::uint64_t key_a, std::uint64_t key_b,
+                              std::uint64_t first_counter, double* out,
+                              std::size_t count);
+/// Fused inout[i] += scale·z_i over the same z stream; count % 8 == 0.
+void counter_normal_add_scaled_avx2(std::uint64_t key_a, std::uint64_t key_b,
+                                    std::uint64_t first_counter, double scale,
+                                    double* inout, std::size_t count);
+
+} // namespace detail
+
+} // namespace anc::simd

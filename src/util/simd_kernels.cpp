@@ -1,0 +1,736 @@
+// Explicit AVX2+FMA lane kernels behind anc::simd (see util/simd.h).
+//
+// This is the only translation unit compiled with -mavx2 -mfma; nothing
+// here is reachable except through the dispatchers in simd.cpp, which
+// consult anc::cpu_features() first.  It deliberately includes no
+// library header that defines shared inline functions: an inline
+// function instantiated here would be compiled with AVX2 codegen, and
+// the linker is free to pick *any* TU's copy of a weak symbol — which
+// would smuggle AVX2 instructions into code paths that must run on
+// baseline machines.  Everything shared lives behind the out-of-line
+// seam in simd.cpp.
+//
+// Bit-compatibility discipline (the contract util/simd.h documents):
+// every lane computes exactly the arithmetic of its scalar counterpart
+// in util/fastmath.h / util/rng.h — same operations, same order.  Two
+// consequences for the code below:
+//
+//   * no FMA in the value chains: the scalar kernels compile to
+//     separate mul/add at the baseline ISA, so the lanes use
+//     _mm256_mul_pd/_mm256_add_pd, never _mm256_fmadd_pd, and the whole
+//     TU is compiled with -ffp-contract=off so the compiler cannot fuse
+//     them behind our back.  (FMA is still required in the target set:
+//     libm's scalar tail calls resolve to the hardware fma via IFUNC,
+//     and the forced-scalar fallback must match it.)
+//   * min/max/select lanes mirror the exact operand order of the scalar
+//     ternaries, because _mm256_min_pd(a, b) = a < b ? a : b is not
+//     symmetric in its handling of equal operands.
+//
+// Integer <-> double conversions that AVX2 lacks (u64/i64 to double) use
+// the standard exact magic-constant tricks, valid far beyond the
+// domains used here; each site states its bound.
+
+#include "util/simd.h"
+
+#include <cstddef>
+#include <cstdint>
+
+// x86-64 only, matching the CMake guard that adds -mavx2 -mfma for this
+// file: a 32-bit x86 build would take this branch without those flags
+// and fail on every intrinsic (cpu_features reports no AVX2 there
+// anyway, so the stubs below are the correct behavior).
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+namespace anc::simd::detail {
+
+namespace {
+
+// ------------------------------------------------------------- helpers
+
+inline __m256d abs_pd(__m256d v)
+{
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+inline __m256d neg_pd(__m256d v)
+{
+    return _mm256_xor_pd(v, _mm256_set1_pd(-0.0));
+}
+
+/// copysign(magnitude, sign_source), both lanes finite.
+inline __m256d copysign_pd(__m256d magnitude, __m256d sign_source)
+{
+    const __m256d mask = _mm256_set1_pd(-0.0);
+    return _mm256_or_pd(_mm256_andnot_pd(mask, magnitude),
+                        _mm256_and_pd(mask, sign_source));
+}
+
+/// Exact uint64 -> double for values < 2^53 (hi/lo 32-bit split; both
+/// halves convert exactly and their sum is representable, so the final
+/// add rounds nothing).
+inline __m256d u64_to_pd_53(__m256i v)
+{
+    const __m256i exp52 = _mm256_set1_epi64x(0x4330000000000000LL); // 2^52
+    const __m256d two52 = _mm256_set1_pd(4503599627370496.0);
+    const __m256i lo = _mm256_and_si256(v, _mm256_set1_epi64x(0xffffffffLL));
+    const __m256i hi = _mm256_srli_epi64(v, 32);
+    const __m256d lo_d =
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(lo, exp52)), two52);
+    const __m256d hi_d =
+        _mm256_sub_pd(_mm256_castsi256_pd(_mm256_or_si256(hi, exp52)), two52);
+    return _mm256_add_pd(_mm256_mul_pd(hi_d, _mm256_set1_pd(4294967296.0)), lo_d);
+}
+
+/// Exact int64 -> double for |v| < 2^51 (the 1.5·2^52 magic trick).
+inline __m256d i64_to_pd_51(__m256i v)
+{
+    const __m256i magic_bits = _mm256_set1_epi64x(0x4338000000000000LL);
+    const __m256d magic = _mm256_set1_pd(6755399441055744.0); // 1.5 * 2^52
+    return _mm256_sub_pd(_mm256_castsi256_pd(_mm256_add_epi64(v, magic_bits)),
+                         magic);
+}
+
+/// Full 64-bit low multiply (AVX2 has no _mm256_mullo_epi64): the
+/// classic 32x32 cross-product decomposition, exact mod 2^64.
+inline __m256i mullo_epi64(__m256i a, __m256i b)
+{
+    const __m256i a_hi = _mm256_srli_epi64(a, 32);
+    const __m256i b_hi = _mm256_srli_epi64(b, 32);
+    const __m256i lo_lo = _mm256_mul_epu32(a, b);
+    const __m256i hi_lo = _mm256_mul_epu32(a_hi, b);
+    const __m256i lo_hi = _mm256_mul_epu32(a, b_hi);
+    const __m256i cross = _mm256_add_epi64(hi_lo, lo_hi);
+    return _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// SplitMix64 finalizer lanes (util/rng.h splitmix64, minus the
+/// increment step the callers fold into their counter words).
+inline __m256i splitmix64_lanes(__m256i x)
+{
+    x = _mm256_add_epi64(x, _mm256_set1_epi64x(0x9e3779b97f4a7c15ULL));
+    x = mullo_epi64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+                    _mm256_set1_epi64x(0xbf58476d1ce4e5b9ULL));
+    x = mullo_epi64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+                    _mm256_set1_epi64x(0x94d049bb133111ebULL));
+    return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+/// Interleave two SoA lanes (a = firsts, b = seconds) into AoS pairs:
+/// out0 = [a0,b0,a1,b1], out1 = [a2,b2,a3,b3].
+inline void interleave_pd(__m256d a, __m256d b, __m256d& out0, __m256d& out1)
+{
+    const __m256d lo = _mm256_unpacklo_pd(a, b); // [a0,b0 | a2,b2]
+    const __m256d hi = _mm256_unpackhi_pd(a, b); // [a1,b1 | a3,b3]
+    out0 = _mm256_permute2f128_pd(lo, hi, 0x20);
+    out1 = _mm256_permute2f128_pd(lo, hi, 0x31);
+}
+
+/// Split 4 interleaved complex samples at `p` into re/im lanes.
+inline void deinterleave_pd(const double* p, __m256d& re, __m256d& im)
+{
+    const __m256d v0 = _mm256_loadu_pd(p);     // [re0,im0,re1,im1]
+    const __m256d v1 = _mm256_loadu_pd(p + 4); // [re2,im2,re3,im3]
+    const __m256d t0 = _mm256_permute2f128_pd(v0, v1, 0x20); // [re0,im0,re2,im2]
+    const __m256d t1 = _mm256_permute2f128_pd(v0, v1, 0x31); // [re1,im1,re3,im3]
+    re = _mm256_unpacklo_pd(t0, t1);
+    im = _mm256_unpackhi_pd(t0, t1);
+}
+
+// --------------------------------------------------------- lane kernels
+// Lane-for-lane transcriptions of the scalar kernels; every comment of
+// the form "scalar: ..." pins the expression being replicated.
+
+/// fast_atan2 lanes (util/fastmath.h): octant fold, degree-12 Chebyshev
+/// in Estrin form, quadrant assembly.
+inline __m256d atan2_lanes(__m256d y, __m256d x)
+{
+    const __m256d half_pi = _mm256_set1_pd(1.57079632679489661923);
+    const __m256d pi = _mm256_set1_pd(3.14159265358979323846);
+
+    const __m256d ax = abs_pd(x);
+    const __m256d ay = abs_pd(y);
+    // scalar: num = ax < ay ? ax : ay (equal -> ay); den = ax < ay ? ay : ax.
+    const __m256d num = _mm256_min_pd(ax, ay);
+    const __m256d den = _mm256_max_pd(ay, ax);
+    // scalar: z = den == 0.0 ? 0.0 : num / den.
+    const __m256d den_zero = _mm256_cmp_pd(den, _mm256_setzero_pd(), _CMP_EQ_OQ);
+    const __m256d z = _mm256_andnot_pd(den_zero, _mm256_div_pd(num, den));
+
+    const __m256d t = _mm256_mul_pd(z, z);
+    const __m256d t2 = _mm256_mul_pd(t, t);
+    const __m256d t4 = _mm256_mul_pd(t2, t2);
+    const __m256d t8 = _mm256_mul_pd(t4, t4);
+    const auto pair_term = [](double c_lo, double c_hi, __m256d v) {
+        return _mm256_add_pd(_mm256_set1_pd(c_lo),
+                             _mm256_mul_pd(_mm256_set1_pd(c_hi), v));
+    };
+    const __m256d b0 = pair_term(9.99999999988738120e-01, -3.33333329516572185e-01, t);
+    const __m256d b1 = pair_term(1.99999783362170863e-01, -1.42852256081602597e-01, t);
+    const __m256d b2 = pair_term(1.11053067324246468e-01, -9.04917909372005280e-02, t);
+    const __m256d b3 = pair_term(7.49526237809320373e-02, -6.02219638791359271e-02, t);
+    const __m256d b4 = pair_term(4.36465894423390538e-02, -2.60059959770320183e-02, t);
+    const __m256d b5 = pair_term(1.14276332769563185e-02, -3.19542524056683729e-03, t);
+    const __m256d d0 = _mm256_add_pd(b0, _mm256_mul_pd(b1, t2));
+    const __m256d d1 = _mm256_add_pd(b2, _mm256_mul_pd(b3, t2));
+    const __m256d d2 = _mm256_add_pd(b4, _mm256_mul_pd(b5, t2));
+    // scalar: acc = (d0 + d1 * t4) + (d2 + c[12] * t4) * t8.
+    const __m256d acc = _mm256_add_pd(
+        _mm256_add_pd(d0, _mm256_mul_pd(d1, t4)),
+        _mm256_mul_pd(
+            _mm256_add_pd(d2, _mm256_mul_pd(
+                                  _mm256_set1_pd(4.19227860083381837e-04), t4)),
+            t8));
+    __m256d angle = _mm256_mul_pd(z, acc);
+    // scalar: angle = ax < ay ? half_pi - angle : angle.
+    const __m256d swap = _mm256_cmp_pd(ax, ay, _CMP_LT_OQ);
+    angle = _mm256_blendv_pd(angle, _mm256_sub_pd(half_pi, angle), swap);
+    // scalar: angle = std::signbit(x) ? pi - angle : angle (x == -0.0 too).
+    const __m256i x_neg =
+        _mm256_cmpgt_epi64(_mm256_setzero_si256(), _mm256_castpd_si256(x));
+    angle = _mm256_blendv_pd(angle, _mm256_sub_pd(pi, angle),
+                             _mm256_castsi256_pd(x_neg));
+    // scalar: return std::copysign(angle, y).
+    return copysign_pd(angle, y);
+}
+
+/// fast_sincos lanes: Cody–Waite reduction + the fdlibm kernels.
+inline void sincos_lanes(__m256d x, __m256d& sin_out, __m256d& cos_out)
+{
+    const __m256d two_over_pi = _mm256_set1_pd(0.63661977236758134308);
+    const __m256d pio2_hi = _mm256_set1_pd(1.57079632679489661923);
+    const __m256d pio2_lo = _mm256_set1_pd(6.12323399573676603587e-17);
+    const __m256d magic = _mm256_set1_pd(6755399441055744.0); // 1.5 * 2^52
+
+    // scalar: kd = fast_round(x * two_over_pi) — the magic add/sub.
+    const __m256d kd = _mm256_sub_pd(
+        _mm256_add_pd(_mm256_mul_pd(x, two_over_pi), magic), magic);
+    // scalar: r = (x - kd * pio2_hi) - kd * pio2_lo.
+    const __m256d r = _mm256_sub_pd(_mm256_sub_pd(x, _mm256_mul_pd(kd, pio2_hi)),
+                                    _mm256_mul_pd(kd, pio2_lo));
+    // scalar: q = (int64)kd & 3.  kd is integral and |kd| < 2^31 on the
+    // documented |x| ≲ 1e6 domain, so the nearest-int convert is exact.
+    const __m256i q =
+        _mm256_and_si256(_mm256_cvtepi32_epi64(_mm256_cvtpd_epi32(kd)),
+                         _mm256_set1_epi64x(3));
+
+    const __m256d z = _mm256_mul_pd(r, r);
+    // sin_kernel: r + r*z*(s1 + z*(s2 + z*(s3 + z*(s4 + z*(s5 + z*s6))))).
+    __m256d sp = _mm256_add_pd(
+        _mm256_set1_pd(-2.50507602534068634195e-08),
+        _mm256_mul_pd(z, _mm256_set1_pd(1.58969099521155010221e-10)));
+    sp = _mm256_add_pd(_mm256_set1_pd(2.75573137070700676789e-06),
+                       _mm256_mul_pd(z, sp));
+    sp = _mm256_add_pd(_mm256_set1_pd(-1.98412698298579493134e-04),
+                       _mm256_mul_pd(z, sp));
+    sp = _mm256_add_pd(_mm256_set1_pd(8.33333333332248946124e-03),
+                       _mm256_mul_pd(z, sp));
+    sp = _mm256_add_pd(_mm256_set1_pd(-1.66666666666666324348e-01),
+                       _mm256_mul_pd(z, sp));
+    const __m256d ss =
+        _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(r, z), sp));
+    // cos_kernel: 1 - 0.5*z + z*z*(c1 + z*(c2 + z*(c3 + z*(c4 + z*(c5 + z*c6))))).
+    __m256d cp = _mm256_add_pd(
+        _mm256_set1_pd(2.08757232129817482790e-09),
+        _mm256_mul_pd(z, _mm256_set1_pd(-1.13596475577881948265e-11)));
+    cp = _mm256_add_pd(_mm256_set1_pd(-2.75573143513906633035e-07),
+                       _mm256_mul_pd(z, cp));
+    cp = _mm256_add_pd(_mm256_set1_pd(2.48015872894767294178e-05),
+                       _mm256_mul_pd(z, cp));
+    cp = _mm256_add_pd(_mm256_set1_pd(-1.38888888888741095749e-03),
+                       _mm256_mul_pd(z, cp));
+    cp = _mm256_add_pd(_mm256_set1_pd(4.16666666666666019037e-02),
+                       _mm256_mul_pd(z, cp));
+    const __m256d cc = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_set1_pd(1.0),
+                      _mm256_mul_pd(_mm256_set1_pd(0.5), z)),
+        _mm256_mul_pd(_mm256_mul_pd(z, z), cp));
+
+    // scalar: s = (q & 1) ? cc : ss; c = (q & 1) ? ss : cc;
+    //         sin = (q & 2) ? -s : s; cos = ((q + 1) & 2) ? -c : c.
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i two = _mm256_set1_epi64x(2);
+    const __m256d odd = _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(_mm256_and_si256(q, one), one));
+    const __m256d s_sel = _mm256_blendv_pd(ss, cc, odd);
+    const __m256d c_sel = _mm256_blendv_pd(cc, ss, odd);
+    const __m256d s_neg_mask = _mm256_castsi256_pd(
+        _mm256_cmpeq_epi64(_mm256_and_si256(q, two), two));
+    const __m256d c_neg_mask = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+        _mm256_and_si256(_mm256_add_epi64(q, one), two), two));
+    sin_out = _mm256_blendv_pd(s_sel, neg_pd(s_sel), s_neg_mask);
+    cos_out = _mm256_blendv_pd(c_sel, neg_pd(c_sel), c_neg_mask);
+}
+
+/// fast_log lanes: exponent/mantissa split + atanh(f) series.
+inline __m256d log_lanes(__m256d x)
+{
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d sqrt2 = _mm256_set1_pd(1.41421356237309504880);
+    const __m256i bits = _mm256_castpd_si256(x);
+    const __m256d raw_m = _mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_and_si256(bits, _mm256_set1_epi64x(0xfffffffffffffLL)),
+        _mm256_set1_epi64x(0x3ff0000000000000LL)));
+    // scalar: fold = raw_m > sqrt2; m = fold ? raw_m * 0.5 : raw_m;
+    //         e = raw_e + (fold ? 1 : 0).
+    const __m256d fold = _mm256_cmp_pd(raw_m, sqrt2, _CMP_GT_OQ);
+    const __m256d m =
+        _mm256_blendv_pd(raw_m, _mm256_mul_pd(raw_m, _mm256_set1_pd(0.5)), fold);
+    // ed = double(raw_e + fold), built exactly: the biased exponent is an
+    // integer in [1, 2046], converted via the 2^52 magic, then the bias
+    // and the fold increment (both exact integer adds in double).
+    const __m256i biased =
+        _mm256_and_si256(_mm256_srli_epi64(bits, 52), _mm256_set1_epi64x(0x7ff));
+    const __m256d biased_d = _mm256_sub_pd(
+        _mm256_castsi256_pd(
+            _mm256_or_si256(biased, _mm256_set1_epi64x(0x4330000000000000LL))),
+        _mm256_set1_pd(4503599627370496.0));
+    const __m256d ed =
+        _mm256_add_pd(_mm256_sub_pd(biased_d, _mm256_set1_pd(1023.0)),
+                      _mm256_and_pd(fold, one));
+    // scalar: f = (m - 1) / (m + 1); then the 8-term atanh series.
+    const __m256d f =
+        _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+    const __m256d w = _mm256_mul_pd(f, f);
+    const __m256d w2 = _mm256_mul_pd(w, w);
+    const __m256d w4 = _mm256_mul_pd(w2, w2);
+    const __m256d p0 =
+        _mm256_add_pd(one, _mm256_mul_pd(w, _mm256_set1_pd(1.0 / 3.0)));
+    const __m256d p1 = _mm256_add_pd(
+        _mm256_set1_pd(1.0 / 5.0), _mm256_mul_pd(w, _mm256_set1_pd(1.0 / 7.0)));
+    const __m256d p2 = _mm256_add_pd(
+        _mm256_set1_pd(1.0 / 9.0), _mm256_mul_pd(w, _mm256_set1_pd(1.0 / 11.0)));
+    const __m256d p3 = _mm256_add_pd(
+        _mm256_set1_pd(1.0 / 13.0), _mm256_mul_pd(w, _mm256_set1_pd(1.0 / 15.0)));
+    // scalar: poly = 2*f*((p0 + p1*w2) + (p2 + p3*w2)*w4).
+    const __m256d poly = _mm256_mul_pd(
+        _mm256_mul_pd(_mm256_set1_pd(2.0), f),
+        _mm256_add_pd(_mm256_add_pd(p0, _mm256_mul_pd(p1, w2)),
+                      _mm256_mul_pd(_mm256_add_pd(p2, _mm256_mul_pd(p3, w2)),
+                                    w4)));
+    // scalar: ed*ln2_hi + (ed*ln2_lo + poly).
+    const __m256d ln2_hi = _mm256_set1_pd(6.93147180369123816490e-01);
+    const __m256d ln2_lo = _mm256_set1_pd(1.90821492927058770002e-10);
+    return _mm256_add_pd(_mm256_mul_pd(ed, ln2_hi),
+                         _mm256_add_pd(_mm256_mul_pd(ed, ln2_lo), poly));
+}
+
+/// wrap_branchless lanes: angle + (angle <= -pi ? 2pi : 0) - (angle > pi
+/// ? 2pi : 0), same add/sub order as the scalar.
+inline __m256d wrap_lanes(__m256d angle)
+{
+    const __m256d pi = _mm256_set1_pd(3.141592653589793238462643383279502884);
+    const __m256d two_pi = _mm256_set1_pd(2.0 * 3.141592653589793238462643383279502884);
+    const __m256d up =
+        _mm256_and_pd(_mm256_cmp_pd(angle, neg_pd(pi), _CMP_LE_OQ), two_pi);
+    const __m256d down =
+        _mm256_and_pd(_mm256_cmp_pd(angle, pi, _CMP_GT_OQ), two_pi);
+    return _mm256_sub_pd(_mm256_add_pd(angle, up), down);
+}
+
+// ----------------------------------------------- Counter_normal lanes
+// Transcriptions of the noise-grade kernels in util/rng.h.
+
+/// detail::noise_log lanes (5-term atanh series, integer-domain fold).
+inline __m256d noise_log_lanes(__m256d x)
+{
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d sqrt2 = _mm256_set1_pd(1.41421356237309504880);
+    const __m256i bits = _mm256_castpd_si256(x);
+    const __m256d raw_m = _mm256_castsi256_pd(_mm256_or_si256(
+        _mm256_and_si256(bits, _mm256_set1_epi64x(0xfffffffffffffLL)),
+        _mm256_set1_epi64x(0x3ff0000000000000LL)));
+    // scalar: fold = uint(raw_m > sqrt2); m = bits(raw_m) - (fold << 52).
+    const __m256d fold = _mm256_cmp_pd(raw_m, sqrt2, _CMP_GT_OQ);
+    const __m256i fold_bit = _mm256_and_si256(_mm256_castpd_si256(fold),
+                                              _mm256_set1_epi64x(1LL << 52));
+    const __m256d m = _mm256_castsi256_pd(
+        _mm256_sub_epi64(_mm256_castpd_si256(raw_m), fold_bit));
+    const __m256i biased =
+        _mm256_and_si256(_mm256_srli_epi64(bits, 52), _mm256_set1_epi64x(0x7ff));
+    const __m256d biased_d = _mm256_sub_pd(
+        _mm256_castsi256_pd(
+            _mm256_or_si256(biased, _mm256_set1_epi64x(0x4330000000000000LL))),
+        _mm256_set1_pd(4503599627370496.0));
+    const __m256d ed =
+        _mm256_add_pd(_mm256_sub_pd(biased_d, _mm256_set1_pd(1023.0)),
+                      _mm256_and_pd(fold, one));
+    const __m256d f =
+        _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+    const __m256d w = _mm256_mul_pd(f, f);
+    const __m256d w2 = _mm256_mul_pd(w, w);
+    // scalar: poly = 2*f*((1 + w/3) + (1/5 + w/7 + w2/9) * w2).
+    const __m256d inner = _mm256_add_pd(
+        _mm256_add_pd(_mm256_set1_pd(1.0 / 5.0),
+                      _mm256_mul_pd(w, _mm256_set1_pd(1.0 / 7.0))),
+        _mm256_mul_pd(w2, _mm256_set1_pd(1.0 / 9.0)));
+    const __m256d poly = _mm256_mul_pd(
+        _mm256_mul_pd(_mm256_set1_pd(2.0), f),
+        _mm256_add_pd(
+            _mm256_add_pd(one, _mm256_mul_pd(w, _mm256_set1_pd(1.0 / 3.0))),
+            _mm256_mul_pd(inner, w2)));
+    const __m256d ln2_hi = _mm256_set1_pd(6.93147180369123816490e-01);
+    const __m256d ln2_lo = _mm256_set1_pd(1.90821492927058770002e-10);
+    return _mm256_add_pd(_mm256_mul_pd(ed, ln2_hi),
+                         _mm256_add_pd(_mm256_mul_pd(ed, ln2_lo), poly));
+}
+
+/// detail::box_muller_radius lanes: sqrt(-2 ln u1), u1 from the hash word.
+inline __m256d box_muller_radius_lanes(__m256i w1)
+{
+    // scalar: u1 = double((w1 >> 11) + 1) * 2^-53; value ≤ 2^53 so the
+    // split convert is exact, matching the scalar int64 convert.
+    const __m256i w =
+        _mm256_add_epi64(_mm256_srli_epi64(w1, 11), _mm256_set1_epi64x(1));
+    const __m256d u1 = _mm256_mul_pd(u64_to_pd_53(w), _mm256_set1_pd(0x1.0p-53));
+    return _mm256_sqrt_pd(
+        _mm256_mul_pd(_mm256_set1_pd(-2.0), noise_log_lanes(u1)));
+}
+
+/// detail::box_muller_angle lanes: exact integer quadrant reduction +
+/// the noise-grade 4-term kernels + bit-domain quadrant assembly.
+inline void box_muller_angle_lanes(__m256i w2, __m256d& s, __m256d& c)
+{
+    const __m256i w = _mm256_srli_epi64(w2, 11);
+    // scalar: k = int64((w + 2^50) >> 51); rem = int64(w) - (k << 51).
+    const __m256i k = _mm256_srli_epi64(
+        _mm256_add_epi64(w, _mm256_set1_epi64x(1LL << 50)), 51);
+    const __m256i rem = _mm256_sub_epi64(w, _mm256_slli_epi64(k, 51));
+    // |rem| ≤ 2^50, so the magic convert is exact like the scalar cast.
+    const __m256d r = _mm256_mul_pd(
+        i64_to_pd_51(rem),
+        _mm256_set1_pd(0x1.0p-51 * 1.57079632679489661923));
+
+    const __m256d z = _mm256_mul_pd(r, r);
+    // Noise-grade 4-term kernels, same Horner order as util/rng.h.
+    __m256d sp = _mm256_add_pd(
+        _mm256_set1_pd(-1.98412698298579493134e-04),
+        _mm256_mul_pd(z, _mm256_set1_pd(2.75573137070700676789e-06)));
+    sp = _mm256_add_pd(_mm256_set1_pd(8.33333333332248946124e-03),
+                       _mm256_mul_pd(z, sp));
+    sp = _mm256_add_pd(_mm256_set1_pd(-1.66666666666666324348e-01),
+                       _mm256_mul_pd(z, sp));
+    const __m256d ss =
+        _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(r, z), sp));
+    __m256d cp = _mm256_add_pd(
+        _mm256_set1_pd(2.48015872894767294178e-05),
+        _mm256_mul_pd(z, _mm256_set1_pd(-2.75573143513906633035e-07)));
+    cp = _mm256_add_pd(_mm256_set1_pd(-1.38888888888741095749e-03),
+                       _mm256_mul_pd(z, cp));
+    cp = _mm256_add_pd(_mm256_set1_pd(4.16666666666666019037e-02),
+                       _mm256_mul_pd(z, cp));
+    const __m256d cc = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_set1_pd(1.0),
+                      _mm256_mul_pd(_mm256_set1_pd(0.5), z)),
+        _mm256_mul_pd(_mm256_mul_pd(z, z), cp));
+
+    // scalar bit-domain assembly: swap via mask select, sign flips via
+    // XOR of (q & 2) << 62 and ((q + 1) & 2) << 62.
+    const __m256i q = _mm256_and_si256(k, _mm256_set1_epi64x(3));
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i swap_mask =
+        _mm256_cmpeq_epi64(_mm256_and_si256(q, one), one);
+    const __m256i sbits = _mm256_castpd_si256(ss);
+    const __m256i cbits = _mm256_castpd_si256(cc);
+    __m256i s_sel = _mm256_or_si256(_mm256_andnot_si256(swap_mask, sbits),
+                                    _mm256_and_si256(swap_mask, cbits));
+    __m256i c_sel = _mm256_or_si256(_mm256_andnot_si256(swap_mask, cbits),
+                                    _mm256_and_si256(swap_mask, sbits));
+    const __m256i two = _mm256_set1_epi64x(2);
+    s_sel = _mm256_xor_si256(
+        s_sel, _mm256_slli_epi64(_mm256_and_si256(q, two), 62));
+    c_sel = _mm256_xor_si256(
+        c_sel,
+        _mm256_slli_epi64(_mm256_and_si256(_mm256_add_epi64(q, one), two), 62));
+    s = _mm256_castsi256_pd(s_sel);
+    c = _mm256_castsi256_pd(c_sel);
+}
+
+/// The shared 4-pair Counter_normal step: hash the four counters on both
+/// key lanes, Box–Muller, and interleave into (z0, z1) pair order.
+/// `a_words`/`b_words` are key + counter·increment for the four lanes.
+inline void counter_normal_step(__m256i a_words, __m256i b_words, __m256d& pairs0,
+                                __m256d& pairs1)
+{
+    const __m256i w1 = splitmix64_lanes(a_words);
+    const __m256i w2 = splitmix64_lanes(b_words);
+    const __m256d radius = box_muller_radius_lanes(w1);
+    __m256d s;
+    __m256d c;
+    box_muller_angle_lanes(w2, s, c);
+    // scalar: z0 = radius * c, z1 = radius * s.
+    interleave_pd(_mm256_mul_pd(radius, c), _mm256_mul_pd(radius, s), pairs0,
+                  pairs1);
+}
+
+// Counter word increments (util/rng.h Counter_normal::pair).
+constexpr std::uint64_t counter_inc_a = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t counter_inc_b = 0xc2b2ae3d27d4eb4fULL;
+
+inline __m256i lane_counters(std::uint64_t base_word, std::uint64_t inc)
+{
+    return _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(base_word)),
+        _mm256_set_epi64x(static_cast<long long>(3 * inc),
+                          static_cast<long long>(2 * inc),
+                          static_cast<long long>(inc), 0));
+}
+
+} // namespace
+
+// ------------------------------------------------------- batch kernels
+
+void atan2_batch_avx2(const double* y, const double* x, double* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 4)
+        _mm256_storeu_pd(out + i,
+                         atan2_lanes(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+}
+
+void sincos_batch_avx2(const double* angles, double* sin_out, double* cos_out,
+                       std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 4) {
+        __m256d s;
+        __m256d c;
+        sincos_lanes(_mm256_loadu_pd(angles + i), s, c);
+        _mm256_storeu_pd(sin_out + i, s);
+        _mm256_storeu_pd(cos_out + i, c);
+    }
+}
+
+void log_batch_avx2(const double* x, double* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 4)
+        _mm256_storeu_pd(out + i, log_lanes(_mm256_loadu_pd(x + i)));
+}
+
+void polar_batch_avx2(const double* angles, double magnitude,
+                      double* interleaved_out, std::size_t n)
+{
+    const __m256d mag = _mm256_set1_pd(magnitude);
+    for (std::size_t i = 0; i < n; i += 4) {
+        __m256d s;
+        __m256d c;
+        sincos_lanes(_mm256_loadu_pd(angles + i), s, c);
+        // scalar: out[2i] = magnitude * c; out[2i+1] = magnitude * s.
+        __m256d pair0;
+        __m256d pair1;
+        interleave_pd(_mm256_mul_pd(mag, c), _mm256_mul_pd(mag, s), pair0, pair1);
+        _mm256_storeu_pd(interleaved_out + 2 * i, pair0);
+        _mm256_storeu_pd(interleaved_out + 2 * i + 4, pair1);
+    }
+}
+
+void anc_candidates_batch_avx2(const double* interleaved_samples, std::size_t count,
+                               double a, double b, double* theta_plus,
+                               double* theta_minus, double* phi_minus,
+                               double* phi_plus)
+{
+    const __m256d av = _mm256_set1_pd(a);
+    const __m256d bv = _mm256_set1_pd(b);
+    const __m256d a2b2 = _mm256_set1_pd(a * a + b * b);
+    const __m256d inv_2ab = _mm256_set1_pd(1.0 / (2.0 * a * b));
+    const __m256d one = _mm256_set1_pd(1.0);
+    const __m256d neg_one = _mm256_set1_pd(-1.0);
+    const __m256d zero = _mm256_setzero_pd();
+    for (std::size_t i = 0; i < count; i += 4) {
+        __m256d re;
+        __m256d im;
+        deinterleave_pd(interleaved_samples + 2 * i, re, im);
+        // scalar: norm = re*re + im*im; d = clamp((norm - a2b2) * inv_2ab).
+        const __m256d norm =
+            _mm256_add_pd(_mm256_mul_pd(re, re), _mm256_mul_pd(im, im));
+        __m256d d = _mm256_mul_pd(_mm256_sub_pd(norm, a2b2), inv_2ab);
+        d = _mm256_min_pd(_mm256_max_pd(d, neg_one), one);
+        // scalar: root = sqrt(max(1 - d*d, 0)); 1 - d*d ≥ +0 for |d| ≤ 1,
+        // so max_pd matches std::max exactly here.
+        const __m256d root = _mm256_sqrt_pd(
+            _mm256_max_pd(_mm256_sub_pd(one, _mm256_mul_pd(d, d)), zero));
+        const __m256d wy = atan2_lanes(im, re);
+        const __m256d wt = atan2_lanes(_mm256_mul_pd(bv, root),
+                                       _mm256_add_pd(av, _mm256_mul_pd(bv, d)));
+        const __m256d wp = atan2_lanes(_mm256_mul_pd(av, root),
+                                       _mm256_add_pd(bv, _mm256_mul_pd(av, d)));
+        _mm256_storeu_pd(theta_plus + i, wrap_lanes(_mm256_add_pd(wy, wt)));
+        _mm256_storeu_pd(theta_minus + i, wrap_lanes(_mm256_sub_pd(wy, wt)));
+        _mm256_storeu_pd(phi_minus + i, wrap_lanes(_mm256_sub_pd(wy, wp)));
+        _mm256_storeu_pd(phi_plus + i, wrap_lanes(_mm256_add_pd(wy, wp)));
+    }
+}
+
+void anc_select_batch_avx2(const double* theta_plus, const double* theta_minus,
+                           const double* phi_minus, const double* phi_plus,
+                           const double* known_diffs, std::size_t transitions,
+                           double* phi_out, double* error_out)
+{
+    for (std::size_t n = 0; n < transitions; n += 4) {
+        const __m256d tp0 = _mm256_loadu_pd(theta_plus + n);
+        const __m256d tp1 = _mm256_loadu_pd(theta_plus + n + 1);
+        const __m256d tm0 = _mm256_loadu_pd(theta_minus + n);
+        const __m256d tm1 = _mm256_loadu_pd(theta_minus + n + 1);
+        const __m256d pm0 = _mm256_loadu_pd(phi_minus + n);
+        const __m256d pm1 = _mm256_loadu_pd(phi_minus + n + 1);
+        const __m256d pp0 = _mm256_loadu_pd(phi_plus + n);
+        const __m256d pp1 = _mm256_loadu_pd(phi_plus + n + 1);
+        const __m256d known = _mm256_loadu_pd(known_diffs + n);
+        // scalar: error_of = |wrap(wrap(next - cur) - known)|.
+        const auto error_of = [&](__m256d next, __m256d cur) {
+            return abs_pd(
+                wrap_lanes(_mm256_sub_pd(wrap_lanes(_mm256_sub_pd(next, cur)),
+                                         known)));
+        };
+        const __m256d e00 = error_of(tp1, tp0);
+        const __m256d e01 = error_of(tp1, tm0);
+        const __m256d e10 = error_of(tm1, tp0);
+        const __m256d e11 = error_of(tm1, tm0);
+        const __m256d p00 = wrap_lanes(_mm256_sub_pd(pm1, pm0));
+        const __m256d p01 = wrap_lanes(_mm256_sub_pd(pm1, pp0));
+        const __m256d p10 = wrap_lanes(_mm256_sub_pd(pp1, pm0));
+        const __m256d p11 = wrap_lanes(_mm256_sub_pd(pp1, pp0));
+        // scalar: strict-< selects, earliest minimum wins ties.
+        const __m256d b01 = _mm256_cmp_pd(e01, e00, _CMP_LT_OQ);
+        const __m256d ea = _mm256_blendv_pd(e00, e01, b01);
+        const __m256d pa = _mm256_blendv_pd(p00, p01, b01);
+        const __m256d b11 = _mm256_cmp_pd(e11, e10, _CMP_LT_OQ);
+        const __m256d eb = _mm256_blendv_pd(e10, e11, b11);
+        const __m256d pb = _mm256_blendv_pd(p10, p11, b11);
+        const __m256d bb = _mm256_cmp_pd(eb, ea, _CMP_LT_OQ);
+        _mm256_storeu_pd(phi_out + n, _mm256_blendv_pd(pa, pb, bb));
+        _mm256_storeu_pd(error_out + n, _mm256_blendv_pd(ea, eb, bb));
+    }
+}
+
+void diff_arg_batch_avx2(const double* interleaved_samples, std::size_t transitions,
+                         double* out)
+{
+    for (std::size_t n = 0; n < transitions; n += 4) {
+        __m256d ar;
+        __m256d ai;
+        __m256d br;
+        __m256d bi;
+        deinterleave_pd(interleaved_samples + 2 * n, ar, ai);
+        deinterleave_pd(interleaved_samples + 2 * n + 2, br, bi);
+        // scalar: im = br * -ai + bi * ar; re = br * ar - bi * -ai.
+        const __m256d nai = neg_pd(ai);
+        const __m256d im_p =
+            _mm256_add_pd(_mm256_mul_pd(br, nai), _mm256_mul_pd(bi, ar));
+        const __m256d re_p =
+            _mm256_sub_pd(_mm256_mul_pd(br, ar), _mm256_mul_pd(bi, nai));
+        _mm256_storeu_pd(out + n, atan2_lanes(im_p, re_p));
+    }
+}
+
+void counter_normal_fill_avx2(std::uint64_t key_a, std::uint64_t key_b,
+                              std::uint64_t first_counter, double* out,
+                              std::size_t count)
+{
+    // Four counters -> four (z0, z1) pairs -> eight output doubles per
+    // step.  Counter words advance additively (key + c·inc is linear in
+    // c mod 2^64), so each lane's word matches the scalar fill exactly.
+    __m256i a_words = lane_counters(key_a + first_counter * counter_inc_a,
+                                    counter_inc_a);
+    __m256i b_words = lane_counters(key_b + first_counter * counter_inc_b,
+                                    counter_inc_b);
+    const __m256i step_a = _mm256_set1_epi64x(static_cast<long long>(4 * counter_inc_a));
+    const __m256i step_b = _mm256_set1_epi64x(static_cast<long long>(4 * counter_inc_b));
+    for (std::size_t i = 0; i < count; i += 8) {
+        __m256d pairs0;
+        __m256d pairs1;
+        counter_normal_step(a_words, b_words, pairs0, pairs1);
+        _mm256_storeu_pd(out + i, pairs0);
+        _mm256_storeu_pd(out + i + 4, pairs1);
+        a_words = _mm256_add_epi64(a_words, step_a);
+        b_words = _mm256_add_epi64(b_words, step_b);
+    }
+}
+
+void counter_normal_add_scaled_avx2(std::uint64_t key_a, std::uint64_t key_b,
+                                    std::uint64_t first_counter, double scale,
+                                    double* inout, std::size_t count)
+{
+    __m256i a_words = lane_counters(key_a + first_counter * counter_inc_a,
+                                    counter_inc_a);
+    __m256i b_words = lane_counters(key_b + first_counter * counter_inc_b,
+                                    counter_inc_b);
+    const __m256i step_a = _mm256_set1_epi64x(static_cast<long long>(4 * counter_inc_a));
+    const __m256i step_b = _mm256_set1_epi64x(static_cast<long long>(4 * counter_inc_b));
+    const __m256d scale_v = _mm256_set1_pd(scale);
+    for (std::size_t i = 0; i < count; i += 8) {
+        __m256d pairs0;
+        __m256d pairs1;
+        counter_normal_step(a_words, b_words, pairs0, pairs1);
+        // scalar: inout[i] += scale * z — multiply then add, no FMA.
+        _mm256_storeu_pd(inout + i,
+                         _mm256_add_pd(_mm256_loadu_pd(inout + i),
+                                       _mm256_mul_pd(scale_v, pairs0)));
+        _mm256_storeu_pd(inout + i + 4,
+                         _mm256_add_pd(_mm256_loadu_pd(inout + i + 4),
+                                       _mm256_mul_pd(scale_v, pairs1)));
+        a_words = _mm256_add_epi64(a_words, step_a);
+        b_words = _mm256_add_epi64(b_words, step_b);
+    }
+}
+
+} // namespace anc::simd::detail
+
+#else // non-x86: the dispatchers never take the avx2 branch (CPUID
+      // reports no AVX2), but the symbols must exist to link.
+
+#include <cstdlib>
+
+namespace anc::simd::detail {
+
+namespace {
+[[noreturn]] void unreachable_backend()
+{
+    std::abort(); // resolve_backend() forbids avx2 without CPUID support
+}
+} // namespace
+
+void atan2_batch_avx2(const double*, const double*, double*, std::size_t)
+{
+    unreachable_backend();
+}
+void sincos_batch_avx2(const double*, double*, double*, std::size_t)
+{
+    unreachable_backend();
+}
+void log_batch_avx2(const double*, double*, std::size_t)
+{
+    unreachable_backend();
+}
+void polar_batch_avx2(const double*, double, double*, std::size_t)
+{
+    unreachable_backend();
+}
+void anc_candidates_batch_avx2(const double*, std::size_t, double, double, double*,
+                               double*, double*, double*)
+{
+    unreachable_backend();
+}
+void anc_select_batch_avx2(const double*, const double*, const double*,
+                           const double*, const double*, std::size_t, double*,
+                           double*)
+{
+    unreachable_backend();
+}
+void diff_arg_batch_avx2(const double*, std::size_t, double*)
+{
+    unreachable_backend();
+}
+void counter_normal_fill_avx2(std::uint64_t, std::uint64_t, std::uint64_t, double*,
+                              std::size_t)
+{
+    unreachable_backend();
+}
+void counter_normal_add_scaled_avx2(std::uint64_t, std::uint64_t, std::uint64_t,
+                                    double, double*, std::size_t)
+{
+    unreachable_backend();
+}
+
+} // namespace anc::simd::detail
+
+#endif

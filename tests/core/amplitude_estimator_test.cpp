@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <optional>
+
 #include "channel/awgn.h"
+#include "dsp/energy_scan.h"
 #include "channel/link.h"
 #include "dsp/msk.h"
 #include "dsp/ops.h"
@@ -189,6 +195,66 @@ TEST(AmplitudeEstimator, SirSweepStaysAccurate)
         const double lo = std::min(1.0, b);
         EXPECT_NEAR(estimate->a, hi, 0.12) << "b=" << b;
         EXPECT_NEAR(estimate->b, lo, 0.12) << "b=" << b;
+    }
+}
+
+TEST(AmplitudeEstimator, BranchlessAccumulationIsByteIdentical)
+{
+    // The §6.2 window statistics were rewritten with a branchless
+    // above-mean accumulation (the old data-driven branch mispredicted
+    // every other sample).  Adding a masked +0.0 to a non-negative
+    // partial sum is the IEEE identity, so the estimates must equal the
+    // historical branchy transcription below bit for bit.
+    const auto reference_estimate =
+        [](dsp::Signal_view overlap,
+           double noise) -> std::optional<Amplitude_estimate> {
+        const std::vector<double> e = dsp::sample_energies(overlap);
+        double sum = 0.0;
+        for (const double v : e)
+            sum += v;
+        const double mu_raw = sum / static_cast<double>(e.size());
+        double above = 0.0;
+        for (const double v : e) {
+            if (v > mu_raw)
+                above += v;
+        }
+        const double sigma_raw = 2.0 * above / static_cast<double>(e.size());
+        const double mu = mu_raw - noise;
+        const double sigma = sigma_raw - noise;
+        if (mu <= 0.0)
+            return std::nullopt;
+        const double product = std::max(std::numbers::pi * (sigma - mu) / 4.0, 0.0);
+        double discriminant = mu * mu - 4.0 * product * product;
+        if (discriminant < 0.0)
+            discriminant = 0.0;
+        const double root = std::sqrt(discriminant);
+        const double a2 = (mu + root) / 2.0;
+        const double b2 = (mu - root) / 2.0;
+        if (b2 < 0.0)
+            return std::nullopt;
+        Amplitude_estimate estimate;
+        estimate.a = std::sqrt(a2);
+        estimate.b = std::sqrt(b2);
+        estimate.mu = mu;
+        estimate.sigma = sigma;
+        if (estimate.a <= 0.0 || estimate.b <= 0.0)
+            return std::nullopt;
+        return estimate;
+    };
+
+    for (const std::uint64_t seed : {601ull, 602ull, 603ull, 604ull}) {
+        const double noise = seed % 2 ? 0.01 : 0.0;
+        const dsp::Signal mix = make_mix(1.0, 0.85, 3000, seed, noise);
+        const auto actual = estimate_amplitudes(mix, noise);
+        const auto expected = reference_estimate(mix, noise);
+        ASSERT_EQ(actual.has_value(), expected.has_value()) << "seed " << seed;
+        if (actual) {
+            // Exact ==: the serial sum chain's value must be unchanged.
+            EXPECT_EQ(actual->a, expected->a) << "seed " << seed;
+            EXPECT_EQ(actual->b, expected->b) << "seed " << seed;
+            EXPECT_EQ(actual->mu, expected->mu) << "seed " << seed;
+            EXPECT_EQ(actual->sigma, expected->sigma) << "seed " << seed;
+        }
     }
 }
 

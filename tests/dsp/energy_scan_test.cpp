@@ -90,5 +90,62 @@ TEST(EnergyScan, DetectsEnergyStep)
     EXPECT_NEAR(scan.window_mean.back(), 4.0, 1e-12);
 }
 
+/// Reference transcription of the historical fused scan loop (the exact
+/// FP operation sequence every profile's results were captured under).
+/// The production kernel was rewritten into a split, auto-vectorizable
+/// form; this pins the rewrite to the original byte for byte.
+Energy_scan reference_scan(Signal_view signal, std::size_t window)
+{
+    Energy_scan scan;
+    scan.window = window;
+    if (signal.size() < window)
+        return scan;
+    const std::vector<double> e = sample_energies(signal);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < window; ++i) {
+        sum += e[i];
+        sum_sq += e[i] * e[i];
+    }
+    const auto w = static_cast<double>(window);
+    for (std::size_t start = 0;; ++start) {
+        const double mean = sum / w;
+        double variance = sum_sq / w - mean * mean;
+        if (variance < 0.0)
+            variance = 0.0;
+        scan.window_mean.push_back(mean);
+        scan.window_variance.push_back(variance);
+        if (start + window >= e.size())
+            break;
+        sum += e[start + window] - e[start];
+        sum_sq += e[start + window] * e[start + window] - e[start] * e[start];
+    }
+    return scan;
+}
+
+TEST(EnergyScan, RewrittenScanIsByteIdenticalToHistoricalLoop)
+{
+    Pcg32 rng{777, 13};
+    for (const std::size_t count : {std::size_t{1}, std::size_t{5}, std::size_t{16},
+                                    std::size_t{64}, std::size_t{257},
+                                    std::size_t{1024}}) {
+        Signal signal;
+        signal.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            signal.push_back(Sample{rng.next_gaussian(), rng.next_gaussian()});
+        for (const std::size_t window : {std::size_t{1}, std::size_t{2},
+                                         std::size_t{7}, std::size_t{16}, count}) {
+            const Energy_scan expected = reference_scan(signal, window);
+            const Energy_scan actual = scan_energy(signal, window);
+            // operator== on vector<double> is exact — any reassociation
+            // or changed rounding in the rewrite fails here.
+            EXPECT_EQ(actual.window_mean, expected.window_mean)
+                << count << " samples, window " << window;
+            EXPECT_EQ(actual.window_variance, expected.window_variance)
+                << count << " samples, window " << window;
+        }
+    }
+}
+
 } // namespace
 } // namespace anc::dsp

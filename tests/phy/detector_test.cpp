@@ -2,11 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
 #include "channel/awgn.h"
 #include "channel/link.h"
+#include "dsp/energy_scan.h"
 #include "dsp/msk.h"
 #include "dsp/ops.h"
 #include "util/bits.h"
+#include "util/db.h"
 #include "util/rng.h"
 
 namespace anc::phy {
@@ -149,6 +155,152 @@ TEST(InterferenceDetector, PeakRatioReported)
     const Interference_detector detector{noise_power};
     const Interference_report report = detector.analyze(mix);
     EXPECT_GT(report.peak_ratio_db, 10.0);
+}
+
+// ------------------------------------------------------- byte identity
+// The detector scans were rewritten into block-vectorizable forms (the
+// packet detector's threshold search, the interference analyzer's
+// hoisted ratio pass).  These references transcribe the historical
+// sequential loops; the rewritten detectors must agree on every field,
+// byte for byte, across clean, collided, drifting, and noise-only
+// inputs.
+
+std::optional<Packet_bounds> reference_detect(dsp::Signal_view signal,
+                                              double noise_power_value,
+                                              Packet_detector::Config config)
+{
+    if (signal.size() < config.window)
+        return std::nullopt;
+    const dsp::Energy_scan scan = dsp::scan_energy(signal, config.window);
+    const std::vector<double>& mean = scan.window_mean;
+    const double threshold = noise_power_value * from_db(config.energy_threshold_db);
+    std::size_t first = mean.size();
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+        if (mean[i] > threshold) {
+            first = i;
+            break;
+        }
+    }
+    if (first == mean.size())
+        return std::nullopt;
+    std::size_t last = first;
+    for (std::size_t i = mean.size(); i-- > first;) {
+        if (mean[i] > threshold) {
+            last = i;
+            break;
+        }
+    }
+    Packet_bounds bounds;
+    bounds.begin = first;
+    bounds.end = std::min(last + config.window, signal.size());
+    return bounds;
+}
+
+Interference_report reference_analyze(dsp::Signal_view packet,
+                                      double noise_power_value,
+                                      Interference_detector::Config config)
+{
+    Interference_report report;
+    if (packet.size() < config.window)
+        return report;
+    const dsp::Energy_scan scan = dsp::scan_energy(packet, config.window);
+    const std::vector<double>& mean = scan.window_mean;
+    const std::vector<double>& variance = scan.window_variance;
+    const double threshold = from_db(config.variance_threshold_db);
+    const double sigma2 = noise_power_value;
+    std::size_t run = 0;
+    std::size_t run_start = 0;
+    std::size_t first_begin = 0;
+    std::size_t last_end = 0;
+    bool found = false;
+    double peak_ratio = 1e-12;
+    for (std::size_t i = 0; i < variance.size(); ++i) {
+        const double signal_power = std::max(mean[i] - sigma2, 1e-12);
+        const double clean_variance = 2.0 * signal_power * sigma2 + sigma2 * sigma2;
+        const double ratio = variance[i] / clean_variance;
+        peak_ratio = std::max(peak_ratio, ratio);
+        if (ratio > threshold) {
+            if (run == 0)
+                run_start = i;
+            ++run;
+            if (run >= config.min_run) {
+                if (!found) {
+                    first_begin = run_start;
+                    found = true;
+                }
+                last_end = i + 1;
+            }
+        } else {
+            run = 0;
+        }
+    }
+    report.peak_ratio_db = std::max(0.0, to_db(peak_ratio));
+    if (found) {
+        report.interfered = true;
+        report.overlap_begin = first_begin;
+        report.overlap_end = std::min(last_end + config.window, packet.size());
+    }
+    return report;
+}
+
+std::vector<dsp::Signal> identity_workloads()
+{
+    std::vector<dsp::Signal> workloads;
+    // Clean burst with silent head/tail (exercises both edge scans).
+    {
+        dsp::Signal stream(137, dsp::Sample{0.0, 0.0});
+        dsp::accumulate(stream, msk_burst(500, 901), 137);
+        stream.resize(stream.size() + 93, dsp::Sample{0.0, 0.0});
+        workloads.push_back(noisy(std::move(stream), 902));
+    }
+    // Collision with drift dips (the envelope-merge path).
+    {
+        dsp::Signal mix = msk_burst(900, 903);
+        chan::Link_params drift;
+        drift.phase = 0.7;
+        drift.phase_drift = 0.004;
+        dsp::accumulate(mix,
+                        chan::Link_channel{drift}.apply(msk_burst(900, 904, 0.9)),
+                        150);
+        workloads.push_back(noisy(std::move(mix), 905));
+    }
+    // Pure noise (no packet at all; detect must agree on nullopt).
+    workloads.push_back(noisy(dsp::Signal(700, dsp::Sample{0.0, 0.0}), 906));
+    // Weak burst straddling the threshold.
+    workloads.push_back(noisy(msk_burst(300, 907, 0.25), 908));
+    return workloads;
+}
+
+TEST(PacketDetector, BlockScanIsByteIdenticalToSequentialScan)
+{
+    const Packet_detector::Config config;
+    const Packet_detector detector{noise_power, config};
+    for (const dsp::Signal& stream : identity_workloads()) {
+        const auto actual = detector.detect(stream);
+        const auto expected = reference_detect(stream, noise_power, config);
+        ASSERT_EQ(actual.has_value(), expected.has_value());
+        if (actual) {
+            EXPECT_EQ(actual->begin, expected->begin);
+            EXPECT_EQ(actual->end, expected->end);
+        }
+    }
+}
+
+TEST(InterferenceDetector, HoistedRatioPassIsByteIdenticalToFusedLoop)
+{
+    const Interference_detector::Config config;
+    const Interference_detector detector{noise_power, config};
+    for (const dsp::Signal& packet : identity_workloads()) {
+        const Interference_report actual = detector.analyze(packet);
+        const Interference_report expected =
+            reference_analyze(packet, noise_power, config);
+        EXPECT_EQ(actual.interfered, expected.interfered);
+        EXPECT_EQ(actual.overlap_begin, expected.overlap_begin);
+        EXPECT_EQ(actual.overlap_end, expected.overlap_end);
+        // Exact ==, not NEAR: the ratio arithmetic per window and the
+        // max reduction must be bit-preserved by the rewrite.
+        EXPECT_EQ(actual.peak_ratio_db, expected.peak_ratio_db);
+    }
 }
 
 } // namespace
