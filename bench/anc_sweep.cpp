@@ -13,11 +13,19 @@
 // (exact,fast) and "all".
 //
 // Output: the aggregate table on stdout (unless --quiet), plus --json /
-// --csv artifacts in the engine's anc.sweep.v3 schemas.  The
+// --csv artifacts in the engine's anc.sweep.v3 schemas and the
+// --metrics-json run manifest (anc.metrics.v1, OBSERVABILITY.md).  The
 // ANC_ENGINE_JSON / ANC_ENGINE_CSV environment emitters keep working —
 // the flags are additive, not a replacement.  Deterministic in
-// (--seed, grid): identical results at any --threads value.
+// (--seed, grid): identical results at any --threads value, with or
+// without telemetry.
+//
+// When stderr is a TTY and --quiet is not given, a single-line progress
+// display (tasks done/total, rate, ETA) updates in place during the run
+// — the reference consumer of Executor_config::on_progress, throttled
+// here (the executor calls the hook once per finished task).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +33,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "engine/engine.h"
 
@@ -61,7 +71,9 @@ int usage(const char* argv0, const char* error = nullptr)
         "  --json PATH            write the full anc.sweep.v3 JSON document\n"
         "  --csv PATH             write the aggregate CSV\n"
         "  --tasks-csv PATH       write the per-task CSV\n"
-        "  --quiet                suppress the stdout table\n"
+        "  --metrics-json PATH    collect telemetry, write the anc.metrics.v1\n"
+        "                         run manifest (stage timings, counters, ...)\n"
+        "  --quiet                suppress the stdout table and progress line\n"
         "  --list-scenarios       print registered scenarios and exit\n",
         argv0);
     return error == nullptr ? 0 : 2;
@@ -144,6 +156,36 @@ std::vector<dsp::Math_profile> parse_profiles(const std::string& text)
     return profiles;
 }
 
+/// The stderr progress line: "\r  123/4096 tasks  41.0/s  ETA 97s".
+/// The executor invokes on_progress once per finished task (serialized,
+/// never concurrently); the line throttles itself to ~10 redraws per
+/// second so terminal I/O never becomes the sweep's bottleneck, and
+/// always draws the final task so the line ends at 100%.
+class Progress_line {
+public:
+    void operator()(std::size_t done, std::size_t total)
+    {
+        const auto now = clock::now();
+        if (done != total && drawn_ && now - last_draw_ < std::chrono::milliseconds{100})
+            return;
+        drawn_ = true;
+        last_draw_ = now;
+        const double elapsed = std::chrono::duration<double>(now - start_).count();
+        const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+        const double eta = rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
+        std::fprintf(stderr, "\r%6zu/%zu tasks  %6.1f/s  ETA %5.0fs ", done, total,
+                     rate, eta);
+        if (done == total)
+            std::fputc('\n', stderr);
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_ = clock::now();
+    clock::time_point last_draw_{};
+    bool drawn_ = false;
+};
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -154,6 +196,7 @@ int main(int argc, char** argv)
     std::string json_path;
     std::string csv_path;
     std::string tasks_csv_path;
+    std::string metrics_json_path;
     bool quiet = false;
 
     try {
@@ -200,6 +243,8 @@ int main(int argc, char** argv)
                 csv_path = value();
             else if (arg == "--tasks-csv")
                 tasks_csv_path = value();
+            else if (arg == "--metrics-json")
+                metrics_json_path = value();
             else if (arg == "--quiet")
                 quiet = true;
             else if (arg == "--list-scenarios") {
@@ -215,6 +260,15 @@ int main(int argc, char** argv)
         }
         if (grid.scenarios.empty())
             return usage(argv[0], "at least one --scenario is required");
+
+        obs::Sweep_telemetry telemetry;
+        if (!metrics_json_path.empty())
+            config.telemetry = &telemetry;
+        Progress_line progress;
+        if (!quiet && isatty(fileno(stderr)))
+            config.on_progress = [&progress](std::size_t done, std::size_t total) {
+                progress(done, total);
+            };
 
         const engine::Sweep_outcome outcome = engine::run_grid(grid, config);
 
@@ -237,6 +291,13 @@ int main(int argc, char** argv)
         if (!tasks_csv_path.empty())
             write_file(tasks_csv_path, [&](std::ostream& out) {
                 engine::write_tasks_csv(out, outcome.tasks);
+            });
+        if (!metrics_json_path.empty())
+            write_file(metrics_json_path, [&](std::ostream& out) {
+                engine::write_metrics_json(
+                    out, {.driver = "anc_sweep", .base_seed = config.base_seed}, grid,
+                    telemetry, outcome.tasks);
+                out << "\n";
             });
     } catch (const std::exception& error) {
         return usage(argv[0], error.what());

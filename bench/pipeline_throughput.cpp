@@ -42,10 +42,25 @@
 // convention behind the committed BENCH_dsp.json trajectory snapshots
 // (PERF.md "Perf trajectory").
 //
+// --check-trajectory PATH (repeatable) validates trajectory snapshots
+// instead of benching: each file must carry the anc.bench.dsp.v1 schema,
+// a "pr" stamp, a workload echo, and well-formed stage entries (every
+// samples_per_sec positive), and across multiple files — given in
+// chronological order — the pr numbers must be strictly increasing.
+// Run by CI on the committed BENCH_dsp.json so the trajectory cannot
+// silently rot.
+//
+// The `alice_bob_exchange_telemetry` stage is the exact-profile exchange
+// with an obs::Recorder bound (full counter + stage-timer collection,
+// OBSERVABILITY.md) — its gap to `alice_bob_exchange` is the telemetry
+// overhead, printed always and gated by --max-telemetry-overhead PCT.
+//
 // Usage: pipeline_throughput [--json PATH] [--baseline PATH]
 //                            [--min-ratio R] [--normalize] [--quick]
 //                            [--min-fast-gain R] [--min-simd-gain R]
+//                            [--max-telemetry-overhead PCT]
 //                            [--stages a,b,c] [--pr N]
+//                            [--check-trajectory PATH]...
 
 #include <algorithm>
 #include <atomic>
@@ -71,6 +86,7 @@
 #include "sim/alice_bob.h"
 #include "util/bits.h"
 #include "util/cpu_features.h"
+#include "util/obs.h"
 #include "util/rng.h"
 #include "util/simd.h"
 
@@ -372,6 +388,32 @@ Stage_result bench_exchange(double min_seconds, bool quick, dsp::Math_profile pr
     });
 }
 
+Stage_result bench_exchange_telemetry(double min_seconds, bool quick)
+{
+    // The exact-profile exchange with full telemetry collection bound,
+    // exactly as the executor binds it per worker.  The rate gap to
+    // `alice_bob_exchange` is the end-to-end overhead of the obs layer
+    // (OBSERVABILITY.md "Overhead"), gated by --max-telemetry-overhead.
+    sim::Alice_bob_config config;
+    config.payload_bits = 2048;
+    config.exchanges = quick ? 2 : 4;
+    config.snr_db = bench_snr_db;
+    config.math_profile = dsp::Math_profile::exact;
+    config.seed = 12345;
+
+    const sim::Alice_bob_result probe = sim::run_alice_bob_anc(config);
+    const auto samples = static_cast<std::uint64_t>(probe.metrics.airtime_symbols);
+
+    obs::Recorder recorder;
+    const obs::Recorder::Bind bind{recorder};
+    return time_stage("alice_bob_exchange_telemetry", samples, 1, min_seconds, [&] {
+        recorder.begin_task();
+        const sim::Alice_bob_result result = sim::run_alice_bob_anc(config);
+        if (result.metrics.packets_delivered == 0)
+            std::fprintf(stderr, "warning: exchange delivered nothing\n");
+    });
+}
+
 // ----------------------------------------------------------------- JSON
 
 void write_json(std::ostream& out, const std::vector<Stage_result>& stages,
@@ -413,6 +455,75 @@ bool baseline_rate(const std::string& text, const std::string& stage, double& ra
     return rate > 0.0;
 }
 
+// ----------------------------------------------------- trajectory check
+
+/// Validate one anc.bench.dsp.v1 snapshot: schema, "pr" stamp, workload
+/// echo, and well-formed stage entries (every samples_per_sec positive).
+/// Uses the same string-search approach as baseline_rate — the documents
+/// are machine-written by write_json, not arbitrary JSON.
+bool check_snapshot(const std::string& path, const std::string& text, long& pr_out)
+{
+    const auto fail = [&](const char* what) {
+        std::fprintf(stderr, "error: %s: %s\n", path.c_str(), what);
+        return false;
+    };
+    if (text.find("\"schema\": \"anc.bench.dsp.v1\"") == std::string::npos)
+        return fail("missing or wrong \"schema\" (want anc.bench.dsp.v1)");
+    const std::string pr_key = "\"pr\": ";
+    const std::size_t pr_at = text.find(pr_key);
+    if (pr_at == std::string::npos)
+        return fail("missing \"pr\" stamp (write snapshots with --pr N)");
+    pr_out = std::strtol(text.c_str() + pr_at + pr_key.size(), nullptr, 10);
+    if (pr_out <= 0)
+        return fail("\"pr\" stamp must be a positive integer");
+    if (text.find("\"workload\":") == std::string::npos)
+        return fail("missing \"workload\" echo");
+    if (text.find("\"stages\":") == std::string::npos)
+        return fail("missing \"stages\" object");
+
+    const std::string rate_key = "\"samples_per_sec\": ";
+    std::size_t stage_count = 0;
+    for (std::size_t at = text.find(rate_key); at != std::string::npos;
+         at = text.find(rate_key, at + rate_key.size())) {
+        const double rate = std::strtod(text.c_str() + at + rate_key.size(), nullptr);
+        if (!(rate > 0.0))
+            return fail("a stage has a non-positive samples_per_sec");
+        ++stage_count;
+    }
+    if (stage_count == 0)
+        return fail("no stage entries found");
+    std::printf("ok: %s (pr %ld, %zu stages)\n", path.c_str(), pr_out, stage_count);
+    return true;
+}
+
+/// --check-trajectory driver: every file valid, pr strictly increasing
+/// across the files in the order given.
+int check_trajectory(const std::vector<std::string>& paths)
+{
+    long previous_pr = 0;
+    for (const std::string& path : paths) {
+        std::ifstream in{path};
+        if (!in) {
+            std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+            return 1;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        long pr = 0;
+        if (!check_snapshot(path, buffer.str(), pr))
+            return 1;
+        if (pr <= previous_pr) {
+            std::fprintf(stderr,
+                         "error: %s: pr %ld not greater than preceding snapshot's %ld "
+                         "(trajectory must be chronological)\n",
+                         path.c_str(), pr, previous_pr);
+            return 1;
+        }
+        previous_pr = pr;
+    }
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -420,9 +531,11 @@ int main(int argc, char** argv)
     std::string json_path;
     std::string baseline_path;
     std::string stage_filter;
+    std::vector<std::string> trajectory_paths;
     double min_ratio = 0.75;
     double min_fast_gain = 0.0;
     double min_simd_gain = 0.0;
+    double max_telemetry_overhead = 0.0;
     long pr_number = -1;
     bool normalize = false;
     bool quick = false;
@@ -439,10 +552,14 @@ int main(int argc, char** argv)
             min_fast_gain = std::strtod(argv[++i], nullptr);
         else if (arg == "--min-simd-gain" && i + 1 < argc)
             min_simd_gain = std::strtod(argv[++i], nullptr);
+        else if (arg == "--max-telemetry-overhead" && i + 1 < argc)
+            max_telemetry_overhead = std::strtod(argv[++i], nullptr);
         else if (arg == "--stages" && i + 1 < argc)
             stage_filter = argv[++i];
         else if (arg == "--pr" && i + 1 < argc)
             pr_number = std::strtol(argv[++i], nullptr, 10);
+        else if (arg == "--check-trajectory" && i + 1 < argc)
+            trajectory_paths.push_back(argv[++i]);
         else if (arg == "--normalize")
             normalize = true;
         else if (arg == "--quick")
@@ -452,11 +569,17 @@ int main(int argc, char** argv)
                          "usage: %s [--json PATH] [--baseline PATH] "
                          "[--min-ratio R] [--normalize] [--quick] "
                          "[--min-fast-gain R] [--min-simd-gain R] "
-                         "[--stages a,b,c] [--pr N]\n",
+                         "[--max-telemetry-overhead PCT] "
+                         "[--stages a,b,c] [--pr N] "
+                         "[--check-trajectory PATH]...\n",
                          argv[0]);
             return 2;
         }
     }
+
+    // Validation mode: check the snapshot files and exit — no benching.
+    if (!trajectory_paths.empty())
+        return check_trajectory(trajectory_paths);
 
     const double min_seconds = quick ? 0.1 : 0.5;
 
@@ -493,6 +616,8 @@ int main(int argc, char** argv)
          [](double s, bool q) { return bench_exchange(s, q, fast); }},
         {"alice_bob_exchange_simd",
          [](double s, bool q) { return bench_exchange(s, q, simd); }},
+        {"alice_bob_exchange_telemetry",
+         [](double s, bool q) { return bench_exchange_telemetry(s, q); }},
     };
 
     std::vector<std::string> wanted;
@@ -608,6 +733,23 @@ int main(int argc, char** argv)
                                  gain, min_simd_gain);
                     gain_failed = true;
                 }
+            }
+        }
+
+        // Telemetry overhead: how much the fully-instrumented exchange
+        // trails the plain one.  Negative readings are measurement noise
+        // (the instrumented run happened to win a window) — report 0.
+        const double telemetry_e2e = e2e_rate("alice_bob_exchange_telemetry");
+        if (exact_e2e > 0.0 && telemetry_e2e > 0.0) {
+            const double overhead_pct =
+                std::max(0.0, (1.0 - telemetry_e2e / exact_e2e) * 100.0);
+            std::printf("telemetry e2e overhead: %.2f%% (%.0f -> %.0f samples/s)\n",
+                        overhead_pct, exact_e2e, telemetry_e2e);
+            if (max_telemetry_overhead > 0.0 && overhead_pct > max_telemetry_overhead) {
+                std::fprintf(stderr,
+                             "error: telemetry overhead %.2f%% above allowed %.2f%%\n",
+                             overhead_pct, max_telemetry_overhead);
+                gain_failed = true;
             }
         }
     }

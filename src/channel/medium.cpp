@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/ops.h"
+#include "util/obs.h"
 
 namespace anc::chan {
 
@@ -32,9 +33,12 @@ const Link_channel& Medium::link(Node_id from, Node_id to) const
 
 std::optional<double> Medium::detection_threshold_db(Node_id from, Node_id to) const
 {
+    obs::count(obs::Counter::agc_lookups);
     const auto it = links_.find({from, to});
     if (it == links_.end())
         return std::nullopt;
+    if (it->second.params().detection_threshold_db)
+        obs::count(obs::Counter::agc_overrides);
     return it->second.params().detection_threshold_db;
 }
 
@@ -80,6 +84,7 @@ void Medium::receive_into(Node_id receiver,
                           std::size_t trailing_noise,
                           dsp::Signal& out)
 {
+    const obs::Stage_timer timer{obs::Stage::channel};
     out.clear();
     for (const Transmission& tx : transmissions) {
         if (tx.from == receiver)

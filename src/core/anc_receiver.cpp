@@ -10,10 +10,46 @@
 #include "dsp/workspace.h"
 #include "phy/frame.h"
 #include "phy/pilot.h"
+#include "util/obs.h"
 
 namespace anc {
 
 namespace {
+
+/// Telemetry tally of a finished receive(): one outcome counter, plus the
+/// decode-failure reason when the interference path gave up.
+void count_outcome(const Receive_outcome& outcome)
+{
+    if (!obs::enabled())
+        return;
+    switch (outcome.status) {
+    case Receive_status::no_packet: obs::count(obs::Counter::rx_no_packet); break;
+    case Receive_status::clean: obs::count(obs::Counter::rx_clean); break;
+    case Receive_status::decoded_interference:
+        obs::count(obs::Counter::rx_decoded_interference);
+        break;
+    case Receive_status::forward_candidate:
+        obs::count(obs::Counter::rx_forward_candidate);
+        break;
+    case Receive_status::failed: obs::count(obs::Counter::rx_failed); break;
+    }
+    switch (outcome.diag.failure) {
+    case Decode_failure::none: break;
+    case Decode_failure::no_known_header:
+        obs::count(obs::Counter::rx_fail_no_known_header);
+        break;
+    case Decode_failure::no_overlap: obs::count(obs::Counter::rx_fail_no_overlap); break;
+    case Decode_failure::no_amplitudes:
+        obs::count(obs::Counter::rx_fail_no_amplitudes);
+        break;
+    case Decode_failure::no_unknown_pilot:
+        obs::count(obs::Counter::rx_fail_no_unknown_pilot);
+        break;
+    case Decode_failure::bad_unknown_frame:
+        obs::count(obs::Counter::rx_fail_bad_unknown_frame);
+        break;
+    }
+}
 
 /// Decode the 64 header bits that follow a pilot found at `pilot_pos`.
 std::optional<phy::Frame_header> header_after_pilot(const Bits& bits, std::size_t pilot_pos)
@@ -92,8 +128,10 @@ Receive_outcome Anc_receiver::receive(dsp::Signal_view stream,
     Receive_outcome outcome;
 
     const auto bounds = packet_detector_.detect(stream);
-    if (!bounds)
-        return outcome; // status stays no_packet
+    if (!bounds) {
+        count_outcome(outcome); // status stays no_packet
+        return outcome;
+    }
 
     const dsp::Signal_view packet = dsp::slice_view(stream, bounds->begin, bounds->end);
     const phy::Interference_report report = interference_detector_.analyze(packet);
@@ -106,6 +144,7 @@ Receive_outcome Anc_receiver::receive(dsp::Signal_view stream,
         } else {
             outcome.status = Receive_status::failed;
         }
+        count_outcome(outcome);
         return outcome;
     }
 
@@ -154,17 +193,20 @@ Receive_outcome Anc_receiver::receive(dsp::Signal_view stream,
         if (const auto captured = modem_.receive_bits(*forward_bits)) {
             outcome.status = Receive_status::clean;
             outcome.frame = captured;
+            count_outcome(outcome);
             return outcome;
         }
         outcome.diag.failure = Decode_failure::no_known_header;
         outcome.status = (outcome.diag.first_header && outcome.diag.second_header)
                              ? Receive_status::forward_candidate
                              : Receive_status::failed;
+        count_outcome(outcome);
         return outcome;
     }
 
     outcome.status = outcome.frame ? Receive_status::decoded_interference
                                    : Receive_status::failed;
+    count_outcome(outcome);
     return outcome;
 }
 
@@ -203,47 +245,52 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
     diag.overlap_end = report.overlap_end;
 
     // ---- Amplitude estimation (§6.2) -------------------------------
-    // Clean, known-only prefix: from the known frame's first sample to
-    // the start of the overlap.
-    double prefix_amplitude = 0.0;
-    if (report.overlap_begin > pilot_pos + config_.min_prefix) {
-        const dsp::Signal_view prefix =
-            dsp::slice_view(domain_slice, pilot_pos, report.overlap_begin);
-        prefix_amplitude = amplitude_from_clean_region(prefix, noise_power_);
-    }
-
-    // Overlap window, clipped to the known signal's extent (beyond it the
-    // mix is no longer two signals).
-    const std::size_t known_end_sample = pilot_pos + known_bits.size() + 1;
-    const std::size_t window_begin = report.overlap_begin;
-    const std::size_t window_end = std::min({report.overlap_end, known_end_sample,
-                                             domain_slice.size()});
-    if (window_end <= window_begin) {
-        diag.failure = Decode_failure::no_overlap;
-        return std::nullopt;
-    }
-    const dsp::Signal_view overlap =
-        dsp::slice_view(domain_slice, window_begin, window_end);
-
     std::optional<Amplitude_estimate> amplitudes;
-    if (!config_.mu_sigma_only && prefix_amplitude > 0.0)
-        amplitudes = estimate_with_known_amplitude(overlap, noise_power_, prefix_amplitude);
-    if (!amplitudes && !config_.mu_sigma_only)
-        amplitudes = estimate_amplitudes_by_variance(overlap, noise_power_);
-    if (!amplitudes) {
-        // The paper's Eq. 5-6 estimator (also the mu_sigma_only ablation).
-        amplitudes = estimate_amplitudes(overlap, noise_power_);
-    }
-    if (!amplitudes) {
-        diag.failure = Decode_failure::no_amplitudes;
-        return std::nullopt;
-    }
-    if (prefix_amplitude > 0.0
-        && std::abs(amplitudes->b - prefix_amplitude)
-               < std::abs(amplitudes->a - prefix_amplitude)) {
-        // Blind estimators cannot tell which amplitude is whose; assign
-        // the one nearer the prefix measurement to the known signal.
-        std::swap(amplitudes->a, amplitudes->b);
+    {
+        const obs::Stage_timer timer{obs::Stage::amplitude_estimate};
+
+        // Clean, known-only prefix: from the known frame's first sample
+        // to the start of the overlap.
+        double prefix_amplitude = 0.0;
+        if (report.overlap_begin > pilot_pos + config_.min_prefix) {
+            const dsp::Signal_view prefix =
+                dsp::slice_view(domain_slice, pilot_pos, report.overlap_begin);
+            prefix_amplitude = amplitude_from_clean_region(prefix, noise_power_);
+        }
+
+        // Overlap window, clipped to the known signal's extent (beyond it
+        // the mix is no longer two signals).
+        const std::size_t known_end_sample = pilot_pos + known_bits.size() + 1;
+        const std::size_t window_begin = report.overlap_begin;
+        const std::size_t window_end = std::min({report.overlap_end, known_end_sample,
+                                                 domain_slice.size()});
+        if (window_end <= window_begin) {
+            diag.failure = Decode_failure::no_overlap;
+            return std::nullopt;
+        }
+        const dsp::Signal_view overlap =
+            dsp::slice_view(domain_slice, window_begin, window_end);
+
+        if (!config_.mu_sigma_only && prefix_amplitude > 0.0)
+            amplitudes =
+                estimate_with_known_amplitude(overlap, noise_power_, prefix_amplitude);
+        if (!amplitudes && !config_.mu_sigma_only)
+            amplitudes = estimate_amplitudes_by_variance(overlap, noise_power_);
+        if (!amplitudes) {
+            // The paper's Eq. 5-6 estimator (also the mu_sigma_only ablation).
+            amplitudes = estimate_amplitudes(overlap, noise_power_);
+        }
+        if (!amplitudes) {
+            diag.failure = Decode_failure::no_amplitudes;
+            return std::nullopt;
+        }
+        if (prefix_amplitude > 0.0
+            && std::abs(amplitudes->b - prefix_amplitude)
+                   < std::abs(amplitudes->a - prefix_amplitude)) {
+            // Blind estimators cannot tell which amplitude is whose; assign
+            // the one nearer the prefix measurement to the known signal.
+            std::swap(amplitudes->a, amplitudes->b);
+        }
     }
     diag.est_known_amp = amplitudes->a;
     diag.est_unknown_amp = amplitudes->b;

@@ -6,6 +6,7 @@
 
 #include "core/phase_solver.h"
 #include "dsp/workspace.h"
+#include "util/obs.h"
 #include "util/phase.h"
 #include "util/simd.h"
 
@@ -118,6 +119,16 @@ void Interference_decoder::estimate_phi_differences_into(
     if (samples.size() < 2)
         return;
     const std::size_t transitions = samples.size() - 1;
+    // Candidate-selection tallies, derived from the span sizes so the
+    // cost is O(1) per decode — never a per-sample counter (this loop
+    // runs at tens of megasamples per second).
+    {
+        const std::size_t selected =
+            known_diffs.size() < transitions ? known_diffs.size() : transitions;
+        obs::count(obs::Counter::decode_calls);
+        obs::count(obs::Counter::decode_selected_samples, selected);
+        obs::count(obs::Counter::decode_tail_samples, transitions - selected);
+    }
     phi_differences.reserve(transitions);
     match_errors.reserve(known_diffs.size() < transitions ? known_diffs.size()
                                                           : transitions);
@@ -184,6 +195,7 @@ void Interference_decoder::decode_into(dsp::Signal_view samples,
                                        std::vector<double>& phi_differences,
                                        std::vector<double>& match_errors) const
 {
+    const obs::Stage_timer timer{obs::Stage::interference_decode};
     estimate_phi_differences_into(samples, known_diffs, a, b, phi_differences,
                                   match_errors);
     bits.clear();

@@ -13,11 +13,14 @@
 //   ANC_ENGINE_THREADS — worker threads (default: hardware concurrency)
 //   ANC_ENGINE_CSV     — also write the aggregate CSV to this path
 //   ANC_ENGINE_JSON    — also write the full JSON document to this path
+//   ANC_METRICS_JSON   — collect telemetry and write the anc.metrics.v1
+//                        run manifest to this path (OBSERVABILITY.md)
 
 #pragma once
 
 #include "engine/emit.h"
 #include "engine/executor.h"
+#include "engine/metrics.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
 #include "engine/sweep.h"

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "dsp/workspace.h"
+#include "util/obs.h"
 #include "util/rng.h"
 
 namespace anc::engine {
@@ -65,14 +68,28 @@ std::vector<Task_result> run_sweep(const std::vector<Sweep_task>& tasks,
     std::exception_ptr first_error;
     std::once_flag error_once;
 
-    const auto worker = [&] {
+    using clock = std::chrono::steady_clock;
+    const bool tracing = config.telemetry != nullptr;
+    const clock::time_point sweep_start = clock::now();
+    std::vector<obs::Worker_stats> worker_stats;
+    if (tracing)
+        worker_stats.resize(thread_count);
+
+    const auto worker = [&](std::size_t worker_index) {
         // Each worker owns one Workspace for its whole lifetime, so the
         // scenarios' sample-pipeline scratch buffers are recycled across
         // tasks instead of reallocated per run.  Results are unaffected:
         // leases always hand out cleared buffers (see dsp/workspace.h;
         // the workspace-regression test compares emitted JSON bytes).
+        // The obs::Recorder follows the same lease: one per worker,
+        // bound only when tracing, so telemetry-off runs skip even the
+        // thread-local store.
         dsp::Workspace workspace;
         const dsp::Workspace::Bind bind{workspace};
+        obs::Recorder recorder;
+        std::optional<obs::Recorder::Bind> obs_bind;
+        if (tracing)
+            obs_bind.emplace(recorder);
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= tasks.size())
@@ -81,7 +98,23 @@ std::vector<Task_result> run_sweep(const std::vector<Sweep_task>& tasks,
                 Task_result& slot = results[i];
                 slot.task = tasks[i];
                 slot.seed = derive_task_seed(config.base_seed, tasks[i].seed_index);
-                slot.result = scenarios[i]->run(tasks[i].config, slot.seed);
+                if (tracing) {
+                    recorder.begin_task();
+                    const clock::time_point task_start = clock::now();
+                    slot.result = scenarios[i]->run(tasks[i].config, slot.seed);
+                    const clock::time_point task_end = clock::now();
+                    obs::Task_telemetry& telemetry = slot.result.telemetry;
+                    telemetry = recorder.task();
+                    telemetry.wall_ns = static_cast<std::uint64_t>(
+                        std::chrono::nanoseconds{task_end - task_start}.count());
+                    telemetry.queue_ns = static_cast<std::uint64_t>(
+                        std::chrono::nanoseconds{task_start - sweep_start}.count());
+                    telemetry.worker = static_cast<std::uint32_t>(worker_index);
+                    worker_stats[worker_index].busy_ns += telemetry.wall_ns;
+                    ++worker_stats[worker_index].tasks;
+                } else {
+                    slot.result = scenarios[i]->run(tasks[i].config, slot.seed);
+                }
             } catch (...) {
                 std::call_once(error_once, [&] { first_error = std::current_exception(); });
                 next.store(tasks.size()); // drain remaining work
@@ -97,18 +130,36 @@ std::vector<Task_result> run_sweep(const std::vector<Sweep_task>& tasks,
     };
 
     if (thread_count <= 1) {
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> workers;
         workers.reserve(thread_count);
         for (std::size_t t = 0; t < thread_count; ++t)
-            workers.emplace_back(worker);
+            workers.emplace_back(worker, t);
         for (std::thread& thread : workers)
             thread.join();
     }
 
     if (first_error)
         std::rethrow_exception(first_error);
+
+    if (tracing) {
+        // Merge in task-index order — never completion order — so the
+        // counter and stage totals are identical for any thread count.
+        obs::Sweep_telemetry& sweep = *config.telemetry;
+        sweep = obs::Sweep_telemetry{};
+        sweep.threads = thread_count;
+        sweep.tasks = results.size();
+        sweep.wall_ns = static_cast<std::uint64_t>(
+            std::chrono::nanoseconds{clock::now() - sweep_start}.count());
+        for (const Task_result& task_result : results) {
+            const obs::Task_telemetry& telemetry = task_result.result.telemetry;
+            sweep.counters.merge(telemetry.counters);
+            sweep.stages.merge(telemetry.stages);
+            sweep.latency.add(telemetry.wall_ns);
+        }
+        sweep.workers = std::move(worker_stats);
+    }
     return results;
 }
 

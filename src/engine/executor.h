@@ -19,6 +19,7 @@
 
 #include "engine/scenario.h"
 #include "engine/sweep.h"
+#include "util/obs.h"
 
 namespace anc::engine {
 
@@ -30,8 +31,19 @@ struct Executor_config {
     std::uint64_t base_seed = 1;
     /// Optional progress hook, called after each task completes with
     /// (tasks finished so far, total).  May be invoked from any worker
-    /// thread, never concurrently with itself.
+    /// thread, never concurrently with itself (calls are serialized
+    /// under an executor-internal mutex).  The executor does NOT
+    /// throttle: the hook fires once per finished task, so callbacks
+    /// that do I/O (progress lines, checkpoints) must rate-limit
+    /// themselves — see bench/anc_sweep for the reference stderr line.
     std::function<void(std::size_t, std::size_t)> on_progress;
+    /// When set, the executor binds an obs::Recorder to every worker,
+    /// stamps each Task_result's `result.telemetry` (counters, stage
+    /// times, wall/queue time, worker index) and fills this struct with
+    /// the merged sweep totals after the workers join.  Merging walks
+    /// results in task order, so counter totals are thread-invariant.
+    /// Leave null (the default) for zero-overhead runs.
+    obs::Sweep_telemetry* telemetry = nullptr;
 };
 
 struct Task_result {

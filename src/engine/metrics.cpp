@@ -1,0 +1,218 @@
+#include "engine/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dsp/math_profile.h"
+#include "util/cpu_features.h"
+#include "util/simd.h"
+
+namespace anc::engine {
+
+namespace {
+
+std::string fmt(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+std::string fmt_u64(std::uint64_t value)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%" PRIu64, value);
+    return buffer;
+}
+
+std::string json_escape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+                out += buffer;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+template <typename T, typename Fmt>
+void json_array(std::ostream& out, const std::vector<T>& values, Fmt&& format_one)
+{
+    out << "[";
+    bool first = true;
+    for (const T& value : values) {
+        out << (first ? "" : ",");
+        format_one(value);
+        first = false;
+    }
+    out << "]";
+}
+
+void json_string_array(std::ostream& out, const std::vector<std::string>& values)
+{
+    json_array(out, values,
+               [&](const std::string& s) { out << "\"" << json_escape(s) << "\""; });
+}
+
+void json_grid(std::ostream& out, const Sweep_grid& grid)
+{
+    out << "{\"scenarios\":";
+    json_string_array(out, grid.scenarios);
+    out << ",\"schemes\":";
+    json_string_array(out, grid.schemes);
+    out << ",\"math_profiles\":";
+    json_array(out, grid.math_profiles, [&](const dsp::Math_profile profile) {
+        out << "\"" << dsp::to_string(profile) << "\"";
+    });
+    out << ",\"snr_db\":";
+    json_array(out, grid.snr_db, [&](const double v) { out << fmt(v); });
+    out << ",\"alice_amplitudes\":";
+    json_array(out, grid.alice_amplitudes, [&](const double v) { out << fmt(v); });
+    out << ",\"bob_amplitudes\":";
+    json_array(out, grid.bob_amplitudes, [&](const double v) { out << fmt(v); });
+    out << ",\"payload_bits\":";
+    json_array(out, grid.payload_bits, [&](const std::size_t v) { out << v; });
+    out << ",\"exchanges\":";
+    json_array(out, grid.exchanges, [&](const std::size_t v) { out << v; });
+    out << ",\"detector_thresholds_db\":";
+    json_array(out, grid.detector_thresholds_db, [&](const double v) { out << fmt(v); });
+    out << ",\"interleave_rows\":";
+    json_array(out, grid.interleave_rows, [&](const std::size_t v) { out << v; });
+    out << ",\"coherence_blocks\":";
+    json_array(out, grid.coherence_blocks, [&](const std::size_t v) { out << v; });
+    out << ",\"mean_link_gains\":";
+    json_array(out, grid.mean_link_gains, [&](const double v) { out << fmt(v); });
+    out << ",\"repetitions\":" << grid.repetitions << "}";
+}
+
+} // namespace
+
+void write_metrics_json(std::ostream& out,
+                        const Metrics_run_info& info,
+                        const Sweep_grid& grid,
+                        const obs::Sweep_telemetry& telemetry,
+                        const std::vector<Task_result>& results)
+{
+    const Cpu_features& cpu = cpu_features();
+
+    out << "{\"schema\":\"" << metrics_schema << "\"";
+
+    // ---- run: who ran, on what, how wide ---------------------------
+    out << ",\"run\":{\"driver\":\"" << json_escape(info.driver) << "\""
+        << ",\"base_seed\":\"" << fmt_u64(info.base_seed) << "\""
+        << ",\"threads\":" << telemetry.threads << ",\"tasks\":" << telemetry.tasks
+        << ",\"wall_ns\":" << fmt_u64(telemetry.wall_ns)
+        << ",\"cpu\":{\"avx\":" << (cpu.avx ? "true" : "false")
+        << ",\"avx2\":" << (cpu.avx2 ? "true" : "false")
+        << ",\"fma\":" << (cpu.fma ? "true" : "false")
+        << ",\"avx512f\":" << (cpu.avx512f ? "true" : "false") << "}"
+        << ",\"simd_backend\":\"" << anc::simd::to_string(anc::simd::active_backend())
+        << "\",\"simd_kernels_active\":"
+        << (anc::simd::kernels_active() ? "true" : "false") << "}";
+
+    // ---- grid echo --------------------------------------------------
+    out << ",\"grid\":";
+    json_grid(out, grid);
+
+    // ---- per-stage timing rollup ------------------------------------
+    out << ",\"stages\":{";
+    bool first = true;
+    for (std::size_t i = 0; i < obs::stage_count; ++i) {
+        out << (first ? "" : ",") << "\"" << obs::to_string(static_cast<obs::Stage>(i))
+            << "\":{\"ns\":" << fmt_u64(telemetry.stages.ns[i])
+            << ",\"calls\":" << fmt_u64(telemetry.stages.calls[i]) << "}";
+        first = false;
+    }
+    out << "}";
+
+    // ---- event-counter aggregates ----------------------------------
+    out << ",\"counters\":{";
+    first = true;
+    for (std::size_t i = 0; i < obs::counter_count; ++i) {
+        out << (first ? "" : ",") << "\""
+            << obs::to_string(static_cast<obs::Counter>(i))
+            << "\":" << fmt_u64(telemetry.counters.values[i]);
+        first = false;
+    }
+    out << "}";
+
+    // ---- task-latency histogram (nonzero bins only) -----------------
+    out << ",\"latency_histogram\":{\"total\":" << fmt_u64(telemetry.latency.total())
+        << ",\"bins\":[";
+    first = true;
+    for (std::size_t bin = 0; bin < obs::Latency_histogram::bin_count; ++bin) {
+        if (telemetry.latency.counts[bin] == 0)
+            continue;
+        out << (first ? "" : ",") << "{\"floor_ns\":"
+            << fmt_u64(obs::Latency_histogram::bin_floor_ns(bin))
+            << ",\"count\":" << fmt_u64(telemetry.latency.counts[bin]) << "}";
+        first = false;
+    }
+    out << "]}";
+
+    // ---- per-worker utilization ------------------------------------
+    out << ",\"workers\":";
+    json_array(out, telemetry.workers, [&](const obs::Worker_stats& worker) {
+        out << "{\"busy_ns\":" << fmt_u64(worker.busy_ns)
+            << ",\"tasks\":" << fmt_u64(worker.tasks) << "}";
+    });
+
+    // ---- per-task journal rows --------------------------------------
+    // The substrate for the ROADMAP's streaming/checkpointed sweeps: one
+    // row per task, in task-index order, enough to replay or resume.
+    out << ",\"tasks\":";
+    json_array(out, results, [&](const Task_result& result) {
+        const obs::Task_telemetry& task = result.result.telemetry;
+        out << "{\"index\":" << result.task.index << ",\"seed\":\""
+            << fmt_u64(result.seed) << "\",\"worker\":" << task.worker
+            << ",\"wall_ns\":" << fmt_u64(task.wall_ns)
+            << ",\"queue_ns\":" << fmt_u64(task.queue_ns) << "}";
+    });
+    out << "}";
+}
+
+std::string metrics_to_json(const Metrics_run_info& info,
+                            const Sweep_grid& grid,
+                            const obs::Sweep_telemetry& telemetry,
+                            const std::vector<Task_result>& results)
+{
+    std::ostringstream out;
+    write_metrics_json(out, info, grid, telemetry, results);
+    return out.str();
+}
+
+bool emit_env_metrics(const Metrics_run_info& info,
+                      const Sweep_grid& grid,
+                      const obs::Sweep_telemetry& telemetry,
+                      const std::vector<Task_result>& results)
+{
+    const char* path = std::getenv("ANC_METRICS_JSON");
+    if (!path || !*path)
+        return false;
+    std::ofstream out{path};
+    if (!out)
+        throw std::runtime_error{std::string{"emit_env_metrics: cannot open "} + path};
+    write_metrics_json(out, info, grid, telemetry, results);
+    out << "\n";
+    return true;
+}
+
+} // namespace anc::engine

@@ -25,6 +25,7 @@
 #include "core/anc_receiver.h"
 #include "dsp/math_profile.h"
 #include "sim/metrics.h"
+#include "util/obs.h"
 #include "util/stats.h"
 
 namespace anc::engine {
@@ -72,6 +73,11 @@ struct Scenario_result {
     sim::Run_metrics metrics;
     std::map<std::string, Cdf> series;
     std::map<std::string, double> scalars;
+    /// Telemetry captured while the task ran (empty unless the executor
+    /// ran with `Executor_config::telemetry` set).  Deliberately *not*
+    /// part of `scalars`: the sweep emitters never read it, so enabling
+    /// collection cannot change a byte of the sweep JSON/CSV outputs.
+    obs::Task_telemetry telemetry;
 };
 
 class Scenario {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fec/hamming.h"
+#include "util/obs.h"
 
 namespace anc::fec {
 
@@ -23,6 +24,7 @@ Bits Fec_codec::encode(std::span<const std::uint8_t> data) const
 
 Bits Fec_codec::decode(std::span<const std::uint8_t> coded, std::size_t data_bits) const
 {
+    const obs::Stage_timer timer{obs::Stage::fec_decode};
     Bits received{coded.begin(), coded.end()};
     if (interleave_rows_ > 1) {
         const Block_interleaver interleaver{interleave_rows_, 7};

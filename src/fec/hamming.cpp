@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/obs.h"
+
 namespace anc::fec {
 
 namespace {
@@ -36,6 +38,12 @@ std::uint8_t hamming74_encode_nibble(std::uint8_t nibble)
 
 std::uint8_t hamming74_decode_codeword(std::uint8_t codeword)
 {
+    bool corrected = false;
+    return hamming74_decode_codeword(codeword, corrected);
+}
+
+std::uint8_t hamming74_decode_codeword(std::uint8_t codeword, bool& corrected)
+{
     std::uint8_t bits[8] = {0}; // 1-indexed positions 1..7
     for (int position = 1; position <= 7; ++position)
         bits[position] = static_cast<std::uint8_t>((codeword >> (7 - position)) & 1u);
@@ -44,6 +52,7 @@ std::uint8_t hamming74_decode_codeword(std::uint8_t codeword)
     const std::uint8_t s2 = bits[2] ^ bits[3] ^ bits[6] ^ bits[7];
     const std::uint8_t s3 = bits[4] ^ bits[5] ^ bits[6] ^ bits[7];
     const int syndrome = s1 * 1 + s2 * 2 + s3 * 4;
+    corrected = syndrome != 0;
     if (syndrome != 0)
         bits[syndrome] ^= 1u;
 
@@ -76,14 +85,21 @@ Bits hamming74_decode(std::span<const std::uint8_t> bits)
         throw std::invalid_argument{"hamming74_decode: length must be a multiple of 7"};
     Bits out;
     out.reserve(bits.size() / 7 * 4);
+    // Tally corrections locally and post two obs counts at the end, so
+    // telemetry stays O(1) per decode rather than O(codewords).
+    std::uint64_t corrections = 0;
     for (std::size_t block = 0; block < bits.size(); block += 7) {
         std::uint8_t codeword = 0;
         for (std::size_t i = 0; i < 7; ++i)
             codeword = static_cast<std::uint8_t>((codeword << 1u) | bits[block + i]);
-        const std::uint8_t nibble = hamming74_decode_codeword(codeword);
+        bool corrected = false;
+        const std::uint8_t nibble = hamming74_decode_codeword(codeword, corrected);
+        corrections += corrected;
         for (int i = 3; i >= 0; --i)
             out.push_back(static_cast<std::uint8_t>((nibble >> i) & 1u));
     }
+    obs::count(obs::Counter::fec_codewords, bits.size() / 7);
+    obs::count(obs::Counter::fec_corrected_bits, corrections);
     return out;
 }
 

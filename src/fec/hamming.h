@@ -22,6 +22,10 @@ std::uint8_t hamming74_encode_nibble(std::uint8_t nibble);
 /// Returns the 4 data bits.
 std::uint8_t hamming74_decode_codeword(std::uint8_t codeword);
 
+/// As above, additionally reporting whether a bit was corrected (the
+/// syndrome was nonzero) — the telemetry layer's FEC-correction tally.
+std::uint8_t hamming74_decode_codeword(std::uint8_t codeword, bool& corrected);
+
 /// Encode a bit sequence; the input is zero-padded to a multiple of 4.
 /// Output length is ceil(len/4) * 7 bits.
 Bits hamming74_encode(std::span<const std::uint8_t> bits);

@@ -5,6 +5,7 @@
 #include "dsp/energy_scan.h"
 #include "dsp/workspace.h"
 #include "util/db.h"
+#include "util/obs.h"
 
 namespace anc::phy {
 
@@ -15,8 +16,11 @@ Packet_detector::Packet_detector(double noise_power, Config config)
 
 std::optional<Packet_bounds> Packet_detector::detect(dsp::Signal_view signal) const
 {
-    if (signal.size() < config_.window)
+    const obs::Stage_timer timer{obs::Stage::packet_detect};
+    if (signal.size() < config_.window) {
+        obs::count(obs::Counter::packet_detect_rejections);
         return std::nullopt;
+    }
     dsp::Workspace& workspace = dsp::Workspace::current();
     auto energies = workspace.reals();
     auto window_mean = workspace.reals();
@@ -50,8 +54,10 @@ std::optional<Packet_bounds> Packet_detector::detect(dsp::Signal_view signal) co
             break;
         }
     }
-    if (first == mean.size())
+    if (first == mean.size()) {
+        obs::count(obs::Counter::packet_detect_rejections);
         return std::nullopt;
+    }
 
     // Last window above threshold marks the tail.
     std::size_t last = first;
@@ -71,6 +77,7 @@ std::optional<Packet_bounds> Packet_detector::detect(dsp::Signal_view signal) co
         }
     }
 
+    obs::count(obs::Counter::packet_detect_triggers);
     Packet_bounds bounds;
     bounds.begin = first;
     bounds.end = std::min(last + config_.window, signal.size());
@@ -84,6 +91,8 @@ Interference_detector::Interference_detector(double noise_power, Config config)
 
 Interference_report Interference_detector::analyze(dsp::Signal_view packet) const
 {
+    const obs::Stage_timer timer{obs::Stage::interference_analyze};
+    obs::count(obs::Counter::interference_analyses);
     Interference_report report;
     if (packet.size() < config_.window)
         return report;
@@ -157,6 +166,7 @@ Interference_report Interference_detector::analyze(dsp::Signal_view packet) cons
     report.peak_ratio_db = std::max(0.0, to_db(peak_ratio));
 
     if (found) {
+        obs::count(obs::Counter::interference_detected);
         report.interfered = true;
         report.overlap_begin = first_begin;
         report.overlap_end = std::min(last_end + config_.window, packet.size());

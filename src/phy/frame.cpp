@@ -2,6 +2,7 @@
 
 #include "phy/pilot.h"
 #include "util/crc.h"
+#include "util/obs.h"
 
 namespace anc::phy {
 
@@ -49,6 +50,7 @@ std::optional<Parsed_frame> parse_frame_at(std::span<const std::uint8_t> bits,
     const auto crc_read = static_cast<std::uint32_t>(
         read_uint(bits, crc_pos, static_cast<int>(crc_length)));
     parsed.crc_ok = (crc32(payload) == crc_read);
+    obs::count(parsed.crc_ok ? obs::Counter::crc_pass : obs::Counter::crc_fail);
     return parsed;
 }
 

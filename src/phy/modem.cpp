@@ -2,6 +2,7 @@
 
 #include "dsp/workspace.h"
 #include "phy/pilot.h"
+#include "util/obs.h"
 
 namespace anc::phy {
 
@@ -19,6 +20,7 @@ Bits Modem::frame_bits(const Frame_header& header, std::span<const std::uint8_t>
 dsp::Signal Modem::modulate(std::span<const std::uint8_t> frame_bits,
                             double initial_phase) const
 {
+    const obs::Stage_timer timer{obs::Stage::modulate};
     const dsp::Msk_modulator modulator{config_.amplitude, initial_phase,
                                        config_.math_profile};
     return modulator.modulate(frame_bits);
@@ -27,6 +29,7 @@ dsp::Signal Modem::modulate(std::span<const std::uint8_t> frame_bits,
 void Modem::modulate_into(std::span<const std::uint8_t> frame_bits,
                           double initial_phase, dsp::Signal& out) const
 {
+    const obs::Stage_timer timer{obs::Stage::modulate};
     const dsp::Msk_modulator modulator{config_.amplitude, initial_phase,
                                        config_.math_profile};
     modulator.modulate_into(frame_bits, out);
@@ -41,11 +44,13 @@ dsp::Signal Modem::modulate_frame(const Frame_header& header,
 
 Bits Modem::demodulate_bits(dsp::Signal_view signal) const
 {
+    const obs::Stage_timer timer{obs::Stage::demodulate};
     return demodulator_.demodulate(signal);
 }
 
 void Modem::demodulate_bits_into(dsp::Signal_view signal, Bits& out) const
 {
+    const obs::Stage_timer timer{obs::Stage::demodulate};
     demodulator_.demodulate_into(signal, out);
 }
 
@@ -57,7 +62,10 @@ Bits Modem::descramble(std::span<const std::uint8_t> payload) const
 std::optional<Received_frame> Modem::receive(dsp::Signal_view signal) const
 {
     auto bits = dsp::Workspace::current().bits();
-    demodulator_.demodulate_into(signal, *bits);
+    {
+        const obs::Stage_timer timer{obs::Stage::demodulate};
+        demodulator_.demodulate_into(signal, *bits);
+    }
     return receive_bits(*bits);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/obs.h"
 #include "util/rng.h"
 
 namespace anc::phy {
@@ -30,13 +31,19 @@ std::optional<Pattern_match> find_pattern(std::span<const std::uint8_t> bits,
                                           std::size_t to,
                                           std::size_t max_errors)
 {
-    if (pattern.empty() || bits.size() < pattern.size())
+    const obs::Stage_timer timer{obs::Stage::pilot_search};
+    obs::count(obs::Counter::pilot_searches);
+    if (pattern.empty() || bits.size() < pattern.size()) {
+        obs::count(obs::Counter::pilot_misses);
         return std::nullopt;
+    }
     const std::size_t last_start = bits.size() - pattern.size();
     from = std::min(from, last_start);
     to = std::min(to, last_start);
-    if (from > to)
+    if (from > to) {
+        obs::count(obs::Counter::pilot_misses);
         return std::nullopt;
+    }
 
     std::optional<Pattern_match> best;
     for (std::size_t start = from; start <= to; ++start) {
@@ -48,6 +55,13 @@ std::optional<Pattern_match> find_pattern(std::span<const std::uint8_t> bits,
             if (errors == 0)
                 break;
         }
+    }
+    if (best) {
+        obs::count(obs::Counter::pilot_hits);
+        obs::count(obs::Counter::pilot_hit_offset_sum, best->position);
+        obs::count(obs::Counter::pilot_hit_error_sum, best->errors);
+    } else {
+        obs::count(obs::Counter::pilot_misses);
     }
     return best;
 }

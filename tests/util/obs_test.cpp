@@ -1,0 +1,194 @@
+// Unit coverage for anc::obs — the telemetry primitives behind the
+// anc.metrics.v1 manifest: histogram binning (boundaries, overflow),
+// counter/stage merging, and the Recorder's thread-binding contract
+// (unbound threads record nothing; nested binds restore).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "util/obs.h"
+
+namespace anc::obs {
+namespace {
+
+// ---------------------------------------------------------- histogram
+
+TEST(LatencyHistogram, BinBoundaries)
+{
+    // Bin 0 absorbs everything below 1024 ns and spans [1024, 2048).
+    EXPECT_EQ(Latency_histogram::bin_for(0), 0u);
+    EXPECT_EQ(Latency_histogram::bin_for(1), 0u);
+    EXPECT_EQ(Latency_histogram::bin_for(1023), 0u);
+    EXPECT_EQ(Latency_histogram::bin_for(1024), 0u);
+    EXPECT_EQ(Latency_histogram::bin_for(2047), 0u);
+
+    // Bin b spans [2^(10+b), 2^(11+b)): exact powers of two open a bin,
+    // one-less-than closes the previous one.
+    EXPECT_EQ(Latency_histogram::bin_for(2048), 1u);
+    EXPECT_EQ(Latency_histogram::bin_for(4095), 1u);
+    EXPECT_EQ(Latency_histogram::bin_for(4096), 2u);
+    EXPECT_EQ(Latency_histogram::bin_for((std::uint64_t{1} << 20)), 10u);
+    EXPECT_EQ(Latency_histogram::bin_for((std::uint64_t{1} << 21) - 1), 10u);
+}
+
+TEST(LatencyHistogram, OverflowBinIsOpenEnded)
+{
+    constexpr std::size_t last = Latency_histogram::bin_count - 1;
+    // The last in-range bin and the first overflow value.
+    EXPECT_EQ(Latency_histogram::bin_for((std::uint64_t{1} << 41) - 1), last - 1);
+    EXPECT_EQ(Latency_histogram::bin_for(std::uint64_t{1} << 41), last);
+    // Everything above still lands in the overflow bin.
+    EXPECT_EQ(Latency_histogram::bin_for(std::uint64_t{1} << 50), last);
+    EXPECT_EQ(Latency_histogram::bin_for(~std::uint64_t{0}), last);
+}
+
+TEST(LatencyHistogram, BinFloorsMatchBinFor)
+{
+    EXPECT_EQ(Latency_histogram::bin_floor_ns(0), 0u);
+    EXPECT_EQ(Latency_histogram::bin_floor_ns(1), 2048u);
+    EXPECT_EQ(Latency_histogram::bin_floor_ns(2), 4096u);
+    // Every bin's floor maps back into that bin (the floors are the
+    // values the manifest reports — they must round-trip).
+    for (std::size_t bin = 1; bin < Latency_histogram::bin_count; ++bin)
+        EXPECT_EQ(Latency_histogram::bin_for(Latency_histogram::bin_floor_ns(bin)), bin)
+            << "bin " << bin;
+}
+
+TEST(LatencyHistogram, AddMergeTotal)
+{
+    Latency_histogram a;
+    a.add(100);      // bin 0
+    a.add(3000);     // bin 1
+    a.add(3000);     // bin 1
+    Latency_histogram b;
+    b.add(5000);                    // bin 2
+    b.add(~std::uint64_t{0});       // overflow
+    a.merge(b);
+    EXPECT_EQ(a.counts[0], 1u);
+    EXPECT_EQ(a.counts[1], 2u);
+    EXPECT_EQ(a.counts[2], 1u);
+    EXPECT_EQ(a.counts[Latency_histogram::bin_count - 1], 1u);
+    EXPECT_EQ(a.total(), 5u);
+}
+
+// ----------------------------------------------------------- counters
+
+TEST(Counters, MergeAddsElementwise)
+{
+    Counters a;
+    a[Counter::crc_pass] = 3;
+    a[Counter::pilot_hits] = 7;
+    Counters b;
+    b[Counter::crc_pass] = 2;
+    b[Counter::rx_clean] = 1;
+    a.merge(b);
+    EXPECT_EQ(a[Counter::crc_pass], 5u);
+    EXPECT_EQ(a[Counter::pilot_hits], 7u);
+    EXPECT_EQ(a[Counter::rx_clean], 1u);
+
+    Counters c = a;
+    EXPECT_EQ(a, c);
+    c[Counter::crc_fail] = 1;
+    EXPECT_NE(a, c);
+}
+
+TEST(StageTimes, AddAndMerge)
+{
+    Stage_times a;
+    a.add(Stage::demodulate, 100);
+    a.add(Stage::demodulate, 50);
+    Stage_times b;
+    b.add(Stage::demodulate, 25);
+    b.add(Stage::fec_decode, 10);
+    a.merge(b);
+    EXPECT_EQ(a.ns[static_cast<std::size_t>(Stage::demodulate)], 175u);
+    EXPECT_EQ(a.calls[static_cast<std::size_t>(Stage::demodulate)], 3u);
+    EXPECT_EQ(a.ns[static_cast<std::size_t>(Stage::fec_decode)], 10u);
+    EXPECT_EQ(a.calls[static_cast<std::size_t>(Stage::fec_decode)], 1u);
+}
+
+// ----------------------------------------------------------- recorder
+
+TEST(Recorder, UnboundThreadRecordsNothing)
+{
+    ASSERT_EQ(Recorder::current(), nullptr);
+    EXPECT_FALSE(enabled());
+    count(Counter::crc_pass);                     // must be a no-op
+    const Stage_timer timer{Stage::demodulate};   // likewise
+}
+
+TEST(Recorder, BindRecordsAndRestores)
+{
+    Recorder recorder;
+    {
+        const Recorder::Bind bind{recorder};
+        EXPECT_TRUE(enabled());
+        EXPECT_EQ(Recorder::current(), &recorder);
+        count(Counter::crc_pass);
+        count(Counter::pilot_hit_offset_sum, 42);
+        {
+            const Stage_timer timer{Stage::pilot_search};
+        }
+    }
+    EXPECT_EQ(Recorder::current(), nullptr);
+    EXPECT_EQ(recorder.task().counters[Counter::crc_pass], 1u);
+    EXPECT_EQ(recorder.task().counters[Counter::pilot_hit_offset_sum], 42u);
+    EXPECT_EQ(recorder.task().stages.calls[static_cast<std::size_t>(Stage::pilot_search)],
+              1u);
+}
+
+TEST(Recorder, NestedBindShadowsAndRestores)
+{
+    Recorder outer;
+    Recorder inner;
+    const Recorder::Bind bind_outer{outer};
+    count(Counter::rx_clean);
+    {
+        const Recorder::Bind bind_inner{inner};
+        EXPECT_EQ(Recorder::current(), &inner);
+        count(Counter::rx_clean);
+    }
+    EXPECT_EQ(Recorder::current(), &outer);
+    count(Counter::rx_clean);
+    EXPECT_EQ(outer.task().counters[Counter::rx_clean], 2u);
+    EXPECT_EQ(inner.task().counters[Counter::rx_clean], 1u);
+}
+
+TEST(Recorder, BeginTaskZeroesTaskScopedState)
+{
+    Recorder recorder;
+    const Recorder::Bind bind{recorder};
+    count(Counter::crc_fail, 9);
+    recorder.task().stages.add(Stage::channel, 123);
+    recorder.begin_task();
+    EXPECT_EQ(recorder.task().counters, Counters{});
+    EXPECT_EQ(recorder.task().stages.calls[static_cast<std::size_t>(Stage::channel)], 0u);
+}
+
+// ------------------------------------------------------------- names
+
+TEST(Names, CounterNamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < counter_count; ++i) {
+        const std::string name = to_string(static_cast<Counter>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(seen.insert(name).second) << "duplicate counter name " << name;
+    }
+}
+
+TEST(Names, StageNamesAreUniqueAndNonEmpty)
+{
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < stage_count; ++i) {
+        const std::string name = to_string(static_cast<Stage>(i));
+        EXPECT_FALSE(name.empty());
+        EXPECT_TRUE(seen.insert(name).second) << "duplicate stage name " << name;
+    }
+}
+
+} // namespace
+} // namespace anc::obs
