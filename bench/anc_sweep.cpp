@@ -13,23 +13,43 @@
 // (exact,fast) and "all".
 //
 // Output: the aggregate table on stdout (unless --quiet), plus --json /
-// --csv artifacts in the engine's anc.sweep.v3 schemas and the
-// --metrics-json run manifest (anc.metrics.v1, OBSERVABILITY.md).  The
-// ANC_ENGINE_JSON / ANC_ENGINE_CSV environment emitters keep working —
-// the flags are additive, not a replacement.  Deterministic in
+// --csv artifacts in the engine's anc.sweep.v4 schemas and the
+// --metrics-json run manifest (anc.metrics.v1, OBSERVABILITY.md).  All
+// file artifacts are written atomically (temp file + rename) — a crash
+// or SIGKILL never publishes a truncated document.  Deterministic in
 // (--seed, grid): identical results at any --threads value, with or
 // without telemetry.
+//
+// Fault tolerance (ENGINE.md "Fault tolerance"):
+//   --stream            emit task rows as they finish, O(window) memory
+//   --journal FILE      append a crash-safe anc.journal.v1 checkpoint
+//   --resume FILE       skip tasks the journal already completed
+//   --shard K/N         run the K-th of N deterministic partitions
+//   --merge J1,J2,...   fold shard journals into one result set
+//   --task-retries N    re-run a throwing task up to N extra times
+// Per-task exceptions become `status=error` rows instead of aborting
+// the sweep; SIGINT/SIGTERM drain gracefully, flush the journal, and
+// still emit the partial artifacts.
+//
+// Exit codes: 0 success, 2 usage or incompatible inputs, 3 at least one
+// task errored (or a merge found gaps), 4 interrupted by signal.  A
+// one-line `ok/error/skipped` summary always lands on stderr.
 //
 // When stderr is a TTY and --quiet is not given, a single-line progress
 // display (tasks done/total, rate, ETA) updates in place during the run
 // — the reference consumer of Executor_config::on_progress, throttled
-// here (the executor calls the hook once per finished task).
+// through util/rate_limiter.h (the executor calls the hook once per
+// finished task).
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -37,10 +57,23 @@
 #include <unistd.h>
 
 #include "engine/engine.h"
+#include "engine/journal.h"
+#include "util/atomic_file.h"
+#include "util/rate_limiter.h"
 
 namespace {
 
 using namespace anc;
+
+/// Set by the SIGINT/SIGTERM handler; polled by every worker between
+/// tasks (Executor_config::cancel), so a signal drains in-flight tasks
+/// instead of killing them mid-run.
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void handle_signal(int)
+{
+    g_interrupted.store(true, std::memory_order_relaxed);
+}
 
 int usage(const char* argv0, const char* error = nullptr)
 {
@@ -68,13 +101,26 @@ int usage(const char* argv0, const char* error = nullptr)
         "execution and output:\n"
         "  --threads N            worker threads (0 = hardware concurrency)\n"
         "  --seed N               base seed for the deterministic runs\n"
-        "  --json PATH            write the full anc.sweep.v3 JSON document\n"
+        "  --json PATH            write the full anc.sweep.v4 JSON document\n"
         "  --csv PATH             write the aggregate CSV\n"
         "  --tasks-csv PATH       write the per-task CSV\n"
         "  --metrics-json PATH    collect telemetry, write the anc.metrics.v1\n"
         "                         run manifest (stage timings, counters, ...)\n"
+        "  --stream               stream task rows to --json/--tasks-csv as\n"
+        "                         they finish (O(window) memory)\n"
         "  --quiet                suppress the stdout table and progress line\n"
-        "  --list-scenarios       print registered scenarios and exit\n",
+        "  --list-scenarios       print registered scenarios and exit\n"
+        "\n"
+        "fault tolerance (ENGINE.md \"Fault tolerance\"):\n"
+        "  --journal FILE         checkpoint completed tasks (anc.journal.v1)\n"
+        "  --resume FILE          skip tasks FILE already completed; implies\n"
+        "                         --journal FILE unless one is given\n"
+        "  --shard K/N            run the K-th of N partitions (1-based)\n"
+        "  --merge J1,J2,...      merge shard journals (repeatable); needs the\n"
+        "                         same grid flags and --seed as the shards\n"
+        "  --task-retries N       extra attempts per throwing task (default 0)\n"
+        "\n"
+        "exit codes: 0 ok, 2 usage, 3 task errors or merge gaps, 4 interrupted\n",
         argv0);
     return error == nullptr ? 0 : 2;
 }
@@ -156,21 +202,49 @@ std::vector<dsp::Math_profile> parse_profiles(const std::string& text)
     return profiles;
 }
 
+std::vector<std::string> parse_path_list(const std::string& text)
+{
+    std::vector<std::string> paths;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t comma = text.find(',', pos);
+        const std::string item = text.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!item.empty())
+            paths.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return paths;
+}
+
+/// "K/N" -> (K, N), validated 1 <= K <= N.
+std::pair<std::size_t, std::size_t> parse_shard(const std::string& text)
+{
+    const std::size_t slash = text.find('/');
+    if (slash == std::string::npos)
+        throw std::invalid_argument{"--shard wants K/N, got: " + text};
+    const unsigned long k = std::strtoul(text.substr(0, slash).c_str(), nullptr, 10);
+    const unsigned long n = std::strtoul(text.substr(slash + 1).c_str(), nullptr, 10);
+    if (k < 1 || n < 1 || k > n)
+        throw std::invalid_argument{"--shard wants 1 <= K <= N, got: " + text};
+    return {k, n};
+}
+
 /// The stderr progress line: "\r  123/4096 tasks  41.0/s  ETA 97s".
 /// The executor invokes on_progress once per finished task (serialized,
-/// never concurrently); the line throttles itself to ~10 redraws per
-/// second so terminal I/O never becomes the sweep's bottleneck, and
-/// always draws the final task so the line ends at 100%.
+/// never concurrently); redraws are gated through a Rate_limiter to ~10
+/// per second so terminal I/O never becomes the sweep's bottleneck, and
+/// the final task always draws so the line ends at 100%.
 class Progress_line {
 public:
     void operator()(std::size_t done, std::size_t total)
     {
-        const auto now = clock::now();
-        if (done != total && drawn_ && now - last_draw_ < std::chrono::milliseconds{100})
+        if (done != total && !redraw_gate_.ready())
             return;
-        drawn_ = true;
-        last_draw_ = now;
-        const double elapsed = std::chrono::duration<double>(now - start_).count();
+        const double elapsed =
+            std::chrono::duration<double>(clock::now() - start_).count();
         const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
         const double eta = rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
         std::fprintf(stderr, "\r%6zu/%zu tasks  %6.1f/s  ETA %5.0fs ", done, total,
@@ -182,22 +256,318 @@ public:
 private:
     using clock = std::chrono::steady_clock;
     clock::time_point start_ = clock::now();
-    clock::time_point last_draw_{};
-    bool drawn_ = false;
+    Rate_limiter redraw_gate_{std::chrono::milliseconds{100}};
 };
+
+/// A file that streams row by row but still publishes atomically: rows
+/// go to `<path>.tmp.<pid>`, and commit() renames onto the final path.
+/// An uncommitted (crashed/failed) stream leaves at most a temp file,
+/// removed by the destructor when possible.
+class Stream_file {
+public:
+    explicit Stream_file(const std::string& path)
+        : path_{path}, tmp_{path + ".tmp." + std::to_string(::getpid())}, out_{tmp_}
+    {
+        if (!out_)
+            throw std::runtime_error{"cannot write " + tmp_};
+    }
+
+    ~Stream_file()
+    {
+        if (!committed_) {
+            out_.close();
+            std::remove(tmp_.c_str());
+        }
+    }
+
+    std::ostream& stream() { return out_; }
+
+    void commit()
+    {
+        out_.flush();
+        if (!out_)
+            throw std::runtime_error{"write failed on " + tmp_};
+        out_.close();
+        if (std::rename(tmp_.c_str(), path_.c_str()) != 0)
+            throw std::runtime_error{"cannot rename " + tmp_ + " to " + path_};
+        committed_ = true;
+    }
+
+private:
+    std::string path_;
+    std::string tmp_;
+    std::ofstream out_;
+    bool committed_ = false;
+};
+
+struct Cli_options {
+    engine::Sweep_grid grid;
+    engine::Executor_config config;
+    std::string json_path, csv_path, tasks_csv_path, metrics_json_path;
+    std::string journal_path, resume_path;
+    std::vector<std::string> merge_paths;
+    std::size_t shard_index = 1, shard_count = 1;
+    bool stream = false;
+    bool quiet = false;
+};
+
+/// Everything the journal header must agree on for this invocation.
+engine::Journal_header header_for(const Cli_options& options, std::size_t total_tasks)
+{
+    engine::Journal_header header;
+    header.grid_hash = engine::grid_fingerprint(options.grid);
+    header.base_seed = options.config.base_seed;
+    header.tasks = total_tasks;
+    header.shard_index = options.shard_index;
+    header.shard_count = options.shard_count;
+    return header;
+}
+
+void emit_artifacts(const Cli_options& options,
+                    const std::vector<engine::Task_result>& results,
+                    const std::vector<engine::Point_summary>& points)
+{
+    if (!options.json_path.empty())
+        write_file_atomic(options.json_path, [&](std::ostream& out) {
+            engine::write_json(out, results, points);
+        });
+    if (!options.csv_path.empty())
+        write_file_atomic(options.csv_path, [&](std::ostream& out) {
+            engine::write_summary_csv(out, points);
+        });
+    if (!options.tasks_csv_path.empty())
+        write_file_atomic(options.tasks_csv_path, [&](std::ostream& out) {
+            engine::write_tasks_csv(out, results);
+        });
+}
+
+/// The one-line completion contract on stderr (satellite of the exit
+/// codes): machine-greppable, always printed, even under --quiet.
+void print_summary_line(const engine::Run_tally& tally, bool interrupted)
+{
+    std::fprintf(stderr, "anc_sweep: %zu ok, %zu error, %zu skipped, resumed %zu%s\n",
+                 tally.ok, tally.errors, tally.skipped, tally.resumed,
+                 interrupted ? " [interrupted]" : "");
+}
+
+int exit_code(const engine::Run_tally& tally, bool interrupted)
+{
+    if (interrupted)
+        return 4;
+    return tally.errors > 0 ? 3 : 0;
+}
+
+/// --merge: reconstitute n shard journals into the full result set and
+/// emit it exactly as a single uninterrupted run would have.
+int run_merge(const Cli_options& options)
+{
+    const engine::Scenario_registry& registry = engine::Scenario_registry::builtin();
+    const std::vector<engine::Sweep_task> tasks =
+        engine::expand(options.grid, registry);
+
+    std::vector<engine::Journal_entry> entries;
+    std::size_t shard_count = 0;
+    std::vector<char> shard_seen;
+    for (const std::string& path : options.merge_paths) {
+        engine::Journal_contents contents = engine::load_journal(path);
+        std::string why;
+        if (!engine::journal_compatible(contents.header, options.grid,
+                                        options.config.base_seed, tasks.size(),
+                                        contents.header.shard_index,
+                                        contents.header.shard_count, &why))
+            throw std::invalid_argument{path + ": " + why};
+        if (shard_count == 0) {
+            shard_count = contents.header.shard_count;
+            shard_seen.assign(shard_count, 0);
+        } else if (contents.header.shard_count != shard_count) {
+            throw std::invalid_argument{path + ": shard count "
+                                        + std::to_string(contents.header.shard_count)
+                                        + " != " + std::to_string(shard_count)};
+        }
+        if (shard_seen[contents.header.shard_index - 1])
+            throw std::invalid_argument{path + ": shard "
+                                        + std::to_string(contents.header.shard_index)
+                                        + "/" + std::to_string(shard_count)
+                                        + " appears twice (overlap)"};
+        shard_seen[contents.header.shard_index - 1] = 1;
+        if (contents.dropped_lines > 0)
+            std::fprintf(stderr, "anc_sweep: %s: dropped %zu torn/corrupt lines\n",
+                         path.c_str(), contents.dropped_lines);
+        for (engine::Journal_entry& entry : contents.entries)
+            entries.push_back(std::move(entry));
+    }
+    for (std::size_t shard = 0; shard < shard_count; ++shard)
+        if (!shard_seen[shard])
+            throw std::invalid_argument{"no journal for shard "
+                                        + std::to_string(shard + 1) + "/"
+                                        + std::to_string(shard_count) + " (gap)"};
+
+    std::map<std::size_t, engine::Task_result> preloaded =
+        engine::preload_from_entries(std::move(entries), tasks);
+    const std::size_t missing = tasks.size() - preloaded.size();
+    if (missing > 0)
+        std::fprintf(stderr,
+                     "anc_sweep: merge is missing %zu of %zu tasks "
+                     "(incomplete shard journals)\n",
+                     missing, tasks.size());
+
+    // Feed the reconstituted rows through run_sweep with every position
+    // preloaded: nothing executes, but ordering, aggregation, and
+    // emission follow the exact code path of a live sweep — merge output
+    // is byte-identical to a single uninterrupted run by construction.
+    engine::Executor_config config = options.config;
+    config.preloaded = &preloaded;
+    engine::Run_tally tally;
+    const std::vector<engine::Task_result> results =
+        engine::run_sweep(tasks, registry, config, &tally);
+    const std::vector<engine::Point_summary> points = engine::aggregate(results);
+
+    if (!options.quiet)
+        engine::print_summary_table(stdout, points);
+    emit_artifacts(options, results, points);
+    print_summary_line(tally, false);
+    if (missing > 0)
+        return 3;
+    return exit_code(tally, false);
+}
+
+int run_sweep_cli(const Cli_options& options_in)
+{
+    Cli_options options = options_in;
+    const engine::Scenario_registry& registry = engine::Scenario_registry::builtin();
+    const std::vector<engine::Sweep_task> all_tasks =
+        engine::expand(options.grid, registry);
+    std::vector<engine::Sweep_task> tasks = all_tasks;
+    if (options.shard_count > 1)
+        tasks = engine::shard_tasks(all_tasks, options.shard_index, options.shard_count);
+
+    // --resume: reconstitute completed rows; --resume F without
+    // --journal also keeps checkpointing into F, so a sweep can crash
+    // and resume any number of times against one file.
+    std::map<std::size_t, engine::Task_result> preloaded;
+    if (!options.resume_path.empty()) {
+        engine::Journal_contents contents = engine::load_journal(options.resume_path);
+        std::string why;
+        if (!engine::journal_compatible(contents.header, options.grid,
+                                        options.config.base_seed, all_tasks.size(),
+                                        options.shard_index, options.shard_count, &why))
+            throw std::invalid_argument{options.resume_path + ": " + why};
+        if (contents.dropped_lines > 0)
+            std::fprintf(stderr, "anc_sweep: %s: dropped %zu torn/corrupt lines\n",
+                         options.resume_path.c_str(), contents.dropped_lines);
+        preloaded = engine::preload_from_entries(std::move(contents.entries), tasks);
+        if (options.journal_path.empty())
+            options.journal_path = options.resume_path;
+    }
+
+    std::unique_ptr<engine::Journal_writer> journal;
+    if (!options.journal_path.empty()) {
+        const bool fresh = options.journal_path != options.resume_path;
+        journal = std::make_unique<engine::Journal_writer>(
+            options.journal_path, header_for(options, all_tasks.size()), fresh);
+        // Resuming into a NEW journal file: carry the already-completed
+        // rows over so the new journal is self-sufficient for the next
+        // resume.
+        if (fresh && !preloaded.empty()) {
+            for (const auto& [position, result] : preloaded)
+                journal->append(result);
+            journal->flush();
+        }
+        options.config.on_complete = [&journal](const engine::Task_result& result) {
+            journal->append(result);
+        };
+    }
+
+    obs::Sweep_telemetry telemetry;
+    if (!options.metrics_json_path.empty())
+        options.config.telemetry = &telemetry;
+    Progress_line progress;
+    if (!options.quiet && isatty(fileno(stderr)))
+        options.config.on_progress = [&progress](std::size_t done, std::size_t total) {
+            progress(done, total);
+        };
+
+    options.config.isolate_faults = true;
+    options.config.cancel = &g_interrupted;
+    if (!preloaded.empty())
+        options.config.preloaded = &preloaded;
+
+    // --stream: rows leave the process as tasks finish, and the result
+    // vector is only materialized when the metrics manifest (which
+    // journals every task) asks for it.
+    std::optional<Stream_file> json_stream, tasks_csv_stream;
+    std::optional<engine::Json_stream_writer> json_writer;
+    std::optional<engine::Tasks_csv_stream_writer> csv_writer;
+    engine::Aggregator aggregator;
+    if (options.stream) {
+        options.config.collect_results = !options.metrics_json_path.empty();
+        if (!options.json_path.empty()) {
+            json_stream.emplace(options.json_path);
+            json_writer.emplace(json_stream->stream());
+        }
+        if (!options.tasks_csv_path.empty()) {
+            tasks_csv_stream.emplace(options.tasks_csv_path);
+            csv_writer.emplace(tasks_csv_stream->stream());
+        }
+        options.config.on_result = [&](const engine::Task_result& result) {
+            // Aggregate BEFORE emitting: Aggregator::add sorts the
+            // row's CDFs in place (lazy-sort side effect), and the batch
+            // path aggregates everything before writing — matching the
+            // order keeps streamed and batch bytes identical.
+            aggregator.add(result);
+            if (json_writer)
+                json_writer->add(result);
+            if (csv_writer)
+                csv_writer->add(result);
+        };
+    }
+
+    engine::Run_tally tally;
+    const std::vector<engine::Task_result> results =
+        engine::run_sweep(tasks, registry, options.config, &tally);
+    const bool interrupted = g_interrupted.load(std::memory_order_relaxed);
+
+    if (journal)
+        journal->flush();
+
+    std::vector<engine::Point_summary> points;
+    if (options.stream) {
+        points = aggregator.take();
+        if (json_writer) {
+            json_writer->finish(points);
+            json_stream->commit();
+        }
+        if (csv_writer)
+            tasks_csv_stream->commit();
+        if (!options.csv_path.empty())
+            write_file_atomic(options.csv_path, [&](std::ostream& out) {
+                engine::write_summary_csv(out, points);
+            });
+    } else {
+        points = engine::aggregate(results);
+        emit_artifacts(options, results, points);
+    }
+
+    if (!options.quiet)
+        engine::print_summary_table(stdout, points);
+    if (!options.metrics_json_path.empty())
+        write_file_atomic(options.metrics_json_path, [&](std::ostream& out) {
+            engine::write_metrics_json(
+                out, {.driver = "anc_sweep", .base_seed = options.config.base_seed},
+                options.grid, telemetry, results);
+            out << "\n";
+        });
+
+    print_summary_line(tally, interrupted);
+    return exit_code(tally, interrupted);
+}
 
 } // namespace
 
 int main(int argc, char** argv)
 {
-    engine::Sweep_grid grid;
-    grid.scenarios.clear();
-    engine::Executor_config config;
-    std::string json_path;
-    std::string csv_path;
-    std::string tasks_csv_path;
-    std::string metrics_json_path;
-    bool quiet = false;
+    Cli_options options;
+    options.grid.scenarios.clear();
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -208,45 +578,60 @@ int main(int argc, char** argv)
                 return argv[++i];
             };
             if (arg == "--scenario")
-                grid.scenarios.push_back(value());
+                options.grid.scenarios.push_back(value());
             else if (arg == "--scheme")
-                grid.schemes.push_back(value());
+                options.grid.schemes.push_back(value());
             else if (arg == "--snr")
-                grid.snr_db = parse_axis(value());
+                options.grid.snr_db = parse_axis(value());
             else if (arg == "--alice-amplitude")
-                grid.alice_amplitudes = parse_axis(value());
+                options.grid.alice_amplitudes = parse_axis(value());
             else if (arg == "--bob-amplitude")
-                grid.bob_amplitudes = parse_axis(value());
+                options.grid.bob_amplitudes = parse_axis(value());
             else if (arg == "--payload-bits")
-                grid.payload_bits = parse_size_axis(value());
+                options.grid.payload_bits = parse_size_axis(value());
             else if (arg == "--exchanges")
-                grid.exchanges = parse_size_axis(value());
+                options.grid.exchanges = parse_size_axis(value());
             else if (arg == "--detector-threshold")
-                grid.detector_thresholds_db = parse_axis(value());
+                options.grid.detector_thresholds_db = parse_axis(value());
             else if (arg == "--interleave-rows")
-                grid.interleave_rows = parse_size_axis(value());
+                options.grid.interleave_rows = parse_size_axis(value());
             else if (arg == "--coherence-block")
-                grid.coherence_blocks = parse_size_axis(value());
+                options.grid.coherence_blocks = parse_size_axis(value());
             else if (arg == "--mean-link-gain")
-                grid.mean_link_gains = parse_axis(value());
+                options.grid.mean_link_gains = parse_axis(value());
             else if (arg == "--math-profile")
-                grid.math_profiles = parse_profiles(value());
+                options.grid.math_profiles = parse_profiles(value());
             else if (arg == "--repetitions")
-                grid.repetitions = parse_size_axis(value()).front();
+                options.grid.repetitions = parse_size_axis(value()).front();
             else if (arg == "--threads")
-                config.threads = parse_size_axis(value()).front();
+                options.config.threads = parse_size_axis(value()).front();
             else if (arg == "--seed")
-                config.base_seed = std::strtoull(value().c_str(), nullptr, 10);
+                options.config.base_seed = std::strtoull(value().c_str(), nullptr, 10);
             else if (arg == "--json")
-                json_path = value();
+                options.json_path = value();
             else if (arg == "--csv")
-                csv_path = value();
+                options.csv_path = value();
             else if (arg == "--tasks-csv")
-                tasks_csv_path = value();
+                options.tasks_csv_path = value();
             else if (arg == "--metrics-json")
-                metrics_json_path = value();
+                options.metrics_json_path = value();
+            else if (arg == "--journal")
+                options.journal_path = value();
+            else if (arg == "--resume")
+                options.resume_path = value();
+            else if (arg == "--shard") {
+                const auto [k, n] = parse_shard(value());
+                options.shard_index = k;
+                options.shard_count = n;
+            } else if (arg == "--merge") {
+                for (std::string& path : parse_path_list(value()))
+                    options.merge_paths.push_back(std::move(path));
+            } else if (arg == "--task-retries")
+                options.config.max_attempts = 1 + parse_size_axis(value()).front();
+            else if (arg == "--stream")
+                options.stream = true;
             else if (arg == "--quiet")
-                quiet = true;
+                options.quiet = true;
             else if (arg == "--list-scenarios") {
                 for (const std::string& name :
                      engine::Scenario_registry::builtin().names())
@@ -258,49 +643,23 @@ int main(int argc, char** argv)
                 return usage(argv[0], ("unknown argument " + arg).c_str());
             }
         }
-        if (grid.scenarios.empty())
+        if (options.grid.scenarios.empty())
             return usage(argv[0], "at least one --scenario is required");
+        if (!options.merge_paths.empty()
+            && (!options.journal_path.empty() || !options.resume_path.empty()
+                || options.shard_count > 1 || options.stream))
+            return usage(argv[0],
+                         "--merge excludes --journal/--resume/--shard/--stream");
 
-        obs::Sweep_telemetry telemetry;
-        if (!metrics_json_path.empty())
-            config.telemetry = &telemetry;
-        Progress_line progress;
-        if (!quiet && isatty(fileno(stderr)))
-            config.on_progress = [&progress](std::size_t done, std::size_t total) {
-                progress(done, total);
-            };
+        struct sigaction action{};
+        action.sa_handler = handle_signal;
+        sigaction(SIGINT, &action, nullptr);
+        sigaction(SIGTERM, &action, nullptr);
 
-        const engine::Sweep_outcome outcome = engine::run_grid(grid, config);
-
-        if (!quiet)
-            engine::print_summary_table(stdout, outcome.points);
-        const auto write_file = [](const std::string& path, auto&& writer) {
-            std::ofstream out{path};
-            if (!out)
-                throw std::runtime_error{"cannot write " + path};
-            writer(out);
-        };
-        if (!json_path.empty())
-            write_file(json_path, [&](std::ostream& out) {
-                engine::write_json(out, outcome.tasks, outcome.points);
-            });
-        if (!csv_path.empty())
-            write_file(csv_path, [&](std::ostream& out) {
-                engine::write_summary_csv(out, outcome.points);
-            });
-        if (!tasks_csv_path.empty())
-            write_file(tasks_csv_path, [&](std::ostream& out) {
-                engine::write_tasks_csv(out, outcome.tasks);
-            });
-        if (!metrics_json_path.empty())
-            write_file(metrics_json_path, [&](std::ostream& out) {
-                engine::write_metrics_json(
-                    out, {.driver = "anc_sweep", .base_seed = config.base_seed}, grid,
-                    telemetry, outcome.tasks);
-                out << "\n";
-            });
+        if (!options.merge_paths.empty())
+            return run_merge(options);
+        return run_sweep_cli(options);
     } catch (const std::exception& error) {
         return usage(argv[0], error.what());
     }
-    return 0;
 }

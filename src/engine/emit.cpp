@@ -2,9 +2,10 @@
 
 #include <cinttypes>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/atomic_file.h"
 
 namespace anc::engine {
 
@@ -119,32 +120,123 @@ void json_scalars(std::ostream& out, const std::map<std::string, double>& scalar
 
 } // namespace
 
-void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results)
+void write_tasks_csv_header(std::ostream& out)
 {
     out << "#schema=" << sweep_schema << '\n';
     out << "index,scenario,scheme,math_profile,snr_db,alice_amplitude,bob_amplitude,"
            "payload_bits,exchanges,detector_threshold_db,interleave_rows,"
-           "coherence_block,mean_link_gain,repetition,seed,packets_attempted,"
+           "coherence_block,mean_link_gain,repetition,seed,status,packets_attempted,"
            "packets_delivered,payload_bits_delivered,airtime_symbols,delivery_rate,"
            "mean_ber,mean_overlap,raw_throughput,throughput\n";
-    for (const Task_result& result : results) {
-        const Sweep_task& task = result.task;
-        const sim::Run_metrics& metrics = result.result.metrics;
-        out << task.index << ',' << task.scenario << ',' << task.config.scheme << ','
-            << dsp::to_string(task.config.math_profile) << ','
-            << fmt(task.config.snr_db) << ',' << fmt(task.config.alice_amplitude) << ','
-            << fmt(task.config.bob_amplitude) << ',' << task.config.payload_bits << ','
-            << task.config.exchanges << ','
-            << fmt(task.config.receiver.interference_detector.variance_threshold_db)
-            << ',' << task.config.fec_interleave_rows << ','
-            << task.config.coherence_block << ',' << fmt(task.config.mean_link_gain)
-            << ',' << task.repetition << ','
-            << fmt_seed(result.seed) << ',' << metrics.packets_attempted << ','
-            << metrics.packets_delivered << ',' << metrics.payload_bits_delivered << ','
-            << fmt(metrics.airtime_symbols) << ',' << fmt(metrics.delivery_rate()) << ','
-            << fmt(metrics.mean_ber()) << ',' << fmt(metrics.mean_overlap()) << ','
-            << fmt(metrics.raw_throughput()) << ',' << fmt(metrics.throughput()) << '\n';
+}
+
+void write_task_csv_row(std::ostream& out, const Task_result& result)
+{
+    const Sweep_task& task = result.task;
+    const sim::Run_metrics& metrics = result.result.metrics;
+    out << task.index << ',' << task.scenario << ',' << task.config.scheme << ','
+        << dsp::to_string(task.config.math_profile) << ','
+        << fmt(task.config.snr_db) << ',' << fmt(task.config.alice_amplitude) << ','
+        << fmt(task.config.bob_amplitude) << ',' << task.config.payload_bits << ','
+        << task.config.exchanges << ','
+        << fmt(task.config.receiver.interference_detector.variance_threshold_db)
+        << ',' << task.config.fec_interleave_rows << ','
+        << task.config.coherence_block << ',' << fmt(task.config.mean_link_gain)
+        << ',' << task.repetition << ','
+        << fmt_seed(result.seed) << ',' << to_string(result.status) << ','
+        << metrics.packets_attempted << ','
+        << metrics.packets_delivered << ',' << metrics.payload_bits_delivered << ','
+        << fmt(metrics.airtime_symbols) << ',' << fmt(metrics.delivery_rate()) << ','
+        << fmt(metrics.mean_ber()) << ',' << fmt(metrics.mean_overlap()) << ','
+        << fmt(metrics.raw_throughput()) << ',' << fmt(metrics.throughput()) << '\n';
+}
+
+void write_task_json(std::ostream& out, const Task_result& result)
+{
+    out << "{\"index\":" << result.task.index << ",";
+    json_key_fields(out, key_of(result.task));
+    out << ",\"repetition\":" << result.task.repetition << ",\"seed\":\""
+        << fmt_seed(result.seed) << "\",\"status\":\"" << to_string(result.status)
+        << "\"";
+    if (result.status == Task_status::error)
+        out << ",\"error\":\"" << json_escape(result.error) << "\"";
+    out << ",\"metrics\":";
+    json_metrics(out, result.result.metrics);
+    out << ",\"scalars\":";
+    json_scalars(out, result.result.scalars);
+    out << "}";
+}
+
+void write_point_json(std::ostream& out, const Point_summary& summary)
+{
+    out << "{";
+    json_key_fields(out, summary.key);
+    out << ",\"runs\":" << summary.runs << ",\"errors\":" << summary.errors
+        << ",\"throughput\":";
+    json_cdf(out, summary.throughput);
+    out << ",\"raw_throughput\":";
+    json_cdf(out, summary.raw_throughput);
+    out << ",\"delivery_rate\":";
+    json_cdf(out, summary.delivery_rate);
+    out << ",\"run_mean_ber\":";
+    json_cdf(out, summary.run_mean_ber);
+    out << ",\"run_mean_overlap\":";
+    json_cdf(out, summary.run_mean_overlap);
+    out << ",\"totals\":";
+    json_metrics(out, summary.totals);
+    out << ",\"series\":{";
+    bool first_series = true;
+    for (const auto& [name, cdf] : summary.series) {
+        out << (first_series ? "" : ",") << "\"" << json_escape(name) << "\":";
+        json_cdf(out, cdf);
+        first_series = false;
     }
+    out << "},\"scalars\":";
+    json_scalars(out, summary.scalars);
+    out << "}";
+}
+
+Json_stream_writer::Json_stream_writer(std::ostream& out)
+    : out_{out}
+{
+    out_ << "{\"schema\":\"" << sweep_schema << "\",\"tasks\":[";
+}
+
+void Json_stream_writer::add(const Task_result& result)
+{
+    out_ << (first_ ? "" : ",");
+    write_task_json(out_, result);
+    first_ = false;
+}
+
+void Json_stream_writer::finish(const std::vector<Point_summary>& summaries)
+{
+    out_ << "],\"points\":[";
+    bool first = true;
+    for (const Point_summary& summary : summaries) {
+        out_ << (first ? "" : ",");
+        write_point_json(out_, summary);
+        first = false;
+    }
+    out_ << "]}";
+}
+
+Tasks_csv_stream_writer::Tasks_csv_stream_writer(std::ostream& out)
+    : out_{out}
+{
+    write_tasks_csv_header(out_);
+}
+
+void Tasks_csv_stream_writer::add(const Task_result& result)
+{
+    write_task_csv_row(out_, result);
+}
+
+void write_tasks_csv(std::ostream& out, const std::vector<Task_result>& results)
+{
+    Tasks_csv_stream_writer writer{out};
+    for (const Task_result& result : results)
+        writer.add(result);
 }
 
 void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summaries)
@@ -152,9 +244,9 @@ void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summ
     out << "#schema=" << sweep_schema << '\n';
     out << "scenario,scheme,math_profile,snr_db,alice_amplitude,bob_amplitude,"
            "payload_bits,exchanges,detector_threshold_db,interleave_rows,"
-           "coherence_block,mean_link_gain,runs,packets_attempted,packets_delivered,"
-           "delivery_rate,mean_ber,mean_overlap,throughput_mean,throughput_p50,"
-           "throughput_p90,throughput_min,throughput_max\n";
+           "coherence_block,mean_link_gain,runs,errors,packets_attempted,"
+           "packets_delivered,delivery_rate,mean_ber,mean_overlap,throughput_mean,"
+           "throughput_p50,throughput_p90,throughput_min,throughput_max\n";
     for (const Point_summary& summary : summaries) {
         const Point_key& key = summary.key;
         const Cdf_stats throughput = stats_of(summary.throughput);
@@ -164,7 +256,7 @@ void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summ
             << key.payload_bits << ',' << key.exchanges << ','
             << fmt(key.detector_threshold_db) << ',' << key.interleave_rows << ','
             << key.coherence_block << ',' << fmt(key.mean_link_gain) << ','
-            << summary.runs << ','
+            << summary.runs << ',' << summary.errors << ','
             << summary.totals.packets_attempted << ','
             << summary.totals.packets_delivered << ','
             << fmt(summary.totals.delivery_rate()) << ','
@@ -178,49 +270,10 @@ void write_summary_csv(std::ostream& out, const std::vector<Point_summary>& summ
 void write_json(std::ostream& out, const std::vector<Task_result>& results,
                 const std::vector<Point_summary>& summaries)
 {
-    out << "{\"schema\":\"" << sweep_schema << "\",\"tasks\":[";
-    bool first = true;
-    for (const Task_result& result : results) {
-        out << (first ? "" : ",") << "{\"index\":" << result.task.index << ",";
-        json_key_fields(out, key_of(result.task));
-        out << ",\"repetition\":" << result.task.repetition << ",\"seed\":\""
-            << fmt_seed(result.seed) << "\",\"metrics\":";
-        json_metrics(out, result.result.metrics);
-        out << ",\"scalars\":";
-        json_scalars(out, result.result.scalars);
-        out << "}";
-        first = false;
-    }
-    out << "],\"points\":[";
-    first = true;
-    for (const Point_summary& summary : summaries) {
-        out << (first ? "" : ",") << "{";
-        json_key_fields(out, summary.key);
-        out << ",\"runs\":" << summary.runs << ",\"throughput\":";
-        json_cdf(out, summary.throughput);
-        out << ",\"raw_throughput\":";
-        json_cdf(out, summary.raw_throughput);
-        out << ",\"delivery_rate\":";
-        json_cdf(out, summary.delivery_rate);
-        out << ",\"run_mean_ber\":";
-        json_cdf(out, summary.run_mean_ber);
-        out << ",\"run_mean_overlap\":";
-        json_cdf(out, summary.run_mean_overlap);
-        out << ",\"totals\":";
-        json_metrics(out, summary.totals);
-        out << ",\"series\":{";
-        bool first_series = true;
-        for (const auto& [name, cdf] : summary.series) {
-            out << (first_series ? "" : ",") << "\"" << json_escape(name) << "\":";
-            json_cdf(out, cdf);
-            first_series = false;
-        }
-        out << "},\"scalars\":";
-        json_scalars(out, summary.scalars);
-        out << "}";
-        first = false;
-    }
-    out << "]}";
+    Json_stream_writer writer{out};
+    for (const Task_result& result : results)
+        writer.add(result);
+    writer.finish(summaries);
 }
 
 std::string to_json(const std::vector<Task_result>& results,
@@ -250,17 +303,15 @@ std::size_t emit_env_reports(const std::vector<Task_result>& results,
 {
     std::size_t written = 0;
     if (const char* path = std::getenv("ANC_ENGINE_CSV")) {
-        std::ofstream out{path};
-        if (!out)
-            throw std::runtime_error{std::string{"emit_env_reports: cannot open "} + path};
-        write_summary_csv(out, summaries);
+        write_file_atomic(path, [&](std::ostream& out) {
+            write_summary_csv(out, summaries);
+        });
         ++written;
     }
     if (const char* path = std::getenv("ANC_ENGINE_JSON")) {
-        std::ofstream out{path};
-        if (!out)
-            throw std::runtime_error{std::string{"emit_env_reports: cannot open "} + path};
-        write_json(out, results, summaries);
+        write_file_atomic(path, [&](std::ostream& out) {
+            write_json(out, results, summaries);
+        });
         ++written;
     }
     return written;

@@ -3,12 +3,12 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "dsp/math_profile.h"
+#include "util/atomic_file.h"
 #include "util/cpu_features.h"
 #include "util/simd.h"
 
@@ -66,43 +66,6 @@ void json_array(std::ostream& out, const std::vector<T>& values, Fmt&& format_on
     out << "]";
 }
 
-void json_string_array(std::ostream& out, const std::vector<std::string>& values)
-{
-    json_array(out, values,
-               [&](const std::string& s) { out << "\"" << json_escape(s) << "\""; });
-}
-
-void json_grid(std::ostream& out, const Sweep_grid& grid)
-{
-    out << "{\"scenarios\":";
-    json_string_array(out, grid.scenarios);
-    out << ",\"schemes\":";
-    json_string_array(out, grid.schemes);
-    out << ",\"math_profiles\":";
-    json_array(out, grid.math_profiles, [&](const dsp::Math_profile profile) {
-        out << "\"" << dsp::to_string(profile) << "\"";
-    });
-    out << ",\"snr_db\":";
-    json_array(out, grid.snr_db, [&](const double v) { out << fmt(v); });
-    out << ",\"alice_amplitudes\":";
-    json_array(out, grid.alice_amplitudes, [&](const double v) { out << fmt(v); });
-    out << ",\"bob_amplitudes\":";
-    json_array(out, grid.bob_amplitudes, [&](const double v) { out << fmt(v); });
-    out << ",\"payload_bits\":";
-    json_array(out, grid.payload_bits, [&](const std::size_t v) { out << v; });
-    out << ",\"exchanges\":";
-    json_array(out, grid.exchanges, [&](const std::size_t v) { out << v; });
-    out << ",\"detector_thresholds_db\":";
-    json_array(out, grid.detector_thresholds_db, [&](const double v) { out << fmt(v); });
-    out << ",\"interleave_rows\":";
-    json_array(out, grid.interleave_rows, [&](const std::size_t v) { out << v; });
-    out << ",\"coherence_blocks\":";
-    json_array(out, grid.coherence_blocks, [&](const std::size_t v) { out << v; });
-    out << ",\"mean_link_gains\":";
-    json_array(out, grid.mean_link_gains, [&](const double v) { out << fmt(v); });
-    out << ",\"repetitions\":" << grid.repetitions << "}";
-}
-
 } // namespace
 
 void write_metrics_json(std::ostream& out,
@@ -129,8 +92,10 @@ void write_metrics_json(std::ostream& out,
         << (anc::simd::kernels_active() ? "true" : "false") << "}";
 
     // ---- grid echo --------------------------------------------------
-    out << ",\"grid\":";
-    json_grid(out, grid);
+    // The same canonical serialization the journal fingerprints
+    // (engine/sweep.h grid_to_json), so a manifest's grid echo and a
+    // journal's grid hash are cross-checkable.
+    out << ",\"grid\":" << grid_to_json(grid);
 
     // ---- per-stage timing rollup ------------------------------------
     out << ",\"stages\":{";
@@ -207,11 +172,12 @@ bool emit_env_metrics(const Metrics_run_info& info,
     const char* path = std::getenv("ANC_METRICS_JSON");
     if (!path || !*path)
         return false;
-    std::ofstream out{path};
-    if (!out)
-        throw std::runtime_error{std::string{"emit_env_metrics: cannot open "} + path};
-    write_metrics_json(out, info, grid, telemetry, results);
-    out << "\n";
+    // Atomic (temp + rename): a crash mid-emit must never leave a
+    // truncated METRICS_*.json at the published path.
+    write_file_atomic(path, [&](std::ostream& out) {
+        write_metrics_json(out, info, grid, telemetry, results);
+        out << "\n";
+    });
     return true;
 }
 

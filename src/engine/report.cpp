@@ -24,33 +24,42 @@ Point_key key_of(const Sweep_task& task)
     return key;
 }
 
+void Aggregator::add(const Task_result& result)
+{
+    if (result.status == Task_status::skipped)
+        return; // a drained (cancelled) slot: no run happened at all
+    const Point_key key = key_of(result.task);
+    const auto [entry, inserted] = index_.try_emplace(key, summaries_.size());
+    if (inserted) {
+        summaries_.emplace_back();
+        summaries_.back().key = key;
+    }
+    Point_summary* summary = &summaries_[entry->second];
+    if (result.status == Task_status::error) {
+        ++summary->errors; // an isolated fault contributes no samples
+        return;
+    }
+
+    const sim::Run_metrics& metrics = result.result.metrics;
+    ++summary->runs;
+    summary->throughput.add(metrics.throughput());
+    summary->raw_throughput.add(metrics.raw_throughput());
+    summary->delivery_rate.add(metrics.delivery_rate());
+    summary->run_mean_ber.add(metrics.mean_ber());
+    summary->run_mean_overlap.add(metrics.mean_overlap());
+    summary->totals.merge(metrics);
+    for (const auto& [name, cdf] : result.result.series)
+        summary->series[name].add_all(cdf.sorted_samples());
+    for (const auto& [name, value] : result.result.scalars)
+        summary->scalars[name] += value;
+}
+
 std::vector<Point_summary> aggregate(const std::vector<Task_result>& results)
 {
-    std::vector<Point_summary> summaries;
-    std::map<Point_key, std::size_t> index; // key -> slot; order stays first-appearance
-    for (const Task_result& result : results) {
-        const Point_key key = key_of(result.task);
-        const auto [entry, inserted] = index.try_emplace(key, summaries.size());
-        if (inserted) {
-            summaries.emplace_back();
-            summaries.back().key = key;
-        }
-        Point_summary* summary = &summaries[entry->second];
-
-        const sim::Run_metrics& metrics = result.result.metrics;
-        ++summary->runs;
-        summary->throughput.add(metrics.throughput());
-        summary->raw_throughput.add(metrics.raw_throughput());
-        summary->delivery_rate.add(metrics.delivery_rate());
-        summary->run_mean_ber.add(metrics.mean_ber());
-        summary->run_mean_overlap.add(metrics.mean_overlap());
-        summary->totals.merge(metrics);
-        for (const auto& [name, cdf] : result.result.series)
-            summary->series[name].add_all(cdf.sorted_samples());
-        for (const auto& [name, value] : result.result.scalars)
-            summary->scalars[name] += value;
-    }
-    return summaries;
+    Aggregator aggregator;
+    for (const Task_result& result : results)
+        aggregator.add(result);
+    return aggregator.take();
 }
 
 const Point_summary& summary_for(const std::vector<Point_summary>& summaries,

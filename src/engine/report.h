@@ -41,7 +41,8 @@ Point_key key_of(const Sweep_task& task);
 
 struct Point_summary {
     Point_key key;
-    std::size_t runs = 0;
+    std::size_t runs = 0;   ///< tasks that completed ok (samples below)
+    std::size_t errors = 0; ///< tasks isolated as Task_status::error
 
     // One sample per run:
     Cdf throughput;
@@ -56,8 +57,29 @@ struct Point_summary {
     std::map<std::string, double> scalars; ///< scenario-specific counters, summed
 };
 
-/// Group task results by point, first-appearance order.
+/// Group task results by point, first-appearance order.  Tasks that did
+/// not complete ok contribute no samples: errored tasks only bump their
+/// point's `errors` count, skipped (drained) tasks are ignored entirely
+/// — so a cancelled run aggregates exactly its completed prefix.
 std::vector<Point_summary> aggregate(const std::vector<Task_result>& results);
+
+/// The incremental form of `aggregate`, for streaming sweeps that never
+/// materialize the task vector: feed results one at a time (task-index
+/// order, exactly as Executor_config::on_result delivers them) and take
+/// the summaries at the end.  `aggregate` is this class run in a loop,
+/// so batch and streaming aggregation are byte-identical by
+/// construction.
+class Aggregator {
+public:
+    void add(const Task_result& result);
+
+    /// The summaries accumulated so far (first-appearance point order).
+    std::vector<Point_summary> take() { return std::move(summaries_); }
+
+private:
+    std::vector<Point_summary> summaries_;
+    std::map<Point_key, std::size_t> index_; // key -> slot
+};
 
 /// The unique summary for (scenario, scheme); throws std::out_of_range
 /// when absent and std::invalid_argument when ambiguous — on a

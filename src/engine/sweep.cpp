@@ -1,7 +1,9 @@
 #include "engine/sweep.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 
 namespace anc::engine {
@@ -127,6 +129,92 @@ std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& 
 std::vector<Sweep_task> expand(const Sweep_grid& grid)
 {
     return expand(grid, Scenario_registry::builtin());
+}
+
+std::vector<Sweep_task> shard_tasks(const std::vector<Sweep_task>& tasks,
+                                    std::size_t shard_index, std::size_t shard_count)
+{
+    if (shard_count == 0 || shard_index == 0 || shard_index > shard_count)
+        throw std::invalid_argument{"shard_tasks: shard must satisfy 1 <= k <= n"};
+    std::vector<Sweep_task> shard;
+    shard.reserve(tasks.size() / shard_count + 1);
+    for (std::size_t i = shard_index - 1; i < tasks.size(); i += shard_count)
+        shard.push_back(tasks[i]);
+    return shard;
+}
+
+namespace {
+
+std::string fmt_double(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+template <typename T, typename Fmt>
+void json_axis(std::ostream& out, const std::vector<T>& values, Fmt&& format_one)
+{
+    out << "[";
+    bool first = true;
+    for (const T& value : values) {
+        out << (first ? "" : ",");
+        format_one(value);
+        first = false;
+    }
+    out << "]";
+}
+
+void json_string_axis(std::ostream& out, const std::vector<std::string>& values)
+{
+    json_axis(out, values, [&](const std::string& s) {
+        out << '"';
+        // Scenario/scheme names are identifiers; escape the two JSON
+        // metacharacters anyway so a hostile name cannot break the
+        // document (or the fingerprint).
+        for (const char c : s) {
+            if (c == '"' || c == '\\')
+                out << '\\';
+            out << c;
+        }
+        out << '"';
+    });
+}
+
+} // namespace
+
+std::string grid_to_json(const Sweep_grid& grid)
+{
+    std::ostringstream out;
+    out << "{\"scenarios\":";
+    json_string_axis(out, grid.scenarios);
+    out << ",\"schemes\":";
+    json_string_axis(out, grid.schemes);
+    out << ",\"math_profiles\":";
+    json_axis(out, grid.math_profiles, [&](const dsp::Math_profile profile) {
+        out << "\"" << dsp::to_string(profile) << "\"";
+    });
+    out << ",\"snr_db\":";
+    json_axis(out, grid.snr_db, [&](const double v) { out << fmt_double(v); });
+    out << ",\"alice_amplitudes\":";
+    json_axis(out, grid.alice_amplitudes, [&](const double v) { out << fmt_double(v); });
+    out << ",\"bob_amplitudes\":";
+    json_axis(out, grid.bob_amplitudes, [&](const double v) { out << fmt_double(v); });
+    out << ",\"payload_bits\":";
+    json_axis(out, grid.payload_bits, [&](const std::size_t v) { out << v; });
+    out << ",\"exchanges\":";
+    json_axis(out, grid.exchanges, [&](const std::size_t v) { out << v; });
+    out << ",\"detector_thresholds_db\":";
+    json_axis(out, grid.detector_thresholds_db,
+              [&](const double v) { out << fmt_double(v); });
+    out << ",\"interleave_rows\":";
+    json_axis(out, grid.interleave_rows, [&](const std::size_t v) { out << v; });
+    out << ",\"coherence_blocks\":";
+    json_axis(out, grid.coherence_blocks, [&](const std::size_t v) { out << v; });
+    out << ",\"mean_link_gains\":";
+    json_axis(out, grid.mean_link_gains, [&](const double v) { out << fmt_double(v); });
+    out << ",\"repetitions\":" << grid.repetitions << "}";
+    return out.str();
 }
 
 } // namespace anc::engine

@@ -71,4 +71,21 @@ std::vector<Sweep_task> expand(const Sweep_grid& grid, const Scenario_registry& 
 /// Expansion against the builtin registry.
 std::vector<Sweep_task> expand(const Sweep_grid& grid);
 
+/// The deterministic shard partition: tasks whose expansion position
+/// satisfies `index % shard_count == shard_index - 1` (shards are
+/// 1-based, `--shard 2/3` style).  Round-robin, so every shard sees a
+/// balanced mix of grid points instead of a contiguous block of the
+/// most expensive axis.  Tasks keep their GLOBAL index and seed_index —
+/// a shard's results slot straight back into the full grid on merge.
+/// Throws std::invalid_argument unless 1 <= shard_index <= shard_count.
+std::vector<Sweep_task> shard_tasks(const std::vector<Sweep_task>& tasks,
+                                    std::size_t shard_index, std::size_t shard_count);
+
+/// Canonical JSON serialization of a grid — every axis in declaration
+/// order, doubles in fixed round-trip format.  Embedded in the
+/// anc.metrics.v1 manifest and hashed into the journal header (the
+/// grid fingerprint that stops a resume or merge from mixing
+/// incompatible grids).
+std::string grid_to_json(const Sweep_grid& grid);
+
 } // namespace anc::engine

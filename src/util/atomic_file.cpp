@@ -1,0 +1,56 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace anc {
+
+namespace {
+
+/// fsync the named file so the subsequent rename publishes durable
+/// bytes, not page-cache contents that a power cut could drop.
+void fsync_path(const std::string& path)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0)
+        throw std::runtime_error{"write_file_atomic: cannot reopen " + path};
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0)
+        throw std::runtime_error{"write_file_atomic: fsync failed on " + path};
+}
+
+} // namespace
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer)
+{
+    // PID-suffixed so concurrent writers (shard processes pointed at the
+    // same artifact by mistake) cannot corrupt each other's temp file;
+    // last rename wins with a complete document either way.
+    const std::string temp = path + ".tmp." + std::to_string(::getpid());
+    try {
+        {
+            std::ofstream out{temp, std::ios::binary | std::ios::trunc};
+            if (!out)
+                throw std::runtime_error{"write_file_atomic: cannot open " + temp};
+            writer(out);
+            out.flush();
+            if (!out)
+                throw std::runtime_error{"write_file_atomic: write failed on " + temp};
+        }
+        fsync_path(temp);
+        if (std::rename(temp.c_str(), path.c_str()) != 0)
+            throw std::runtime_error{"write_file_atomic: cannot rename " + temp + " -> "
+                                     + path};
+    } catch (...) {
+        std::remove(temp.c_str());
+        throw;
+    }
+}
+
+} // namespace anc

@@ -1,0 +1,30 @@
+// Crash-safe whole-file writes: write to a sibling temp file, fsync,
+// rename over the destination.
+//
+// Every artifact the engine leaves behind (sweep JSON/CSV, the
+// anc.metrics.v1 manifest) used to be written in place, so a crash —
+// exactly the event the fault-tolerant sweep layer exists to survive —
+// could leave a truncated, unparseable file at the published path.
+// rename(2) on the same filesystem is atomic: readers see either the
+// old complete file or the new complete file, never a prefix.
+//
+// The journal (engine/journal.h) is the deliberate exception: it is
+// append-only by design and protects itself with per-line CRCs instead.
+
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace anc {
+
+/// Write `path` atomically: `writer` streams the content into
+/// `path.tmp.<pid>`, which is flushed, fsync'd, and renamed onto `path`.
+/// Throws std::runtime_error (leaving no temp file behind) when the
+/// temp file cannot be created, written, or renamed — the destination is
+/// untouched in every failure mode.
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+} // namespace anc

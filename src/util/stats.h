@@ -60,6 +60,12 @@ public:
 
     const std::vector<double>& sorted_samples() const;
 
+    /// The samples in their CURRENT stored order, without the lazy-sort
+    /// side effect of sorted_samples().  Mean() and merge() accumulate
+    /// in stored order, so exact replay (the sweep journal) must
+    /// serialize and reconstruct this order, not the sorted one.
+    const std::vector<double>& stored_samples() const { return samples_; }
+
 private:
     void ensure_sorted() const;
 

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Shard/merge partition test: run the same grid as three --shard K/3
+# slices (at 1 and 8 threads), --merge the three journals, and require
+# the merged JSON/CSV to be byte-identical to a single uninterrupted
+# run.  Also checks that merging an incomplete shard set is refused.
+#
+# usage: shard_merge_test.sh /path/to/anc_sweep
+set -eu
+
+SWEEP=${1:?usage: shard_merge_test.sh /path/to/anc_sweep}
+WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/anc_shard_merge.XXXXXX")
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+GRID="--scenario alice_bob --snr 18:30:4 --repetitions 3 --exchanges 8 \
+      --payload-bits 512 --seed 4242 --quiet"
+
+echo "== single-run baseline"
+# shellcheck disable=SC2086   # GRID is a flag list
+"$SWEEP" $GRID --threads 2 --json baseline.json --tasks-csv baseline.csv \
+    --csv baseline_agg.csv
+
+for THREADS in 1 8; do
+    echo "== shards at $THREADS threads"
+    for K in 1 2 3; do
+        # shellcheck disable=SC2086
+        "$SWEEP" $GRID --threads "$THREADS" --shard "$K/3" \
+            --journal "shard$K.anj" > /dev/null
+    done
+    echo "== merge"
+    # shellcheck disable=SC2086
+    "$SWEEP" $GRID --merge shard1.anj,shard2.anj,shard3.anj \
+        --json merged.json --tasks-csv merged.csv --csv merged_agg.csv
+    cmp baseline.json merged.json
+    cmp baseline.csv merged.csv
+    cmp baseline_agg.csv merged_agg.csv
+    echo "   merged output byte-identical at $THREADS threads"
+    rm -f shard1.anj shard2.anj shard3.anj merged.json merged.csv merged_agg.csv
+done
+
+echo "== gap detection: merging 2 of 3 shards must fail"
+# shellcheck disable=SC2086
+"$SWEEP" $GRID --threads 1 --shard 1/3 --journal shard1.anj > /dev/null
+# shellcheck disable=SC2086
+"$SWEEP" $GRID --threads 1 --shard 2/3 --journal shard2.anj > /dev/null
+# shellcheck disable=SC2086
+if "$SWEEP" $GRID --merge shard1.anj,shard2.anj --json gap.json 2> gap.log; then
+    echo "FAIL: incomplete merge exited 0" >&2
+    exit 1
+fi
+grep -q "gap" gap.log
+[ ! -f gap.json ] || { echo "FAIL: incomplete merge published gap.json" >&2; exit 1; }
+
+echo "== overlap detection: the same shard twice must fail"
+# shellcheck disable=SC2086
+if "$SWEEP" $GRID --merge shard1.anj,shard1.anj 2> overlap.log; then
+    echo "FAIL: overlapping merge exited 0" >&2
+    exit 1
+fi
+grep -q "overlap" overlap.log
+echo "PASS: shard/merge is byte-identical and gap/overlap-safe"

@@ -1,0 +1,51 @@
+#include "util/rate_limiter.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace anc {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RateLimiter, FirstFireIsAlwaysReady)
+{
+    Rate_limiter gate{100ms};
+    EXPECT_TRUE(gate.ready(Rate_limiter::clock::time_point{}));
+}
+
+TEST(RateLimiter, SuppressesWithinWindowAndReArmsAfter)
+{
+    Rate_limiter gate{100ms};
+    const Rate_limiter::clock::time_point t0{};
+    ASSERT_TRUE(gate.ready(t0));
+    EXPECT_FALSE(gate.ready(t0 + 50ms));
+    EXPECT_FALSE(gate.ready(t0 + 99ms));
+    EXPECT_TRUE(gate.ready(t0 + 100ms));
+    // The window re-arms from the last FIRE, not the last call.
+    EXPECT_FALSE(gate.ready(t0 + 150ms));
+    EXPECT_TRUE(gate.ready(t0 + 200ms));
+}
+
+TEST(RateLimiter, ResetForcesNextFire)
+{
+    Rate_limiter gate{100ms};
+    const Rate_limiter::clock::time_point t0{};
+    ASSERT_TRUE(gate.ready(t0));
+    ASSERT_FALSE(gate.ready(t0 + 1ms));
+    gate.reset();
+    EXPECT_TRUE(gate.ready(t0 + 2ms)); // the "always draw the final one" path
+}
+
+TEST(RateLimiter, ZeroIntervalNeverSuppresses)
+{
+    Rate_limiter gate{0ms};
+    const Rate_limiter::clock::time_point t0{};
+    EXPECT_TRUE(gate.ready(t0));
+    EXPECT_TRUE(gate.ready(t0));
+    EXPECT_TRUE(gate.ready(t0 + 1ms));
+}
+
+} // namespace
+} // namespace anc
