@@ -10,7 +10,9 @@
 // ("21,23,25") or a start:stop:step range ("16:35:2", stop inclusive
 // when landed on exactly).  --scenario and --scheme repeat.  Profiles
 // come as a comma list of exact/fast/simd or the shorthands "both"
-// (exact,fast) and "all".
+// (exact,fast) and "all".  The grid-flag table itself lives in
+// bench/sweep_cli.h, shared with anc_coordinator so a coordinator can
+// forward its grid verbatim to the workers it spawns.
 //
 // Output: the aggregate table on stdout (unless --quiet), plus --json /
 // --csv artifacts in the engine's anc.sweep.v4 schemas and the
@@ -42,12 +44,10 @@
 // finished task).
 
 #include <atomic>
-#include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -56,14 +56,15 @@
 
 #include <unistd.h>
 
+#include "sweep_cli.h"
 #include "engine/engine.h"
 #include "engine/journal.h"
 #include "util/atomic_file.h"
-#include "util/rate_limiter.h"
 
 namespace {
 
 using namespace anc;
+using namespace anc::bench;
 
 /// Set by the SIGINT/SIGTERM handler; polled by every worker between
 /// tasks (Executor_config::cancel), so a signal drains in-flight tasks
@@ -84,23 +85,10 @@ int usage(const char* argv0, const char* error = nullptr)
         stderr,
         "usage: %s --scenario NAME [options]\n"
         "\n"
-        "grid axes (LIST = comma list or start:stop:step range):\n"
-        "  --scenario NAME        registry scenario; repeatable\n"
-        "  --scheme NAME          restrict to this scheme; repeatable\n"
-        "  --snr LIST             SNR sweep in dB (default 25)\n"
-        "  --alice-amplitude LIST / --bob-amplitude LIST\n"
-        "  --payload-bits LIST    payload size axis (default 2048)\n"
-        "  --exchanges LIST       packet pairs per run (default 25)\n"
-        "  --detector-threshold LIST  interference variance threshold, dB\n"
-        "  --interleave-rows LIST     FEC interleaver depth (0 = off)\n"
-        "  --coherence-block LIST     fading coherence block, samples\n"
-        "  --mean-link-gain LIST      fading link-gain multiplier\n"
-        "  --math-profile LIST    exact|fast|simd, or both|all (default exact)\n"
-        "  --repetitions N        independent runs per point (default 1)\n"
+        "%s"
         "\n"
         "execution and output:\n"
         "  --threads N            worker threads (0 = hardware concurrency)\n"
-        "  --seed N               base seed for the deterministic runs\n"
         "  --json PATH            write the full anc.sweep.v4 JSON document\n"
         "  --csv PATH             write the aggregate CSV\n"
         "  --tasks-csv PATH       write the per-task CSV\n"
@@ -121,184 +109,9 @@ int usage(const char* argv0, const char* error = nullptr)
         "  --task-retries N       extra attempts per throwing task (default 0)\n"
         "\n"
         "exit codes: 0 ok, 2 usage, 3 task errors or merge gaps, 4 interrupted\n",
-        argv0);
+        argv0, Grid_cli::usage_text);
     return error == nullptr ? 0 : 2;
 }
-
-/// Parse LIST as doubles: "a,b,c" or "start:stop:step" (stop inclusive
-/// when the lattice lands on it; step > 0).
-std::vector<double> parse_axis(const std::string& text)
-{
-    std::vector<double> values;
-    const std::size_t colon = text.find(':');
-    if (colon != std::string::npos) {
-        const std::size_t colon2 = text.find(':', colon + 1);
-        if (colon2 == std::string::npos)
-            throw std::invalid_argument{"range must be start:stop:step: " + text};
-        const double start = std::stod(text.substr(0, colon));
-        const double stop = std::stod(text.substr(colon + 1, colon2 - colon - 1));
-        const double step = std::stod(text.substr(colon2 + 1));
-        if (step <= 0.0)
-            throw std::invalid_argument{"range step must be positive: " + text};
-        // Half-step slack keeps "16:35:2" ending on 34 and "16:34:2" on
-        // 34 too, without accumulating error over long ranges.
-        for (double v = start; v <= stop + step * 0.5; v += step)
-            values.push_back(v);
-        // An inverted (or NaN) range yields nothing; fail it here with
-        // the offending text instead of letting grid expansion report a
-        // bare "empty axis".
-        if (values.empty())
-            throw std::invalid_argument{"empty range (start > stop?): " + text};
-        return values;
-    }
-    std::size_t pos = 0;
-    while (pos <= text.size()) {
-        const std::size_t comma = text.find(',', pos);
-        const std::string item = text.substr(
-            pos, comma == std::string::npos ? std::string::npos : comma - pos);
-        if (!item.empty())
-            values.push_back(std::stod(item));
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    if (values.empty())
-        throw std::invalid_argument{"empty axis value: " + text};
-    return values;
-}
-
-std::vector<std::size_t> parse_size_axis(const std::string& text)
-{
-    std::vector<std::size_t> values;
-    for (const double v : parse_axis(text)) {
-        if (v < 0.0)
-            throw std::invalid_argument{"axis value must be non-negative: " + text};
-        values.push_back(static_cast<std::size_t>(v + 0.5));
-    }
-    return values;
-}
-
-std::vector<dsp::Math_profile> parse_profiles(const std::string& text)
-{
-    if (text == "both")
-        return {dsp::Math_profile::exact, dsp::Math_profile::fast};
-    if (text == "all")
-        return {dsp::Math_profile::exact, dsp::Math_profile::fast,
-                dsp::Math_profile::simd};
-    std::vector<dsp::Math_profile> profiles;
-    std::size_t pos = 0;
-    while (pos <= text.size()) {
-        const std::size_t comma = text.find(',', pos);
-        const std::string item = text.substr(
-            pos, comma == std::string::npos ? std::string::npos : comma - pos);
-        if (!item.empty())
-            profiles.push_back(dsp::math_profile_from_string(item));
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    if (profiles.empty())
-        throw std::invalid_argument{"empty --math-profile value"};
-    return profiles;
-}
-
-std::vector<std::string> parse_path_list(const std::string& text)
-{
-    std::vector<std::string> paths;
-    std::size_t pos = 0;
-    while (pos <= text.size()) {
-        const std::size_t comma = text.find(',', pos);
-        const std::string item = text.substr(
-            pos, comma == std::string::npos ? std::string::npos : comma - pos);
-        if (!item.empty())
-            paths.push_back(item);
-        if (comma == std::string::npos)
-            break;
-        pos = comma + 1;
-    }
-    return paths;
-}
-
-/// "K/N" -> (K, N), validated 1 <= K <= N.
-std::pair<std::size_t, std::size_t> parse_shard(const std::string& text)
-{
-    const std::size_t slash = text.find('/');
-    if (slash == std::string::npos)
-        throw std::invalid_argument{"--shard wants K/N, got: " + text};
-    const unsigned long k = std::strtoul(text.substr(0, slash).c_str(), nullptr, 10);
-    const unsigned long n = std::strtoul(text.substr(slash + 1).c_str(), nullptr, 10);
-    if (k < 1 || n < 1 || k > n)
-        throw std::invalid_argument{"--shard wants 1 <= K <= N, got: " + text};
-    return {k, n};
-}
-
-/// The stderr progress line: "\r  123/4096 tasks  41.0/s  ETA 97s".
-/// The executor invokes on_progress once per finished task (serialized,
-/// never concurrently); redraws are gated through a Rate_limiter to ~10
-/// per second so terminal I/O never becomes the sweep's bottleneck, and
-/// the final task always draws so the line ends at 100%.
-class Progress_line {
-public:
-    void operator()(std::size_t done, std::size_t total)
-    {
-        if (done != total && !redraw_gate_.ready())
-            return;
-        const double elapsed =
-            std::chrono::duration<double>(clock::now() - start_).count();
-        const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
-        const double eta = rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
-        std::fprintf(stderr, "\r%6zu/%zu tasks  %6.1f/s  ETA %5.0fs ", done, total,
-                     rate, eta);
-        if (done == total)
-            std::fputc('\n', stderr);
-    }
-
-private:
-    using clock = std::chrono::steady_clock;
-    clock::time_point start_ = clock::now();
-    Rate_limiter redraw_gate_{std::chrono::milliseconds{100}};
-};
-
-/// A file that streams row by row but still publishes atomically: rows
-/// go to `<path>.tmp.<pid>`, and commit() renames onto the final path.
-/// An uncommitted (crashed/failed) stream leaves at most a temp file,
-/// removed by the destructor when possible.
-class Stream_file {
-public:
-    explicit Stream_file(const std::string& path)
-        : path_{path}, tmp_{path + ".tmp." + std::to_string(::getpid())}, out_{tmp_}
-    {
-        if (!out_)
-            throw std::runtime_error{"cannot write " + tmp_};
-    }
-
-    ~Stream_file()
-    {
-        if (!committed_) {
-            out_.close();
-            std::remove(tmp_.c_str());
-        }
-    }
-
-    std::ostream& stream() { return out_; }
-
-    void commit()
-    {
-        out_.flush();
-        if (!out_)
-            throw std::runtime_error{"write failed on " + tmp_};
-        out_.close();
-        if (std::rename(tmp_.c_str(), path_.c_str()) != 0)
-            throw std::runtime_error{"cannot rename " + tmp_ + " to " + path_};
-        committed_ = true;
-    }
-
-private:
-    std::string path_;
-    std::string tmp_;
-    std::ofstream out_;
-    bool committed_ = false;
-};
 
 struct Cli_options {
     engine::Sweep_grid grid;
@@ -568,45 +381,20 @@ int main(int argc, char** argv)
 {
     Cli_options options;
     options.grid.scenarios.clear();
+    Grid_cli grid_cli{options.grid};
 
     try {
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
-            const auto value = [&]() -> std::string {
+            const std::function<std::string()> value = [&]() -> std::string {
                 if (i + 1 >= argc)
                     throw std::invalid_argument{arg + " needs a value"};
                 return argv[++i];
             };
-            if (arg == "--scenario")
-                options.grid.scenarios.push_back(value());
-            else if (arg == "--scheme")
-                options.grid.schemes.push_back(value());
-            else if (arg == "--snr")
-                options.grid.snr_db = parse_axis(value());
-            else if (arg == "--alice-amplitude")
-                options.grid.alice_amplitudes = parse_axis(value());
-            else if (arg == "--bob-amplitude")
-                options.grid.bob_amplitudes = parse_axis(value());
-            else if (arg == "--payload-bits")
-                options.grid.payload_bits = parse_size_axis(value());
-            else if (arg == "--exchanges")
-                options.grid.exchanges = parse_size_axis(value());
-            else if (arg == "--detector-threshold")
-                options.grid.detector_thresholds_db = parse_axis(value());
-            else if (arg == "--interleave-rows")
-                options.grid.interleave_rows = parse_size_axis(value());
-            else if (arg == "--coherence-block")
-                options.grid.coherence_blocks = parse_size_axis(value());
-            else if (arg == "--mean-link-gain")
-                options.grid.mean_link_gains = parse_axis(value());
-            else if (arg == "--math-profile")
-                options.grid.math_profiles = parse_profiles(value());
-            else if (arg == "--repetitions")
-                options.grid.repetitions = parse_size_axis(value()).front();
-            else if (arg == "--threads")
+            if (grid_cli.try_parse(arg, value))
+                continue;
+            if (arg == "--threads")
                 options.config.threads = parse_size_axis(value()).front();
-            else if (arg == "--seed")
-                options.config.base_seed = std::strtoull(value().c_str(), nullptr, 10);
             else if (arg == "--json")
                 options.json_path = value();
             else if (arg == "--csv")
@@ -643,6 +431,7 @@ int main(int argc, char** argv)
                 return usage(argv[0], ("unknown argument " + arg).c_str());
             }
         }
+        options.config.base_seed = grid_cli.base_seed;
         if (options.grid.scenarios.empty())
             return usage(argv[0], "at least one --scenario is required");
         if (!options.merge_paths.empty()

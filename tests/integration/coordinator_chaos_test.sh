@@ -1,0 +1,90 @@
+#!/bin/sh
+# Coordinator chaos test (ENGINE.md "Coordinator"): run a sweep under
+# anc_coordinator while SIGKILLing random worker processes at random
+# times, and require the merged artifacts to stay byte-identical to an
+# uninterrupted single-process anc_sweep run — the merge-equivalence
+# guarantee under real process deaths, not just the unit tests' fakes.
+# Runs the 4-worker chaos leg plus the 1- and 8-worker configurations.
+#
+# usage: coordinator_chaos_test.sh /path/to/anc_coordinator /path/to/anc_sweep
+set -eu
+
+COORD=${1:?usage: coordinator_chaos_test.sh /path/to/anc_coordinator /path/to/anc_sweep}
+SWEEP=${2:?usage: coordinator_chaos_test.sh /path/to/anc_coordinator /path/to/anc_sweep}
+WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/anc_coord_chaos.XXXXXX")
+COORD_PID=
+cleanup() {
+    # Reap the coordinator AND any orphaned workers: a wedged child must
+    # not outlive the test or hold the ctest runner open.
+    [ -n "$COORD_PID" ] && kill -KILL "$COORD_PID" 2>/dev/null
+    pkill -KILL -f "$WORKDIR/" 2>/dev/null || true
+    wait 2>/dev/null
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+cd "$WORKDIR"
+
+GRID="--scenario alice_bob --snr 10:38:4 --repetitions 4 --exchanges 30 \
+      --payload-bits 512 --seed 777"
+
+echo "== uninterrupted single-process baseline"
+# shellcheck disable=SC2086   # GRID is a flag list
+"$SWEEP" $GRID --quiet --threads 2 --json baseline.json \
+    --csv baseline_agg.csv --tasks-csv baseline_tasks.csv
+
+# chaos_run WORKERS SHARDS KILLS: coordinate the grid, SIGKILL up to
+# KILLS random workers while it runs, require exit 0 and baseline bytes.
+chaos_run() {
+    WORKERS=$1; SHARDS=$2; KILLS=$3
+    CDIR="$WORKDIR/wd_w$WORKERS"
+    echo "== chaos: $WORKERS workers, $SHARDS shards, up to $KILLS kills"
+    # Liveality knobs: generous heartbeat (the box may be slow; stalls
+    # are the unit tests' domain) and plenty of retries for the kills.
+    # shellcheck disable=SC2086
+    "$COORD" --worker "$SWEEP" --workers "$WORKERS" --shards "$SHARDS" \
+        --work-dir "$CDIR" --shard-retries 20 --heartbeat-ms 60000 \
+        --poll-ms 20 $GRID --quiet \
+        --json "out_w$WORKERS.json" --csv "out_w${WORKERS}_agg.csv" \
+        --tasks-csv "out_w${WORKERS}_tasks.csv" \
+        --metrics-json "metrics_w$WORKERS.json" 2> "coord_w$WORKERS.log" &
+    COORD_PID=$!
+
+    # Workers (not the coordinator) carry "$CDIR/shard" in their argv:
+    # the --journal/--resume path.  The coordinator only has --work-dir.
+    KILLED=0
+    TICK=0
+    while kill -0 "$COORD_PID" 2>/dev/null && [ "$KILLED" -lt "$KILLS" ]; do
+        sleep 0.4
+        TICK=$(( TICK + 1 ))
+        [ "$TICK" -gt 600 ] && break   # bounded: never outwait ctest
+        VICTIM=$(pgrep -f "$CDIR/shard" | awk -v s="$TICK" \
+            'BEGIN{srand(s)} {a[NR]=$0} END{if(NR) print a[int(rand()*NR)+1]}')
+        [ -n "$VICTIM" ] || continue
+        if kill -KILL "$VICTIM" 2>/dev/null; then
+            KILLED=$(( KILLED + 1 ))
+            echo "   SIGKILLed worker pid $VICTIM ($KILLED/$KILLS)"
+        fi
+    done
+
+    STATUS=0
+    wait "$COORD_PID" || STATUS=$?
+    COORD_PID=
+    if [ "$STATUS" != 0 ]; then
+        echo "FAIL: coordinator exited $STATUS after $KILLED kills" >&2
+        cat "coord_w$WORKERS.log" >&2
+        exit 1
+    fi
+    cmp baseline.json "out_w$WORKERS.json"
+    cmp baseline_agg.csv "out_w${WORKERS}_agg.csv"
+    cmp baseline_tasks.csv "out_w${WORKERS}_tasks.csv"
+    grep -q '"schema":"anc.metrics.v1"' "metrics_w$WORKERS.json"
+    grep -q '"coordinator":' "metrics_w$WORKERS.json"
+    REASSIGNED=$(sed 's/.*"reassignments":\([0-9]*\).*/\1/' "metrics_w$WORKERS.json")
+    echo "   byte-identical after $KILLED kills ($REASSIGNED reassignments)"
+}
+
+chaos_run 4 8 4
+chaos_run 1 2 2
+chaos_run 8 8 3
+
+echo "PASS: merged output byte-identical under worker SIGKILLs at 1/4/8 workers"

@@ -11,7 +11,16 @@ set -eu
 
 SWEEP=${1:?usage: kill_resume_test.sh /path/to/anc_sweep}
 WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/anc_kill_resume.XXXXXX")
-trap 'rm -rf "$WORKDIR"' EXIT
+# The trap must also reap the background sweep: if the test dies (or
+# ctest kills it on TIMEOUT), a still-running worker must not wedge the
+# suite or leak into later tests.
+PID=
+cleanup() {
+    [ -n "$PID" ] && kill -KILL "$PID" 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
 cd "$WORKDIR"
 
 # Big enough to survive until the kill lands, small enough for CI.
@@ -29,10 +38,18 @@ echo "== start sweep with journal, SIGKILL at ~half"
 "$SWEEP" $GRID --threads 2 --journal run.anj --json crashed.json &
 PID=$!
 HALF=$(( TASKS / 2 ))
+# Bounded watch loop (~60 s): a hung worker must fail the test here,
+# not stall it until the ctest TIMEOUT reaps the whole suite.
+WAITS=0
 while :; do
     kill -0 "$PID" 2>/dev/null || break
     LINES=$(wc -l < run.anj 2>/dev/null || echo 0)
     [ "$LINES" -ge "$HALF" ] && break
+    WAITS=$(( WAITS + 1 ))
+    if [ "$WAITS" -gt 1200 ]; then
+        echo "FAIL: journal never reached $HALF lines (worker hung?)" >&2
+        exit 1
+    fi
     sleep 0.05
 done
 if kill -KILL "$PID" 2>/dev/null; then
@@ -44,6 +61,7 @@ else
     echo "   resuming a complete journal is still a valid check; continuing" >&2
 fi
 wait "$PID" 2>/dev/null || true
+PID=
 
 if [ "$KILLED" = 1 ] && [ -f crashed.json ]; then
     echo "FAIL: killed run must not publish crashed.json" >&2

@@ -9,7 +9,7 @@ set -eu
 
 SWEEP=${1:?usage: shard_merge_test.sh /path/to/anc_sweep}
 WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/anc_shard_merge.XXXXXX")
-trap 'rm -rf "$WORKDIR"' EXIT
+trap 'rm -rf "$WORKDIR"' EXIT INT TERM
 cd "$WORKDIR"
 
 GRID="--scenario alice_bob --snr 18:30:4 --repetitions 3 --exchanges 8 \
