@@ -32,11 +32,21 @@
 // stages — a missing *measured* stage still fails it.
 //
 // Stages with a `_simd` suffix run under dsp::Math_profile::simd (the
-// runtime-dispatched AVX2 backend; PERF.md "SIMD backend").
-// --min-simd-gain R requires the simd end-to-end exchange to reach R
-// times the *fast* one; when the backend resolved to scalar (no AVX2,
-// or ANC_FORCE_SCALAR_SIMD set) the gate is skipped with a visible
-// notice instead — there is no hardware gain to demand.
+// runtime-dispatched lane backend, avx512 ≻ avx2 ≻ scalar; PERF.md
+// "SIMD backend").  --min-simd-gain R requires the simd end-to-end
+// exchange to reach R times the *fast* one; when the backend resolved
+// to scalar (no AVX2, or ANC_FORCE_SCALAR_SIMD set) the gate is
+// skipped with a visible notice instead — there is no hardware gain to
+// demand — and when it resolved below avx512 (CPU lacks avx512f, or
+// ANC_FORCE_AVX2_SIMD set) a notice flags that the gate is measuring
+// the narrower backend, so CI on non-AVX-512 runners cannot silently
+// pass an avx512-calibrated threshold.
+//
+// The pilot_search / pilot_search_packed pair times phy::find_pattern's
+// historical byte-per-bit scan against the packed bit-domain scan
+// (PERF.md "Bit-domain pilot search") in bits per second over the same
+// haystack — both zero-alloc on warm workspace scratch, enforced like
+// every other stage.
 //
 // --pr N stamps a `"pr": N` field into the JSON document — the
 // convention behind the committed BENCH_dsp.json trajectory snapshots
@@ -83,6 +93,7 @@
 #include "dsp/ops.h"
 #include "dsp/workspace.h"
 #include "net/topology.h"
+#include "phy/pilot.h"
 #include "sim/alice_bob.h"
 #include "util/bits.h"
 #include "util/cpu_features.h"
@@ -366,6 +377,37 @@ Stage_result bench_demodulate(double min_seconds)
     });
 }
 
+Stage_result bench_pilot_search(double min_seconds, bool packed)
+{
+    // A frame-sized random haystack with the pilot planted at the very
+    // last fitting position: random bits cannot hit zero errors by
+    // chance (p ≈ 2^-64 per start), so both variants scan every start
+    // before the early break fires — identical full-span work.
+    Bits bits = frame_sized_bits(bench_frame_bits, 0xF5);
+    const Bits& pilot = phy::pilot_sequence();
+    const std::size_t plant = bits.size() - phy::pilot_length;
+    for (std::size_t i = 0; i < phy::pilot_length; ++i)
+        bits[plant + i] = pilot[i];
+
+    if (!packed) {
+        // The historical byte-per-bit loop, preserved as the reference
+        // (phy::find_pattern_scalar).
+        return time_stage("pilot_search", bits.size(), 2, min_seconds, [&] {
+            const auto match =
+                phy::find_pattern_scalar(bits, pilot, 0, bits.size(), 6);
+            if (!match || match->position != plant)
+                std::fprintf(stderr, "warning: pilot search missed the plant\n");
+        });
+    }
+    // The production bit-domain path, including the per-frame packing
+    // (workspace-leased words, so the steady state allocates nothing).
+    return time_stage("pilot_search_packed", bits.size(), 2, min_seconds, [&] {
+        const auto match = phy::find_pattern(bits, pilot, 0, bits.size(), 6);
+        if (!match || match->position != plant)
+            std::fprintf(stderr, "warning: pilot search missed the plant\n");
+    });
+}
+
 Stage_result bench_exchange(double min_seconds, bool quick, dsp::Math_profile profile)
 {
     sim::Alice_bob_config config;
@@ -604,6 +646,9 @@ int main(int argc, char** argv)
         {"fading_mix", [](double s, bool) { return bench_fading_mix(s); }},
         {"relay", [](double s, bool) { return bench_relay(s); }},
         {"demodulate", [](double s, bool) { return bench_demodulate(s); }},
+        {"pilot_search", [](double s, bool) { return bench_pilot_search(s, false); }},
+        {"pilot_search_packed",
+         [](double s, bool) { return bench_pilot_search(s, true); }},
         {"interference_decode",
          [](double s, bool) { return bench_interference_decode(s, exact); }},
         {"interference_decode_fast",
@@ -696,6 +741,11 @@ int main(int argc, char** argv)
         const double exact_e2e = e2e_rate("alice_bob_exchange");
         const double fast_e2e = e2e_rate("alice_bob_exchange_fast");
         const double simd_e2e = e2e_rate("alice_bob_exchange_simd");
+        const double pilot_scalar = e2e_rate("pilot_search");
+        const double pilot_packed = e2e_rate("pilot_search_packed");
+        if (pilot_scalar > 0.0 && pilot_packed > 0.0)
+            std::printf("\npacked pilot search gain: %.2fx (%.0f -> %.0f bits/s)\n",
+                        pilot_packed / pilot_scalar, pilot_scalar, pilot_packed);
         if (exact_e2e > 0.0 && fast_e2e > 0.0) {
             const double gain = fast_e2e / exact_e2e;
             std::printf("\nfast profile e2e gain: %.2fx (%.0f -> %.0f samples/s)\n",
@@ -724,6 +774,16 @@ int main(int argc, char** argv)
                                 ? "ANC_FORCE_SCALAR_SIMD set"
                                 : "CPU lacks AVX2+FMA");
             } else if (simd_e2e > 0.0 && fast_e2e > 0.0) {
+                if (anc::simd::active_backend() != anc::simd::Backend::avx512) {
+                    // Visible note, mirroring the scalar-resolve notice:
+                    // the gate still runs, but against the avx2 lanes —
+                    // the widest tier is not being exercised here.
+                    std::printf("notice: --min-simd-gain measuring the avx2 "
+                                "backend, not avx512 (%s)\n",
+                                anc::cpu_features().avx512f
+                                    ? "ANC_FORCE_AVX2_SIMD set"
+                                    : "CPU lacks avx512f");
+                }
                 const double gain = simd_e2e / fast_e2e;
                 std::printf("simd profile e2e gain vs fast: %.2fx\n", gain);
                 if (gain < min_simd_gain) {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace anc::chan {
 
@@ -16,16 +17,24 @@ constexpr double inv_sqrt2 = 0.70710678118654752440;
 /// out[n] += signal[n] * rotor_n for n in [begin, end), where rotor_n
 /// advances by `step` per sample (the fast profile's incremental
 /// rotation).  A zero drift makes `step` unity; that case is hoisted
-/// into a constant-rotor multiply-add loop with no serial dependence.
+/// into a constant-rotor multiply-add loop with no serial dependence —
+/// under the simd profile it dispatches to the lane kernels
+/// (simd::rotor_accumulate, bit-identical to the scalar loop), the same
+/// profile gate the AWGN generator uses.
 void accumulate_rotor(dsp::Signal_view signal, std::size_t begin, std::size_t end,
                       dsp::Sample rotor, dsp::Sample step, bool constant_rotor,
-                      dsp::Sample* out)
+                      bool use_lanes, dsp::Sample* out)
 {
     const double* in = reinterpret_cast<const double*>(signal.data());
     double* acc = reinterpret_cast<double*>(out);
     if (constant_rotor) {
         const double rr = rotor.real();
         const double ri = rotor.imag();
+        if (use_lanes) {
+            simd::rotor_accumulate(in + 2 * begin, acc + 2 * begin, end - begin,
+                                   rr, ri);
+            return;
+        }
         for (std::size_t n = begin; n < end; ++n) {
             const double re = in[2 * n];
             const double im = in[2 * n + 1];
@@ -81,7 +90,8 @@ void Link_channel::accumulate_faded(dsp::Signal_view signal, std::uint64_t fadin
             const dsp::Sample step =
                 dsp::profile_polar(profile, 1.0, params_.phase_drift);
             accumulate_rotor(signal, begin_n, end_n, rotor, step,
-                             params_.phase_drift == 0.0, out);
+                             params_.phase_drift == 0.0,
+                             profile == dsp::Math_profile::simd, out);
             continue;
         }
         for (std::size_t n = begin_n; n < end_n; ++n) {
@@ -92,14 +102,55 @@ void Link_channel::accumulate_faded(dsp::Signal_view signal, std::uint64_t fadin
     }
 }
 
-void Link_channel::accumulate_fixed_fast(dsp::Signal_view signal, dsp::Sample* out) const
+const dsp::Sample* Link_channel::rotor_stream(std::size_t samples) const
 {
+    if (rotor_cache_.size() < samples) {
+        if (rotor_cache_.empty())
+            rotor_cache_.push_back(dsp::profile_polar(dsp::Math_profile::fast,
+                                                      params_.gain, params_.phase));
+        const dsp::Sample step =
+            dsp::profile_polar(dsp::Math_profile::fast, 1.0, params_.phase_drift);
+        const double sr = step.real();
+        const double si = step.imag();
+        rotor_cache_.reserve(samples);
+        double rr = rotor_cache_.back().real();
+        double ri = rotor_cache_.back().imag();
+        while (rotor_cache_.size() < samples) {
+            // The recurrence of accumulate_rotor, verbatim, so cached
+            // streams stay bit-identical to the historical serial loop.
+            const double next_rr = rr * sr - ri * si;
+            ri = rr * si + ri * sr;
+            rr = next_rr;
+            rotor_cache_.push_back(dsp::Sample{rr, ri});
+        }
+    }
+    return rotor_cache_.data();
+}
+
+void Link_channel::accumulate_fixed_fast(dsp::Signal_view signal, dsp::Sample* out,
+                                         dsp::Math_profile profile) const
+{
+    if (profile == dsp::Math_profile::simd && params_.phase_drift != 0.0) {
+        // Drifting fixed-gain link under the simd profile: the rotor
+        // stream is a pure function of the link params, so the serial
+        // recurrence is memoised per link and the accumulation becomes an
+        // element-wise complex multiply-add the lane kernels can chew.
+        // (Rayleigh links keep the recurrence: the fade is folded into
+        // rotor_0 there, and ((base·fade)·step^n) rounds differently from
+        // fade·(base·step^n), so a shared cache would change bits.)
+        simd::cmul_accumulate(reinterpret_cast<const double*>(signal.data()),
+                              reinterpret_cast<const double*>(
+                                  rotor_stream(signal.size())),
+                              reinterpret_cast<double*>(out), signal.size());
+        return;
+    }
     const dsp::Sample rotor =
         dsp::profile_polar(dsp::Math_profile::fast, params_.gain, params_.phase);
     const dsp::Sample step =
         dsp::profile_polar(dsp::Math_profile::fast, 1.0, params_.phase_drift);
     accumulate_rotor(signal, 0, signal.size(), rotor, step,
-                     params_.phase_drift == 0.0, out);
+                     params_.phase_drift == 0.0,
+                     profile == dsp::Math_profile::simd, out);
 }
 
 Link_channel::Link_channel(Link_params params)
@@ -129,7 +180,7 @@ dsp::Signal Link_channel::apply(dsp::Signal_view signal, std::uint64_t fading_ep
     if (params_.gain_model == Gain_model::fixed) {
         if (profile != dsp::Math_profile::exact) {
             out.assign(params_.delay + signal.size(), dsp::Sample{0.0, 0.0});
-            accumulate_fixed_fast(signal, out.data() + params_.delay);
+            accumulate_fixed_fast(signal, out.data() + params_.delay, profile);
             return out;
         }
         out.reserve(params_.delay + signal.size());
@@ -150,15 +201,21 @@ void Link_channel::apply_onto(dsp::Signal_view signal, std::size_t at,
                               dsp::Math_profile profile) const
 {
     const std::size_t begin = at + params_.delay;
+    // Grow by value-initializing resize: for std::complex<double> that
+    // zero-initializes (bit-identical to filling Sample{0.0, 0.0}), but
+    // libstdc++ lowers it to a tight loop while the fill-constructing
+    // resize(n, value) overload runs an order of magnitude slower on the
+    // ~2 KiB-per-symbol buffers this accumulates into — it dominated the
+    // channel stage before the change.
     if (acc.size() < begin + signal.size())
-        acc.resize(begin + signal.size(), dsp::Sample{0.0, 0.0});
+        acc.resize(begin + signal.size());
     dsp::Sample* out = acc.data() + begin;
     if (params_.gain_model == Gain_model::fixed) {
         if (profile != dsp::Math_profile::exact) {
-            // The simd profile shares the fast rotor kernels: the
-            // recurrence is mul/add only (no transcendental per sample),
-            // already auto-vectorized in the drift-free case.
-            accumulate_fixed_fast(signal, out);
+            // Fast and simd share the rotor arithmetic; under simd the
+            // drift-free case additionally runs on the lane kernels
+            // (bit-identical — see accumulate_rotor).
+            accumulate_fixed_fast(signal, out, profile);
             return;
         }
         for (std::size_t n = 0; n < signal.size(); ++n) {

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "dsp/math_profile.h"
 #include "dsp/sample.h"
@@ -111,10 +112,24 @@ private:
     void accumulate_faded(dsp::Signal_view signal, std::uint64_t fading_epoch,
                           dsp::Sample* out, dsp::Math_profile profile) const;
 
-    /// Fixed-gain fast-profile kernel: rotor-recurrence accumulation.
-    void accumulate_fixed_fast(dsp::Signal_view signal, dsp::Sample* out) const;
+    /// Fixed-gain fast/simd kernel: rotor-recurrence accumulation
+    /// (lane-dispatched under the simd profile — constant-rotor lanes
+    /// when drift-free, cached rotor stream + complex multiply-accumulate
+    /// lanes when drifting).
+    void accumulate_fixed_fast(dsp::Signal_view signal, dsp::Sample* out,
+                               dsp::Math_profile profile) const;
+
+    /// First `samples` values of the fixed-gain rotor stream
+    /// rotor_n = polar(gain, phase)·step^n, produced by the exact
+    /// recurrence of the historical per-transmission loop and memoised —
+    /// a fixed link's stream never changes, so the serial chain runs once
+    /// per link instead of once per transmission.  The cache makes
+    /// concurrent apply calls on one link racy; media (and their links)
+    /// are owned per sweep task, never shared across threads.
+    const dsp::Sample* rotor_stream(std::size_t samples) const;
 
     Link_params params_;
+    mutable std::vector<dsp::Sample> rotor_cache_;
 };
 
 } // namespace anc::chan

@@ -94,7 +94,9 @@ void Medium::receive_into(Node_id receiver,
             continue; // out of radio range
         it->second.apply_onto(tx.signal, tx.start, out, fading_epoch_, profile_);
     }
-    out.resize(out.size() + trailing_noise, dsp::Sample{0.0, 0.0});
+    // Value-initializing resize: zero bits, same as Sample{0.0, 0.0},
+    // minus the slow fill-construct path (see Link_channel::apply_onto).
+    out.resize(out.size() + trailing_noise);
     Awgn noise{noise_power_, rng_.fork(static_cast<std::uint64_t>(receiver) + 1),
                profile_};
     noise.add_in_place(out);

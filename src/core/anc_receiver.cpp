@@ -68,6 +68,7 @@ std::optional<phy::Frame_header> header_after_pilot(const Bits& bits, std::size_
 /// Rejects frames whose header equals `known_header` (the degenerate
 /// self-mirror of the cancelled signal).
 std::optional<phy::Parsed_frame> recover_from_tail(const Bits& bits,
+                                                   const phy::Packed_bits& packed_bits,
                                                    const phy::Frame_header& known_header,
                                                    std::size_t& pilot_errors_out)
 {
@@ -75,11 +76,12 @@ std::optional<phy::Parsed_frame> recover_from_tail(const Bits& bits,
         return std::nullopt;
     // The mirrored pilot is the last field of the frame; the stream may
     // run a few windowed samples past the true end, so scan the last
-    // stretch for the best match.
+    // stretch for the best match.  The caller's packed haystack covers
+    // these bits, so the tail scan packs nothing.
     const std::size_t last_start = bits.size() - phy::pilot_length;
     const std::size_t from = last_start > 192 ? last_start - 192 : 0;
-    const auto tail_pilot =
-        phy::find_pattern(bits, phy::pilot_mirrored(), from, last_start, 8);
+    const auto tail_pilot = phy::find_pattern(packed_bits, phy::pilot_mirrored_packed(),
+                                              from, last_start, 8);
     if (!tail_pilot)
         return std::nullopt;
     if (tail_pilot->position < phy::header_length)
@@ -321,12 +323,15 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
         report.overlap_begin > pilot_pos ? report.overlap_begin - pilot_pos : 0;
     const std::size_t search_to =
         unknown_start + 6 * config_.interference_detector.window;
+    // Pack the decoded stream once: the pilot loop below and the
+    // mirrored-tail fallback all scan these same bits.
+    const phy::Packed_bits packed_decoded{*decoded_bits};
     std::optional<phy::Parsed_frame> parsed;
     std::size_t pilot_errors = 0;
     std::size_t search_from = 0;
     while (!parsed) {
         const auto unknown_pilot =
-            phy::find_pattern(*decoded_bits, phy::pilot_sequence(), search_from, search_to,
+            phy::find_pattern(packed_decoded, phy::pilot_packed(), search_from, search_to,
                               config_.unknown_pilot_max_errors);
         if (!unknown_pilot)
             break;
@@ -351,7 +356,8 @@ std::optional<phy::Received_frame> Anc_receiver::decode_interfered(
         // is exactly why the frame carries a *mirrored* header and pilot
         // at its other end (§7.4): the unknown packet ends in its
         // interference-free region, so its tail copy decodes cleanly.
-        parsed = recover_from_tail(*decoded_bits, known.header, pilot_errors);
+        parsed = recover_from_tail(*decoded_bits, packed_decoded, known.header,
+                                   pilot_errors);
         if (!parsed) {
             diag.failure = Decode_failure::no_unknown_pilot;
             return std::nullopt;

@@ -44,6 +44,20 @@ Energy_scan scan_energy(Signal_view signal, std::size_t window)
     return scan;
 }
 
+namespace {
+
+/// x / 2^k and x * 2^-k round identically for every double (scaling by
+/// an exact power of two), so when the window is a power of two the
+/// per-window divides — vdivpd is the one poorly-pipelined instruction
+/// in the finalize loops — become multiplies without changing a bit.
+/// Both detector windows (16 and 64) take this path.
+inline bool exact_reciprocal(std::size_t window)
+{
+    return (window & (window - 1)) == 0;
+}
+
+} // namespace
+
 void scan_energy_into(Signal_view signal, std::size_t window,
                       std::vector<double>& scratch_energies,
                       std::vector<double>& window_mean,
@@ -93,6 +107,17 @@ void scan_energy_into(Signal_view signal, std::size_t window,
     }
 
     const auto w = static_cast<double>(window);
+    const double inv_w = 1.0 / w;
+    if (exact_reciprocal(window)) {
+        for (std::size_t start = 0; start < windows; ++start) {
+            const double mean = sums[start] * inv_w;
+            double variance = sum_sqs[start] * inv_w - mean * mean;
+            variance = variance < 0.0 ? 0.0 : variance;
+            sums[start] = mean;
+            sum_sqs[start] = variance;
+        }
+        return;
+    }
     for (std::size_t start = 0; start < windows; ++start) {
         const double mean = sums[start] / w;
         // Population variance; clamp tiny negatives from cancellation
@@ -103,6 +128,49 @@ void scan_energy_into(Signal_view signal, std::size_t window,
         sums[start] = mean;
         sum_sqs[start] = variance;
     }
+}
+
+void scan_energy_mean_into(Signal_view signal, std::size_t window,
+                           std::vector<double>& scratch_energies,
+                           std::vector<double>& window_mean)
+{
+    if (window == 0)
+        throw std::invalid_argument{"scan_energy: window must be positive"};
+    window_mean.clear();
+    if (signal.size() < window)
+        return;
+
+    sample_energies_into(signal, scratch_energies);
+    const double* e = scratch_energies.data();
+    const std::size_t count = scratch_energies.size();
+    const std::size_t windows = count - window + 1;
+
+    // The sum recurrence never reads sum_sq, so dropping the variance
+    // half leaves every emitted mean byte-identical to scan_energy_into
+    // while halving both the serial chain and the finalize pass — the
+    // packet detector (which never looks at the variance series) runs
+    // this on every receive.
+    window_mean.resize(windows);
+    double* sums = window_mean.data();
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < window; ++i)
+        sum += e[i];
+    sums[0] = sum;
+    for (std::size_t start = 1; start < windows; ++start) {
+        sum += e[start - 1 + window] - e[start - 1];
+        sums[start] = sum;
+    }
+
+    const auto w = static_cast<double>(window);
+    const double inv_w = 1.0 / w;
+    if (exact_reciprocal(window)) {
+        for (std::size_t start = 0; start < windows; ++start)
+            sums[start] *= inv_w;
+        return;
+    }
+    for (std::size_t start = 0; start < windows; ++start)
+        sums[start] /= w;
 }
 
 } // namespace anc::dsp

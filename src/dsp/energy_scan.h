@@ -46,4 +46,12 @@ void scan_energy_into(Signal_view signal, std::size_t window,
                       std::vector<double>& window_mean,
                       std::vector<double>& window_variance);
 
+/// Mean series only — byte-identical to scan_energy_into's window_mean
+/// (the two sliding sums are independent chains) at roughly half the
+/// cost.  For consumers like the packet detector that never read the
+/// variance series.
+void scan_energy_mean_into(Signal_view signal, std::size_t window,
+                           std::vector<double>& scratch_energies,
+                           std::vector<double>& window_mean);
+
 } // namespace anc::dsp

@@ -23,10 +23,12 @@ std::vector<double> phase_differences_for_bits(std::span<const std::uint8_t> bit
 void phase_differences_for_bits_into(std::span<const std::uint8_t> bits,
                                      std::vector<double>& out)
 {
-    out.clear();
-    out.reserve(bits.size());
-    for (const std::uint8_t bit : bits)
-        out.push_back(msk_phase_step(bit));
+    // Presized indexed writes let the ±π/2 select compile to a vector
+    // blend; push_back's size bump kept the historical loop scalar.
+    out.resize(bits.size());
+    double* steps = out.data();
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        steps[i] = msk_phase_step(bits[i]);
 }
 
 Msk_modulator::Msk_modulator(double amplitude, double initial_phase,
@@ -53,15 +55,29 @@ void Msk_modulator::modulate_into(std::span<const std::uint8_t> bits, Signal& ou
         // per-sample sincos or phase accumulator is needed (nothing for
         // lanes to speed up).  Only the initial sample differs from the
         // exact path (fast_sincos vs libm, low-order bits).
+        //
+        // Every sample is the initial one rotated by a multiple of π/2,
+        // so only four values ever occur; tracking the quadrant as a
+        // 1-cycle integer recurrence and storing from a 4-entry table
+        // breaks the FP swap/negate dependency chain the historical loop
+        // carried.  The table entries are component swaps and exact sign
+        // flips of the initial sample — bit-identical to iterating
+        // multiplication by ±i (a 1-bit ^= 1 per step on a zero
+        // component included).
         double s = 0.0;
         double c = 0.0;
         fast_sincos(initial_phase_, s, c);
-        Sample current{amplitude_ * c, amplitude_ * s};
-        out.push_back(current);
-        for (const std::uint8_t bit : bits) {
-            current = bit ? Sample{-current.imag(), current.real()}
-                          : Sample{current.imag(), -current.real()};
-            out.push_back(current);
+        const double re = amplitude_ * c;
+        const double im = amplitude_ * s;
+        const double quad_re[4] = {re, -im, -re, im};
+        const double quad_im[4] = {im, re, -im, -re};
+        out.resize(bits.size() + 1);
+        Sample* o = out.data();
+        o[0] = Sample{re, im};
+        unsigned quadrant = 0;
+        for (std::size_t n = 0; n < bits.size(); ++n) {
+            quadrant = (quadrant + (bits[n] ? 1u : 3u)) & 3u;
+            o[n + 1] = Sample{quad_re[quadrant], quad_im[quadrant]};
         }
         return;
     }

@@ -5,23 +5,35 @@
 namespace anc::dsp {
 
 Scrambler::Scrambler(std::uint16_t seed)
-    : seed_{seed}
+    : seed_{seed}, lfsr_{seed}
 {
     if (seed == 0)
         throw std::invalid_argument{"Scrambler: LFSR seed must be non-zero"};
 }
 
-Bits Scrambler::apply(std::span<const std::uint8_t> bits) const
+void Scrambler::extend_keystream(std::size_t length) const
 {
-    Bits out(bits.size());
-    std::uint16_t lfsr = seed_;
-    for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (keystream_.size() >= length)
+        return;
+    keystream_.reserve(length);
+    std::uint16_t lfsr = lfsr_;
+    while (keystream_.size() < length) {
         // Fibonacci LFSR, taps 16,14,13,11 (V.41).
         const std::uint16_t feedback = static_cast<std::uint16_t>(
             ((lfsr >> 0u) ^ (lfsr >> 2u) ^ (lfsr >> 3u) ^ (lfsr >> 5u)) & 1u);
         lfsr = static_cast<std::uint16_t>((lfsr >> 1u) | (feedback << 15u));
-        out[i] = static_cast<std::uint8_t>(bits[i] ^ (feedback & 1u));
+        keystream_.push_back(static_cast<std::uint8_t>(feedback & 1u));
     }
+    lfsr_ = lfsr;
+}
+
+Bits Scrambler::apply(std::span<const std::uint8_t> bits) const
+{
+    extend_keystream(bits.size());
+    Bits out(bits.size());
+    const std::uint8_t* key = keystream_.data();
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        out[i] = static_cast<std::uint8_t>(bits[i] ^ key[i]);
     return out;
 }
 

@@ -12,12 +12,21 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "util/bits.h"
 
 namespace anc::dsp {
 
 /// Self-inverse whitening transform: scramble(scramble(x)) == x.
+///
+/// The keystream restarts from the seed on every apply(), so it is a
+/// fixed sequence per instance; the serial LFSR recurrence therefore
+/// runs once per prefix length and is memoised, leaving apply() a flat
+/// (auto-vectorized) XOR.  The cache makes concurrent apply() calls on
+/// one instance racy — modems own their scrambler per node and sweep
+/// tasks own their nodes per worker, so no instance is ever shared
+/// across threads.
 class Scrambler {
 public:
     explicit Scrambler(std::uint16_t seed = 0xACE1u);
@@ -27,7 +36,11 @@ public:
     Bits apply(std::span<const std::uint8_t> bits) const;
 
 private:
+    void extend_keystream(std::size_t length) const;
+
     std::uint16_t seed_;
+    mutable std::uint16_t lfsr_ = 0; // state after keystream_.size() steps
+    mutable std::vector<std::uint8_t> keystream_;
 };
 
 } // namespace anc::dsp

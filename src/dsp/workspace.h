@@ -118,17 +118,21 @@ public:
     /// Lease a cleared real-valued buffer.
     Lease<double> reals() { return {&reals_, reals_.acquire()}; }
 
+    /// Lease a cleared 64-bit word buffer (the bit-domain pilot search's
+    /// packed-haystack scratch, phy/pilot.h).
+    Lease<std::uint64_t> words() { return {&words_, words_.acquire()}; }
+
     /// Buffers created since construction — stops growing once the pool
     /// is warm (the zero-allocation invariant tests watch this).
     std::size_t buffers_created() const
     {
-        return signals_.created + bits_.created + reals_.created;
+        return signals_.created + bits_.created + reals_.created + words_.created;
     }
 
     /// Total leases served (diagnostics).
     std::size_t leases_served() const
     {
-        return signals_.served + bits_.served + reals_.served;
+        return signals_.served + bits_.served + reals_.served + words_.served;
     }
 
     /// The workspace bound to this thread, or a per-thread default when
@@ -154,11 +158,13 @@ private:
     Pool<Sample> signals_;
     Pool<std::uint8_t> bits_;
     Pool<double> reals_;
+    Pool<std::uint64_t> words_;
 };
 
 /// Shorthand for the common lease types.
 using Signal_lease = Workspace::Lease<Sample>;
 using Bits_lease = Workspace::Lease<std::uint8_t>;
 using Reals_lease = Workspace::Lease<double>;
+using Words_lease = Workspace::Lease<std::uint64_t>;
 
 } // namespace anc::dsp

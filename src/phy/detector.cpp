@@ -24,9 +24,10 @@ std::optional<Packet_bounds> Packet_detector::detect(dsp::Signal_view signal) co
     dsp::Workspace& workspace = dsp::Workspace::current();
     auto energies = workspace.reals();
     auto window_mean = workspace.reals();
-    auto window_variance = workspace.reals();
-    dsp::scan_energy_into(signal, config_.window, *energies, *window_mean,
-                          *window_variance);
+    // Mean-only scan: detection thresholds the window means and never
+    // reads the variance series, so skipping it halves the scan (the
+    // means are byte-identical — see scan_energy_mean_into).
+    dsp::scan_energy_mean_into(signal, config_.window, *energies, *window_mean);
     const std::vector<double>& mean = *window_mean;
     const double threshold = noise_power_ * from_db(config_.energy_threshold_db);
 

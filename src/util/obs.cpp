@@ -42,6 +42,7 @@ const char* to_string(Counter counter)
     case Counter::rx_fail_no_amplitudes: return "rx_fail_no_amplitudes";
     case Counter::rx_fail_no_unknown_pilot: return "rx_fail_no_unknown_pilot";
     case Counter::rx_fail_bad_unknown_frame: return "rx_fail_bad_unknown_frame";
+    case Counter::pilot_degenerate: return "pilot_degenerate";
     case Counter::count: break;
     }
     return "unknown";

@@ -83,6 +83,11 @@ enum class Counter : std::size_t {
     rx_fail_no_amplitudes,
     rx_fail_no_unknown_pilot,
     rx_fail_bad_unknown_frame,
+    // phy::find_pattern — degenerate calls (empty pattern, or a haystack
+    // shorter than the pattern).  Kept out of pilot_searches and the
+    // pilot_search stage timer so the manifest's per-search cost is not
+    // skewed by calls that never scanned anything.
+    pilot_degenerate,
     count, ///< sentinel
 };
 

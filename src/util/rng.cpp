@@ -25,12 +25,17 @@ Counter_normal::Counter_normal(std::uint64_t seed, std::uint64_t stream)
 void Counter_normal::fill_simd(std::uint64_t first_counter, double* out,
                                std::size_t count) const
 {
-    // Full 4-pair (8-normal) blocks go to the AVX2 lanes; the remainder
-    // — and the whole span when the backend resolved to scalar — goes to
-    // fill(), which is element-wise identical (draws are pure in
-    // (key, counter), so the seam carries no state).
+    // Full 8-pair (16-normal, avx512) or 4-pair (8-normal, avx2) blocks
+    // go to the lane kernels; the remainder — and the whole span when
+    // the backend resolved to scalar — goes to fill(), which is
+    // element-wise identical (draws are pure in (key, counter), so the
+    // seam carries no state).
     std::size_t head = 0;
-    if (simd::kernels_active()) {
+    if (simd::active_backend() == simd::Backend::avx512) {
+        head = count & ~std::size_t{15};
+        simd::detail::counter_normal_fill_avx512(key_a_, key_b_, first_counter,
+                                                 out, head);
+    } else if (simd::kernels_active()) {
         head = count & ~std::size_t{7};
         simd::detail::counter_normal_fill_avx2(key_a_, key_b_, first_counter, out,
                                                head);
@@ -42,7 +47,12 @@ void Counter_normal::add_scaled_simd(std::uint64_t first_counter, double scale,
                                      double* inout, std::size_t count) const
 {
     std::size_t head = 0;
-    if (simd::kernels_active()) {
+    if (simd::active_backend() == simd::Backend::avx512) {
+        head = count & ~std::size_t{15};
+        simd::detail::counter_normal_add_scaled_avx512(key_a_, key_b_,
+                                                       first_counter, scale,
+                                                       inout, head);
+    } else if (simd::kernels_active()) {
         head = count & ~std::size_t{7};
         simd::detail::counter_normal_add_scaled_avx2(key_a_, key_b_, first_counter,
                                                      scale, inout, head);

@@ -161,20 +161,62 @@ void diff_arg_batch_scalar(const double* interleaved_samples,
     }
 }
 
+void rotor_accumulate_scalar(const double* interleaved_in,
+                             double* interleaved_acc, std::size_t samples,
+                             double rotor_re, double rotor_im)
+{
+    // Must match Link_channel's historical constant-rotor loop operation
+    // for operation (channel/link.cpp).
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double re = interleaved_in[2 * i];
+        const double im = interleaved_in[2 * i + 1];
+        interleaved_acc[2 * i] += re * rotor_re - im * rotor_im;
+        interleaved_acc[2 * i + 1] += re * rotor_im + im * rotor_re;
+    }
+}
+
+void cmul_accumulate_scalar(const double* interleaved_in,
+                            const double* interleaved_rotors,
+                            double* interleaved_acc, std::size_t samples)
+{
+    // Per-element arithmetic of the historical drifting-rotor loop
+    // (channel/link.cpp), with the rotor read from the cached stream
+    // instead of carried through the recurrence.
+    for (std::size_t i = 0; i < samples; ++i) {
+        const double re = interleaved_in[2 * i];
+        const double im = interleaved_in[2 * i + 1];
+        const double rr = interleaved_rotors[2 * i];
+        const double ri = interleaved_rotors[2 * i + 1];
+        interleaved_acc[2 * i] += re * rr - im * ri;
+        interleaved_acc[2 * i + 1] += re * ri + im * rr;
+    }
+}
+
 } // namespace detail
 
-Backend resolve_backend(bool cpu_has_avx2, bool cpu_has_fma, bool force_scalar)
+Backend resolve_backend(bool cpu_has_avx2, bool cpu_has_fma, bool cpu_has_avx512f,
+                        bool force_scalar, bool force_avx2)
 {
     if (force_scalar || !cpu_has_avx2 || !cpu_has_fma)
         return Backend::scalar;
-    return Backend::avx2;
+    if (force_avx2 || !cpu_has_avx512f)
+        return Backend::avx2;
+    return Backend::avx512;
 }
 
-bool force_scalar_from_env()
+namespace {
+
+bool env_flag(const char* name)
 {
-    const char* env = std::getenv("ANC_FORCE_SCALAR_SIMD");
+    const char* env = std::getenv(name);
     return env != nullptr && *env != '\0' && std::string_view{env} != "0";
 }
+
+} // namespace
+
+bool force_scalar_from_env() { return env_flag("ANC_FORCE_SCALAR_SIMD"); }
+
+bool force_avx2_from_env() { return env_flag("ANC_FORCE_AVX2_SIMD"); }
 
 Backend active_backend()
 {
@@ -182,26 +224,46 @@ Backend active_backend()
     // stable decision is what makes the simd profile's determinism
     // arguments ("bit-identical at any thread count") trivially hold.
     static const Backend backend = resolve_backend(
-        cpu_features().avx2, cpu_features().fma, force_scalar_from_env());
+        cpu_features().avx2, cpu_features().fma, cpu_features().avx512f,
+        force_scalar_from_env(), force_avx2_from_env());
     return backend;
 }
 
 bool kernels_active()
 {
-    return active_backend() == Backend::avx2;
+    return active_backend() != Backend::scalar;
 }
 
 // ---------------------------------------------------------- dispatchers
-// Full 4-wide blocks go to the AVX2 lanes; tails (and the scalar
-// backend) go to the fallback.  The two are element-wise identical, so
-// the split point is invisible in the output.
+// Full 8-wide (avx512) or 4-wide (avx2) blocks go to the lane TUs;
+// tails (and the scalar backend) go to the fallback.  All tiers are
+// element-wise identical, so the split point is invisible in the
+// output.
+
+namespace {
+
+/// The widest full block the active backend can take: 8-wide for
+/// avx512, 4-wide for avx2, none for scalar.
+inline std::size_t lane_head(std::size_t n)
+{
+    switch (active_backend()) {
+    case Backend::avx512: return n & ~std::size_t{7};
+    case Backend::avx2: return n & ~std::size_t{3};
+    case Backend::scalar: break;
+    }
+    return 0;
+}
+
+} // namespace
 
 void atan2_batch(const double* y, const double* x, double* out, std::size_t n)
 {
-    std::size_t head = 0;
-    if (kernels_active()) {
-        head = n & ~std::size_t{3};
-        detail::atan2_batch_avx2(y, x, out, head);
+    const std::size_t head = lane_head(n);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::atan2_batch_avx512(y, x, out, head);
+        else
+            detail::atan2_batch_avx2(y, x, out, head);
     }
     detail::atan2_batch_scalar(y + head, x + head, out + head, n - head);
 }
@@ -209,10 +271,12 @@ void atan2_batch(const double* y, const double* x, double* out, std::size_t n)
 void sincos_batch(const double* angles, double* sin_out, double* cos_out,
                   std::size_t n)
 {
-    std::size_t head = 0;
-    if (kernels_active()) {
-        head = n & ~std::size_t{3};
-        detail::sincos_batch_avx2(angles, sin_out, cos_out, head);
+    const std::size_t head = lane_head(n);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::sincos_batch_avx512(angles, sin_out, cos_out, head);
+        else
+            detail::sincos_batch_avx2(angles, sin_out, cos_out, head);
     }
     detail::sincos_batch_scalar(angles + head, sin_out + head, cos_out + head,
                                 n - head);
@@ -220,10 +284,12 @@ void sincos_batch(const double* angles, double* sin_out, double* cos_out,
 
 void log_batch(const double* x, double* out, std::size_t n)
 {
-    std::size_t head = 0;
-    if (kernels_active()) {
-        head = n & ~std::size_t{3};
-        detail::log_batch_avx2(x, out, head);
+    const std::size_t head = lane_head(n);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::log_batch_avx512(x, out, head);
+        else
+            detail::log_batch_avx2(x, out, head);
     }
     detail::log_batch_scalar(x + head, out + head, n - head);
 }
@@ -231,10 +297,12 @@ void log_batch(const double* x, double* out, std::size_t n)
 void polar_batch(const double* angles, double magnitude, double* interleaved_out,
                  std::size_t n)
 {
-    std::size_t head = 0;
-    if (kernels_active()) {
-        head = n & ~std::size_t{3};
-        detail::polar_batch_avx2(angles, magnitude, interleaved_out, head);
+    const std::size_t head = lane_head(n);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::polar_batch_avx512(angles, magnitude, interleaved_out, head);
+        else
+            detail::polar_batch_avx2(angles, magnitude, interleaved_out, head);
     }
     detail::polar_batch_scalar(angles + head, magnitude,
                                interleaved_out + 2 * head, n - head);
@@ -244,12 +312,16 @@ void anc_candidates_batch(const double* interleaved_samples, std::size_t count,
                           double a, double b, double* theta_plus,
                           double* theta_minus, double* phi_minus, double* phi_plus)
 {
-    std::size_t head = 0;
-    if (kernels_active()) {
-        head = count & ~std::size_t{3};
-        detail::anc_candidates_batch_avx2(interleaved_samples, head, a, b,
-                                          theta_plus, theta_minus, phi_minus,
-                                          phi_plus);
+    const std::size_t head = lane_head(count);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::anc_candidates_batch_avx512(interleaved_samples, head, a, b,
+                                                theta_plus, theta_minus,
+                                                phi_minus, phi_plus);
+        else
+            detail::anc_candidates_batch_avx2(interleaved_samples, head, a, b,
+                                              theta_plus, theta_minus, phi_minus,
+                                              phi_plus);
     }
     detail::anc_candidates_batch_scalar(interleaved_samples + 2 * head,
                                         count - head, a, b, theta_plus + head,
@@ -262,11 +334,16 @@ void anc_select_batch(const double* theta_plus, const double* theta_minus,
                       const double* known_diffs, std::size_t transitions,
                       double* phi_out, double* error_out)
 {
-    std::size_t head = 0;
-    if (kernels_active()) {
-        head = transitions & ~std::size_t{3};
-        detail::anc_select_batch_avx2(theta_plus, theta_minus, phi_minus, phi_plus,
-                                      known_diffs, head, phi_out, error_out);
+    const std::size_t head = lane_head(transitions);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::anc_select_batch_avx512(theta_plus, theta_minus, phi_minus,
+                                            phi_plus, known_diffs, head, phi_out,
+                                            error_out);
+        else
+            detail::anc_select_batch_avx2(theta_plus, theta_minus, phi_minus,
+                                          phi_plus, known_diffs, head, phi_out,
+                                          error_out);
     }
     detail::anc_select_batch_scalar(theta_plus + head, theta_minus + head,
                                     phi_minus + head, phi_plus + head,
@@ -277,13 +354,49 @@ void anc_select_batch(const double* theta_plus, const double* theta_minus,
 void diff_arg_batch(const double* interleaved_samples, std::size_t transitions,
                     double* out)
 {
-    std::size_t head = 0;
-    if (kernels_active()) {
-        head = transitions & ~std::size_t{3};
-        detail::diff_arg_batch_avx2(interleaved_samples, head, out);
+    const std::size_t head = lane_head(transitions);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::diff_arg_batch_avx512(interleaved_samples, head, out);
+        else
+            detail::diff_arg_batch_avx2(interleaved_samples, head, out);
     }
     detail::diff_arg_batch_scalar(interleaved_samples + 2 * head,
                                   transitions - head, out + head);
+}
+
+void rotor_accumulate(const double* interleaved_in, double* interleaved_acc,
+                      std::size_t samples, double rotor_re, double rotor_im)
+{
+    const std::size_t head = lane_head(samples);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::rotor_accumulate_avx512(interleaved_in, interleaved_acc, head,
+                                            rotor_re, rotor_im);
+        else
+            detail::rotor_accumulate_avx2(interleaved_in, interleaved_acc, head,
+                                          rotor_re, rotor_im);
+    }
+    detail::rotor_accumulate_scalar(interleaved_in + 2 * head,
+                                    interleaved_acc + 2 * head, samples - head,
+                                    rotor_re, rotor_im);
+}
+
+void cmul_accumulate(const double* interleaved_in, const double* interleaved_rotors,
+                     double* interleaved_acc, std::size_t samples)
+{
+    const std::size_t head = lane_head(samples);
+    if (head != 0) {
+        if (active_backend() == Backend::avx512)
+            detail::cmul_accumulate_avx512(interleaved_in, interleaved_rotors,
+                                           interleaved_acc, head);
+        else
+            detail::cmul_accumulate_avx2(interleaved_in, interleaved_rotors,
+                                         interleaved_acc, head);
+    }
+    detail::cmul_accumulate_scalar(interleaved_in + 2 * head,
+                                   interleaved_rotors + 2 * head,
+                                   interleaved_acc + 2 * head, samples - head);
 }
 
 } // namespace anc::simd

@@ -19,19 +19,25 @@
 //     assert exact equality — the strongest possible ULP bound (0).
 //
 // Dispatch model: `active_backend()` is decided once per process from
-// anc::cpu_features() (AVX2 and FMA both required) and the
-// ANC_FORCE_SCALAR_SIMD environment variable (any non-empty value other
-// than "0" forces the scalar fallback — that keeps the fallback path
-// continuously tested on AVX2 hardware, in CI and locally).  The batch
-// entry points below branch on it internally; `Math_profile::simd` is
-// therefore valid configuration everywhere and merely resolves to the
-// best implementation available.
+// anc::cpu_features() (AVX2 and FMA both required; AVX-512F upgrades to
+// the 8-wide lanes) and two environment overrides: ANC_FORCE_SCALAR_SIMD
+// (any non-empty value other than "0" forces the scalar fallback) and
+// ANC_FORCE_AVX2_SIMD (same rule; caps the backend at avx2 on AVX-512
+// hardware).  The overrides keep every tier continuously tested on the
+// widest hardware, in CI and locally; force-scalar wins when both are
+// set.  The batch entry points below branch on the decision internally;
+// `Math_profile::simd` is therefore valid configuration everywhere and
+// merely resolves to the best implementation available.
 //
 // The AVX2 implementations live in src/util/simd_kernels.cpp, the only
 // translation unit compiled with -mavx2 -mfma (and -ffp-contract=off,
 // so the compiler cannot fuse the mul/add chains the bit-compatibility
-// contract pins down).  Nothing in that TU is reachable without passing
-// through the dispatchers in simd.cpp.
+// contract pins down).  The AVX-512 implementations live in
+// src/util/simd_kernels_avx512.cpp under the same one-TU rule
+// (-mavx512f -ffp-contract=off) and transcribe the AVX2 lanes operation
+// for operation at twice the width, so all three tiers stay 0-ULP
+// identical.  Nothing in either TU is reachable without passing through
+// the dispatchers in simd.cpp.
 
 #pragma once
 
@@ -44,34 +50,49 @@ namespace anc::simd {
 enum class Backend {
     scalar, ///< the existing fast kernels, looped — guaranteed everywhere
     avx2,   ///< explicit AVX2+FMA lanes (4 doubles wide)
+    avx512, ///< the same lanes at AVX-512F width (8 doubles wide)
 };
 
 inline const char* to_string(Backend backend)
 {
-    return backend == Backend::avx2 ? "avx2" : "scalar";
+    switch (backend) {
+    case Backend::avx512: return "avx512";
+    case Backend::avx2: return "avx2";
+    case Backend::scalar: break;
+    }
+    return "scalar";
 }
 
-/// The pure dispatch rule: AVX2 needs both the AVX2 and FMA CPUID flags
-/// (the kernel TU is compiled with -mavx2 -mfma) and no force-scalar
-/// override.  Exposed separately from active_backend() so the decision
-/// logic is unit-testable without faking CPUID or the environment.
-Backend resolve_backend(bool cpu_has_avx2, bool cpu_has_fma, bool force_scalar);
+/// The pure dispatch rule: scalar when forced or when the CPU lacks
+/// AVX2+FMA (the avx2 TU is compiled with -mavx2 -mfma); avx512 when the
+/// CPU additionally reports AVX-512F and no cap is in force; avx2
+/// otherwise.  Force-scalar beats force-avx2.  Exposed separately from
+/// active_backend() so the decision logic is unit-testable without
+/// faking CPUID or the environment.
+Backend resolve_backend(bool cpu_has_avx2, bool cpu_has_fma, bool cpu_has_avx512f,
+                        bool force_scalar, bool force_avx2);
 
 /// True when ANC_FORCE_SCALAR_SIMD is set to a non-empty value other
 /// than "0" in this process's environment.
 bool force_scalar_from_env();
 
+/// True when ANC_FORCE_AVX2_SIMD is set to a non-empty value other than
+/// "0" in this process's environment (caps avx512 hardware at avx2).
+bool force_avx2_from_env();
+
 /// The backend every batch kernel below uses, decided once per run
-/// (first call) from cpu_features() and ANC_FORCE_SCALAR_SIMD.
+/// (first call) from cpu_features(), ANC_FORCE_SCALAR_SIMD, and
+/// ANC_FORCE_AVX2_SIMD.
 Backend active_backend();
 
-/// active_backend() == Backend::avx2.
+/// active_backend() != Backend::scalar — some lane kernel TU is in use.
 bool kernels_active();
 
 // ------------------------------------------------------------- kernels
-// All kernels accept any n; the AVX2 path handles the full 4-wide
-// blocks and hands the tail to the scalar fallback (which is
-// element-wise identical, so the seam is invisible in the output).
+// All kernels accept any n; the lane paths handle the full 8-wide
+// (avx512) or 4-wide (avx2) blocks and hand the tail to the scalar
+// fallback (which is element-wise identical, so the seam is invisible
+// in the output).
 
 /// out[i] = fast_atan2(y[i], x[i]).
 void atan2_batch(const double* y, const double* x, double* out, std::size_t n);
@@ -117,13 +138,34 @@ void anc_select_batch(const double* theta_plus, const double* theta_minus,
 void diff_arg_batch(const double* interleaved_samples, std::size_t transitions,
                     double* out);
 
+/// The drift-free channel accumulate (Link_channel's constant-rotor
+/// path) over interleaved complex buffers:
+///   acc[2i]   += in[2i]·re − in[2i+1]·im
+///   acc[2i+1] += in[2i]·im + in[2i+1]·re     for i in [0, samples).
+/// Element-wise independent mul/add with no FMA contraction, so the
+/// lane tiers are bit-identical to the scalar loop.
+void rotor_accumulate(const double* interleaved_in, double* interleaved_acc,
+                      std::size_t samples, double rotor_re, double rotor_im);
+
+/// The drifting-channel accumulate over a precomputed rotor stream
+/// (Link_channel caches rotor_n = rotor_0·step^n per fixed-gain link, so
+/// the serial recurrence runs once per link instead of per transmission):
+///   acc[2i]   += in[2i]·rot[2i] − in[2i+1]·rot[2i+1]
+///   acc[2i+1] += in[2i]·rot[2i+1] + in[2i+1]·rot[2i]
+/// i.e. element-wise complex multiply-accumulate, bit-identical across
+/// tiers (mul/sub/add per element, no FMA, no reassociation).
+void cmul_accumulate(const double* interleaved_in, const double* interleaved_rotors,
+                     double* interleaved_acc, std::size_t samples);
+
 namespace detail {
 
-// Per-backend entry points, exposed so the tests can compare the two
+// Per-backend entry points, exposed so the tests can compare the
 // implementations directly on the same machine.  The *_avx2 functions
 // live in the -mavx2 -mfma translation unit and must only be called
-// when cpu_features() reports avx2 && fma; they additionally require
-// the stated block alignment of n (the dispatchers feed tails to the
+// when cpu_features() reports avx2 && fma; the *_avx512 functions live
+// in the -mavx512f translation unit and must only be called when
+// cpu_features() reports avx512f too.  Each additionally requires the
+// stated block alignment of n (the dispatchers feed tails to the
 // scalar path).
 
 void atan2_batch_scalar(const double* y, const double* x, double* out,
@@ -143,6 +185,12 @@ void anc_select_batch_scalar(const double* theta_plus, const double* theta_minus
                              double* phi_out, double* error_out);
 void diff_arg_batch_scalar(const double* interleaved_samples,
                            std::size_t transitions, double* out);
+void rotor_accumulate_scalar(const double* interleaved_in,
+                             double* interleaved_acc, std::size_t samples,
+                             double rotor_re, double rotor_im);
+void cmul_accumulate_scalar(const double* interleaved_in,
+                            const double* interleaved_rotors,
+                            double* interleaved_acc, std::size_t samples);
 
 // n % 4 == 0 for all of these.
 void atan2_batch_avx2(const double* y, const double* x, double* out, std::size_t n);
@@ -172,6 +220,70 @@ void counter_normal_fill_avx2(std::uint64_t key_a, std::uint64_t key_b,
 void counter_normal_add_scaled_avx2(std::uint64_t key_a, std::uint64_t key_b,
                                     std::uint64_t first_counter, double scale,
                                     double* inout, std::size_t count);
+/// samples % 2 == 0 (2 interleaved complex per 256-bit vector).
+void rotor_accumulate_avx2(const double* interleaved_in, double* interleaved_acc,
+                           std::size_t samples, double rotor_re, double rotor_im);
+/// samples % 2 == 0.
+void cmul_accumulate_avx2(const double* interleaved_in,
+                          const double* interleaved_rotors,
+                          double* interleaved_acc, std::size_t samples);
+
+// n % 8 == 0 for all of these (8 doubles per 512-bit vector).
+void atan2_batch_avx512(const double* y, const double* x, double* out,
+                        std::size_t n);
+void sincos_batch_avx512(const double* angles, double* sin_out, double* cos_out,
+                         std::size_t n);
+void log_batch_avx512(const double* x, double* out, std::size_t n);
+void polar_batch_avx512(const double* angles, double magnitude,
+                        double* interleaved_out, std::size_t n);
+void anc_candidates_batch_avx512(const double* interleaved_samples,
+                                 std::size_t count, double a, double b,
+                                 double* theta_plus, double* theta_minus,
+                                 double* phi_minus, double* phi_plus);
+void anc_select_batch_avx512(const double* theta_plus, const double* theta_minus,
+                             const double* phi_minus, const double* phi_plus,
+                             const double* known_diffs, std::size_t transitions,
+                             double* phi_out, double* error_out);
+void diff_arg_batch_avx512(const double* interleaved_samples,
+                           std::size_t transitions, double* out);
+
+/// 8 counter pairs (16 normals) per step, same z stream as the scalar
+/// generator.  count % 16 == 0; the dispatcher handles tails.
+void counter_normal_fill_avx512(std::uint64_t key_a, std::uint64_t key_b,
+                                std::uint64_t first_counter, double* out,
+                                std::size_t count);
+/// Fused inout[i] += scale·z_i over the same z stream; count % 16 == 0.
+void counter_normal_add_scaled_avx512(std::uint64_t key_a, std::uint64_t key_b,
+                                      std::uint64_t first_counter, double scale,
+                                      double* inout, std::size_t count);
+/// samples % 4 == 0 (4 interleaved complex per 512-bit vector).
+void rotor_accumulate_avx512(const double* interleaved_in,
+                             double* interleaved_acc, std::size_t samples,
+                             double rotor_re, double rotor_im);
+/// samples % 4 == 0.
+void cmul_accumulate_avx512(const double* interleaved_in,
+                            const double* interleaved_rotors,
+                            double* interleaved_acc, std::size_t samples);
+
+// Bit-domain pilot-scan kernels (phy/pilot.cpp).  Integer-exact u64
+// XOR + popcount loops that live in the AVX2 TU solely for the hardware
+// popcnt instruction (baseline x86-64 predates POPCNT and compiles
+// std::popcount to a libgcc call).  Guard calls with kernels_active():
+// every AVX2-capable CPU has POPCNT.  Results are bit-identical to the
+// scalar fallbacks — dispatch here is a pure speed decision.
+// best_key accumulates min((errors << 48) | start); see pilot.cpp.
+void pilot_scan_starts_popcnt(const std::uint64_t* words,
+                              const std::uint64_t* shifted,
+                              const std::uint64_t* masks, std::size_t stride,
+                              std::size_t from, std::size_t to,
+                              std::size_t max_errors, std::uint64_t* best_key);
+/// Stride-2 stripe-major variant over word-aligned starts
+/// [64*w_lo, 64*w_hi + 63]; shifted/masks are the 64x2 tables.
+void pilot_scan_striped_popcnt(const std::uint64_t* words,
+                               const std::uint64_t* shifted,
+                               const std::uint64_t* masks, std::size_t w_lo,
+                               std::size_t w_hi, std::size_t max_errors,
+                               std::uint64_t* best_key);
 
 } // namespace detail
 

@@ -673,6 +673,123 @@ void counter_normal_add_scaled_avx2(std::uint64_t key_a, std::uint64_t key_b,
     }
 }
 
+void rotor_accumulate_avx2(const double* interleaved_in, double* interleaved_acc,
+                           std::size_t samples, double rotor_re, double rotor_im)
+{
+    // Scalar form per complex sample (channel/link.cpp):
+    //   acc_re += re·rr − im·ri;  acc_im += re·ri + im·rr
+    // Vector form over (re, im, re, im) lanes: v·rr plus the pair-swapped
+    // vector times (−ri, +ri).  a − b ≡ a + (−b) and im·(−ri) ≡ −(im·ri)
+    // exactly, and IEEE addition is commutative, so every lane is
+    // bit-identical to the scalar loop (no FMA: mul and add stay
+    // separate instructions).
+    const __m256d rr = _mm256_set1_pd(rotor_re);
+    const __m256d ri_alt = _mm256_setr_pd(-rotor_im, rotor_im, -rotor_im, rotor_im);
+    const std::size_t n = 2 * samples; // doubles; samples % 2 == 0
+    for (std::size_t i = 0; i < n; i += 4) {
+        const __m256d v = _mm256_loadu_pd(interleaved_in + i);
+        const __m256d swapped = _mm256_permute_pd(v, 0b0101);
+        const __m256d contribution =
+            _mm256_add_pd(_mm256_mul_pd(v, rr), _mm256_mul_pd(swapped, ri_alt));
+        _mm256_storeu_pd(interleaved_acc + i,
+                         _mm256_add_pd(_mm256_loadu_pd(interleaved_acc + i),
+                                       contribution));
+    }
+}
+
+void cmul_accumulate_avx2(const double* interleaved_in,
+                          const double* interleaved_rotors,
+                          double* interleaved_acc, std::size_t samples)
+{
+    // Per complex sample: acc_re += re·rr − im·ri; acc_im += re·ri + im·rr
+    // with a per-sample rotor.  vaddsubpd computes t1 − t2 on even lanes
+    // and t1 + t2 on odd lanes — exactly the scalar sub/add per lane
+    // (addition commuted on the odd lanes, which is bitwise-neutral).
+    const std::size_t n = 2 * samples; // doubles; samples % 2 == 0
+    for (std::size_t i = 0; i < n; i += 4) {
+        const __m256d v = _mm256_loadu_pd(interleaved_in + i);
+        const __m256d w = _mm256_loadu_pd(interleaved_rotors + i);
+        const __m256d w_re = _mm256_movedup_pd(w);         // (rr, rr, ...)
+        const __m256d w_im = _mm256_permute_pd(w, 0b1111); // (ri, ri, ...)
+        const __m256d swapped = _mm256_permute_pd(v, 0b0101);
+        const __m256d contribution = _mm256_addsub_pd(
+            _mm256_mul_pd(v, w_re), _mm256_mul_pd(swapped, w_im));
+        _mm256_storeu_pd(interleaved_acc + i,
+                         _mm256_add_pd(_mm256_loadu_pd(interleaved_acc + i),
+                                       contribution));
+    }
+}
+
+// --------------------------------------- bit-domain pilot-scan kernels
+//
+// Integer-exact u64 XOR + popcount loops for phy/pilot.cpp.  They live
+// in this TU only for the hardware popcnt instruction: baseline x86-64
+// predates POPCNT, so std::popcount in a baseline TU compiles to a
+// libgcc call per word — an order of magnitude slower than popcntq.
+// -mavx2 implies -mpopcnt, and every AVX2/AVX-512 CPU has POPCNT, so
+// dispatching on kernels_active() is sufficient.  __builtin_popcountll
+// rather than std::popcount keeps <bit> (an inline-template header)
+// out of this TU, per the weak-symbol rule above.  Unlike the FP lanes
+// there is no rounding to pin down: the scalar fallbacks in pilot.cpp
+// produce bit-identical results on any backend.
+
+void pilot_scan_starts_popcnt(const std::uint64_t* words,
+                              const std::uint64_t* shifted,
+                              const std::uint64_t* masks,
+                              std::size_t stride,
+                              std::size_t from,
+                              std::size_t to,
+                              std::size_t max_errors,
+                              std::uint64_t* best_key)
+{
+    for (std::size_t start = from; start <= to; ++start) {
+        const std::uint64_t* hay = words + (start >> 6);
+        const std::uint64_t* copy = shifted + (start & 63) * stride;
+        const std::uint64_t* mask = masks + (start & 63) * stride;
+        std::size_t errors = 0;
+        for (std::size_t k = 0; k < stride && errors <= max_errors; ++k)
+            errors += static_cast<std::size_t>(
+                __builtin_popcountll((hay[k] ^ copy[k]) & mask[k]));
+        if (errors <= max_errors) {
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(errors) << 48) | start;
+            if (key < *best_key)
+                *best_key = key;
+            if (errors == 0)
+                break;
+        }
+    }
+}
+
+void pilot_scan_striped_popcnt(const std::uint64_t* words,
+                               const std::uint64_t* shifted,
+                               const std::uint64_t* masks,
+                               std::size_t w_lo,
+                               std::size_t w_hi,
+                               std::size_t max_errors,
+                               std::uint64_t* best_key)
+{
+    std::uint64_t best = *best_key;
+    for (std::size_t s = 0; s < 64; ++s) {
+        const std::uint64_t c0 = shifted[2 * s];
+        const std::uint64_t c1 = shifted[2 * s + 1];
+        const std::uint64_t m0 = masks[2 * s];
+        const std::uint64_t m1 = masks[2 * s + 1];
+        for (std::size_t w = w_lo; w <= w_hi; ++w) {
+            const auto errors = static_cast<std::size_t>(
+                                    __builtin_popcountll((words[w] ^ c0) & m0)) +
+                                static_cast<std::size_t>(
+                                    __builtin_popcountll((words[w + 1] ^ c1) & m1));
+            if (errors <= max_errors) {
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(errors) << 48) | (w * 64 + s);
+                best = key < best ? key : best;
+            }
+        }
+    }
+    *best_key = best;
+}
+
 } // namespace anc::simd::detail
 
 #else // non-x86: the dispatchers never take the avx2 branch (CPUID
@@ -727,6 +844,26 @@ void counter_normal_fill_avx2(std::uint64_t, std::uint64_t, std::uint64_t, doubl
 }
 void counter_normal_add_scaled_avx2(std::uint64_t, std::uint64_t, std::uint64_t,
                                     double, double*, std::size_t)
+{
+    unreachable_backend();
+}
+void rotor_accumulate_avx2(const double*, double*, std::size_t, double, double)
+{
+    unreachable_backend();
+}
+void cmul_accumulate_avx2(const double*, const double*, double*, std::size_t)
+{
+    unreachable_backend();
+}
+void pilot_scan_starts_popcnt(const std::uint64_t*, const std::uint64_t*,
+                              const std::uint64_t*, std::size_t, std::size_t,
+                              std::size_t, std::size_t, std::uint64_t*)
+{
+    unreachable_backend();
+}
+void pilot_scan_striped_popcnt(const std::uint64_t*, const std::uint64_t*,
+                               const std::uint64_t*, std::size_t, std::size_t,
+                               std::size_t, std::uint64_t*)
 {
     unreachable_backend();
 }

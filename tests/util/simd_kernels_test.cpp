@@ -1,8 +1,10 @@
 // The SIMD backend's two contracts (util/simd.h):
 //
 //   1. dispatch — resolve_backend() is a pure, testable rule; the AVX2
-//      lanes are only reachable when CPUID proves AVX2+FMA and no
-//      force-scalar override is set.
+//      lanes are only reachable when CPUID proves AVX2+FMA, the AVX-512
+//      lanes additionally require the AVX-512F flag, and the
+//      ANC_FORCE_SCALAR_SIMD / ANC_FORCE_AVX2_SIMD overrides step the
+//      decision down.
 //   2. bit-compatibility — every lane kernel equals the scalar fast
 //      kernel it transcribes, element for element, bit for bit.  The
 //      "ULP bound" of every kernel is therefore 0, which these tests
@@ -10,10 +12,11 @@
 //      -0.0 vs +0.0 discrepancies cannot hide).
 //
 // The *_avx2 vs *_scalar comparisons run only on hardware where CPUID
-// reports AVX2+FMA (anywhere else the backend is scalar and there is
-// nothing to compare); the public batch API is additionally compared
-// against direct fast-kernel loops on every machine, covering the
-// dispatcher's block/tail seam at awkward lengths.
+// reports AVX2+FMA, and the *_avx512 comparisons only where it also
+// reports AVX-512F (anywhere else the narrower backend is active and
+// there is nothing to compare); the public batch API is additionally
+// compared against direct fast-kernel loops on every machine, covering
+// the dispatcher's block/tail seam at awkward lengths.
 
 #include "util/simd.h"
 
@@ -36,6 +39,11 @@ bool avx2_available()
     return cpu_features().avx2 && cpu_features().fma;
 }
 
+bool avx512_available()
+{
+    return avx2_available() && cpu_features().avx512f;
+}
+
 void expect_same_bits(double a, double b, const char* what, std::size_t i)
 {
     EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b))
@@ -54,11 +62,20 @@ std::vector<double> random_range(std::size_t count, double lo, double hi,
 
 TEST(SimdBackend, ResolveBackendRule)
 {
-    EXPECT_EQ(resolve_backend(true, true, false), Backend::avx2);
-    EXPECT_EQ(resolve_backend(true, true, true), Backend::scalar);  // forced
-    EXPECT_EQ(resolve_backend(false, true, false), Backend::scalar); // no AVX2
-    EXPECT_EQ(resolve_backend(true, false, false), Backend::scalar); // no FMA
-    EXPECT_EQ(resolve_backend(false, false, false), Backend::scalar);
+    // (avx2, fma, avx512f, force_scalar, force_avx2)
+    EXPECT_EQ(resolve_backend(true, true, false, false, false), Backend::avx2);
+    EXPECT_EQ(resolve_backend(true, true, true, false, false), Backend::avx512);
+    EXPECT_EQ(resolve_backend(true, true, true, false, true), Backend::avx2);
+    EXPECT_EQ(resolve_backend(true, true, true, true, false), Backend::scalar);
+    // force_scalar beats force_avx2 when both overrides are set.
+    EXPECT_EQ(resolve_backend(true, true, true, true, true), Backend::scalar);
+    EXPECT_EQ(resolve_backend(true, true, false, true, false), Backend::scalar);
+    EXPECT_EQ(resolve_backend(false, true, false, false, false), Backend::scalar);
+    EXPECT_EQ(resolve_backend(true, false, false, false, false), Backend::scalar);
+    // force_avx2 never upgrades a machine that resolves to scalar.
+    EXPECT_EQ(resolve_backend(false, false, false, false, true), Backend::scalar);
+    EXPECT_EQ(resolve_backend(false, false, false, false, false), Backend::scalar);
+    EXPECT_STREQ(to_string(Backend::avx512), "avx512");
     EXPECT_STREQ(to_string(Backend::avx2), "avx2");
     EXPECT_STREQ(to_string(Backend::scalar), "scalar");
 }
@@ -69,7 +86,9 @@ TEST(SimdBackend, ActiveBackendMatchesCpuAndOverride)
     // this process's actual CPUID and environment.
     EXPECT_EQ(active_backend(),
               resolve_backend(cpu_features().avx2, cpu_features().fma,
-                              force_scalar_from_env()));
+                              cpu_features().avx512f, force_scalar_from_env(),
+                              force_avx2_from_env()));
+    EXPECT_EQ(kernels_active(), active_backend() != Backend::scalar);
 }
 
 TEST(SimdBackend, CpuFeatureImplications)
@@ -236,6 +255,117 @@ TEST(SimdKernels, Avx2DecoderKernelsEqualScalar)
         expect_same_bits(e1[i], e2[i], "selected error", i);
         expect_same_bits(d1[i], d2[i], "diff arg", i);
     }
+}
+
+// ------------------------------------------- avx512 vs scalar directly
+// On AVX-512F hardware, the 8-wide lanes must equal the scalar kernels
+// bit for bit too (and, transitively, the AVX2 lanes).  These mirror
+// the avx2 comparisons at widths that are multiples of 8 so the 512-bit
+// paths get pure lane coverage.
+
+TEST(SimdKernels, Avx512LanesEqualScalarKernels)
+{
+    if (!avx512_available())
+        GTEST_SKIP() << "CPU lacks AVX-512F; widest backend here is avx2";
+    const std::size_t n = 4096; // multiple of 8: pure lane coverage
+    const std::vector<double> y = random_range(n, -20.0, 20.0, 0x511);
+    const std::vector<double> x = random_range(n, -20.0, 20.0, 0x512);
+    const std::vector<double> angles = random_range(n, -2000.0, 2000.0, 0x513);
+    const std::vector<double> uniforms = random_range(n, 1e-12, 2.0, 0x514);
+
+    std::vector<double> a1(n), a2(n);
+    detail::atan2_batch_avx512(y.data(), x.data(), a1.data(), n);
+    detail::atan2_batch_scalar(y.data(), x.data(), a2.data(), n);
+    std::vector<double> s1(n), c1(n), s2(n), c2(n);
+    detail::sincos_batch_avx512(angles.data(), s1.data(), c1.data(), n);
+    detail::sincos_batch_scalar(angles.data(), s2.data(), c2.data(), n);
+    std::vector<double> l1(n), l2(n);
+    detail::log_batch_avx512(uniforms.data(), l1.data(), n);
+    detail::log_batch_scalar(uniforms.data(), l2.data(), n);
+    std::vector<double> p1(2 * n), p2(2 * n);
+    detail::polar_batch_avx512(angles.data(), 0.83, p1.data(), n);
+    detail::polar_batch_scalar(angles.data(), 0.83, p2.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        expect_same_bits(a1[i], a2[i], "atan2 avx512-vs-scalar", i);
+        expect_same_bits(s1[i], s2[i], "sin avx512-vs-scalar", i);
+        expect_same_bits(c1[i], c2[i], "cos avx512-vs-scalar", i);
+        expect_same_bits(l1[i], l2[i], "log avx512-vs-scalar", i);
+        expect_same_bits(p1[2 * i], p2[2 * i], "polar-re avx512-vs-scalar", i);
+        expect_same_bits(p1[2 * i + 1], p2[2 * i + 1],
+                         "polar-im avx512-vs-scalar", i);
+    }
+}
+
+TEST(SimdKernels, Avx512DecoderKernelsEqualScalar)
+{
+    if (!avx512_available())
+        GTEST_SKIP() << "CPU lacks AVX-512F; widest backend here is avx2";
+    const std::size_t count = 512;
+    const std::vector<double> samples = random_range(2 * count, -3.0, 3.0, 0x521);
+    const double a = 0.95;
+    const double b = 0.88;
+
+    std::vector<double> tp1(count), tm1(count), pm1(count), pp1(count);
+    std::vector<double> tp2(count), tm2(count), pm2(count), pp2(count);
+    detail::anc_candidates_batch_avx512(samples.data(), count, a, b, tp1.data(),
+                                        tm1.data(), pm1.data(), pp1.data());
+    detail::anc_candidates_batch_scalar(samples.data(), count, a, b, tp2.data(),
+                                        tm2.data(), pm2.data(), pp2.data());
+    for (std::size_t i = 0; i < count; ++i) {
+        expect_same_bits(tp1[i], tp2[i], "theta+ avx512", i);
+        expect_same_bits(tm1[i], tm2[i], "theta- avx512", i);
+        expect_same_bits(pm1[i], pm2[i], "phi- avx512", i);
+        expect_same_bits(pp1[i], pp2[i], "phi+ avx512", i);
+    }
+
+    const std::size_t transitions = count - 8; // multiple of 8
+    std::vector<double> known(transitions);
+    Pcg32 rng{0x522, 3};
+    for (double& k : known)
+        k = rng.next_bernoulli(0.5) ? 1.5707963267948966 : -1.5707963267948966;
+    std::vector<double> f1(transitions), e1(transitions);
+    std::vector<double> f2(transitions), e2(transitions);
+    detail::anc_select_batch_avx512(tp1.data(), tm1.data(), pm1.data(), pp1.data(),
+                                    known.data(), transitions, f1.data(),
+                                    e1.data());
+    detail::anc_select_batch_scalar(tp2.data(), tm2.data(), pm2.data(), pp2.data(),
+                                    known.data(), transitions, f2.data(),
+                                    e2.data());
+    std::vector<double> d1(transitions), d2(transitions);
+    detail::diff_arg_batch_avx512(samples.data(), transitions, d1.data());
+    detail::diff_arg_batch_scalar(samples.data(), transitions, d2.data());
+    for (std::size_t i = 0; i < transitions; ++i) {
+        expect_same_bits(f1[i], f2[i], "selected phi avx512", i);
+        expect_same_bits(e1[i], e2[i], "selected error avx512", i);
+        expect_same_bits(d1[i], d2[i], "diff arg avx512", i);
+    }
+}
+
+TEST(SimdKernels, Avx512CounterNormalEqualsAvx2)
+{
+    if (!avx512_available())
+        GTEST_SKIP() << "CPU lacks AVX-512F; widest backend here is avx2";
+    // The two lane widths must emit the identical z stream for identical
+    // (key, counter) words.  Keys are passed directly so this holds for
+    // arbitrary key material, not just Counter_normal-derived keys (the
+    // public fill_simd path is covered by tests/util/counter_normal_*).
+    const std::uint64_t key_a = 0x0123456789abcdefULL;
+    const std::uint64_t key_b = 0xfedcba9876543210ULL;
+    const std::size_t count = 256; // multiple of 16
+    std::vector<double> wide(count), narrow(count);
+    detail::counter_normal_fill_avx512(key_a, key_b, 41, wide.data(), count);
+    detail::counter_normal_fill_avx2(key_a, key_b, 41, narrow.data(), count);
+    for (std::size_t i = 0; i < count; ++i)
+        expect_same_bits(wide[i], narrow[i], "counter-normal fill avx512", i);
+
+    std::vector<double> acc_wide(count, 0.25), acc_narrow(count, 0.25);
+    detail::counter_normal_add_scaled_avx512(key_a, key_b, 41, 0.7,
+                                             acc_wide.data(), count);
+    detail::counter_normal_add_scaled_avx2(key_a, key_b, 41, 0.7,
+                                           acc_narrow.data(), count);
+    for (std::size_t i = 0; i < count; ++i)
+        expect_same_bits(acc_wide[i], acc_narrow[i],
+                         "counter-normal add_scaled avx512", i);
 }
 
 TEST(SimdKernels, LaneKernelsStayWithinFastErrorBounds)
