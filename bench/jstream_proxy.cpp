@@ -1,0 +1,262 @@
+// jstream_proxy — a fault-injecting TCP relay for exercising the
+// anc.jstream.v1 transport (ENGINE.md "Remote workers") under the
+// conditions the chaos suite cares about: connections reset mid-frame,
+// bytes truncated at arbitrary offsets, bits flipped in flight, chunks
+// duplicated, and delivery delayed.  Workers point --journal-stream at
+// the proxy; the proxy forwards to the real coordinator listener and
+// misbehaves on the way.
+//
+//   jstream_proxy --listen 0 --connect 127.0.0.1:9000 --seed 42
+//       --kill-after 512:4096 --flip-prob 0.01 --dup-prob 0.05
+//
+// All faults are drawn from a SplitMix64 stream seeded per connection
+// with (--seed ^ connection ordinal), so a failing chaos run replays
+// exactly from its seed.  The proxy prints `jstream_proxy: listening
+// on PORT` on stdout (for --listen 0 scripts) and serves until
+// SIGTERM/SIGINT.  An unreachable or dying upstream only costs the
+// client its connection — the proxy itself never exits on I/O errors,
+// because the system under test is expected to reconnect through it.
+//
+// Single-threaded by design: one poll loop owns every connection, so
+// fault decisions are serialized and deterministic given the seed and
+// arrival order.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/net.h"
+
+namespace {
+
+using namespace anc;
+
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_signal(int)
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+int usage(const char* argv0, const char* error = nullptr)
+{
+    if (error != nullptr)
+        std::fprintf(stderr, "error: %s\n\n", error);
+    std::fprintf(stderr,
+                 "usage: %s --listen PORT --connect HOST:PORT [options]\n"
+                 "\n"
+                 "  --listen PORT        accept side (0 = ephemeral; the chosen\n"
+                 "                       port is printed on stdout)\n"
+                 "  --connect HOST:PORT  upstream (the real listener)\n"
+                 "  --seed N             fault RNG seed (default 1)\n"
+                 "  --kill-after MIN:MAX reset each connection after forwarding\n"
+                 "                       MIN..MAX client bytes (truncates mid-\n"
+                 "                       frame; 0 disables — the default)\n"
+                 "  --flip-prob P        per-chunk probability of one flipped\n"
+                 "                       bit (default 0)\n"
+                 "  --dup-prob P         per-chunk probability of duplicate\n"
+                 "                       delivery (default 0)\n"
+                 "  --delay-ms MIN:MAX   random per-chunk delivery delay\n"
+                 "                       (default 0:0)\n",
+                 argv0);
+    return error == nullptr ? 0 : 2;
+}
+
+/// SplitMix64 — the same tiny deterministic stream the engine uses for
+/// seed derivation; good enough for fault scheduling.
+struct Rng {
+    std::uint64_t state = 0;
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+    double uniform() { return double(next() >> 11) * 0x1.0p-53; }
+    std::uint64_t range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return hi <= lo ? lo : lo + next() % (hi - lo + 1);
+    }
+};
+
+struct Fault_policy {
+    std::uint64_t kill_lo = 0, kill_hi = 0; ///< 0 = never kill
+    double flip_prob = 0.0;
+    double dup_prob = 0.0;
+    std::uint64_t delay_lo = 0, delay_hi = 0;
+};
+
+struct Connection {
+    util::Tcp_socket client;
+    util::Tcp_socket upstream;
+    Rng rng;
+    std::uint64_t kill_budget = 0; ///< client bytes left before reset; 0 = off
+    bool doomed = false;
+
+    Connection(util::Tcp_socket c, util::Tcp_socket u, std::uint64_t seed,
+               const Fault_policy& policy)
+        : client{std::move(c)}, upstream{std::move(u)}
+    {
+        rng.state = seed;
+        if (policy.kill_hi > 0)
+            kill_budget = rng.range(policy.kill_lo, policy.kill_hi);
+    }
+};
+
+bool parse_range(const std::string& text, std::uint64_t& lo, std::uint64_t& hi)
+{
+    const std::size_t colon = text.find(':');
+    try {
+        if (colon == std::string::npos) {
+            lo = hi = std::stoull(text);
+        } else {
+            lo = std::stoull(text.substr(0, colon));
+            hi = std::stoull(text.substr(colon + 1));
+        }
+    } catch (...) {
+        return false;
+    }
+    return lo <= hi;
+}
+
+/// Forward one direction's pending bytes, applying faults only to the
+/// client→upstream stream (the journal lines; acks pass clean so the
+/// sender's view of the mirror stays truthful — faulting data is what
+/// exercises the CRC/drop path).  Returns false when the connection
+/// should be torn down.
+bool forward(Connection& conn, const Fault_policy& policy, bool client_to_upstream)
+{
+    util::Tcp_socket& from = client_to_upstream ? conn.client : conn.upstream;
+    util::Tcp_socket& to = client_to_upstream ? conn.upstream : conn.client;
+
+    std::string chunk;
+    const auto status = from.recv_available(chunk);
+    if (status == util::Tcp_socket::Recv_status::closed
+        || status == util::Tcp_socket::Recv_status::error)
+        return false;
+    if (chunk.empty())
+        return true;
+
+    if (client_to_upstream) {
+        if (policy.delay_hi > 0) {
+            const std::uint64_t ms =
+                conn.rng.range(policy.delay_lo, policy.delay_hi);
+            if (ms > 0)
+                std::this_thread::sleep_for(std::chrono::milliseconds{ms});
+        }
+        if (policy.flip_prob > 0 && conn.rng.uniform() < policy.flip_prob) {
+            const std::uint64_t bit = conn.rng.next() % (chunk.size() * 8);
+            chunk[bit / 8] = static_cast<char>(
+                static_cast<unsigned char>(chunk[bit / 8]) ^ (1u << (bit % 8)));
+        }
+        if (conn.kill_budget > 0) {
+            if (chunk.size() >= conn.kill_budget) {
+                // Truncate inside the chunk, deliver the stub, then
+                // reset: the receiver sees a frame cut at an arbitrary
+                // byte followed by a hard close.
+                chunk.resize(conn.kill_budget);
+                conn.doomed = true;
+            }
+            conn.kill_budget -= chunk.size();
+        }
+    }
+
+    if (!to.send_all(chunk.data(), chunk.size(), std::chrono::milliseconds{2000}))
+        return false;
+    if (client_to_upstream && policy.dup_prob > 0
+        && conn.rng.uniform() < policy.dup_prob)
+        to.send_all(chunk.data(), chunk.size(), std::chrono::milliseconds{2000});
+    return !conn.doomed;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool have_listen = false;
+    std::uint16_t listen_port = 0;
+    util::Host_port upstream;
+    bool have_upstream = false;
+    std::uint64_t seed = 1;
+    Fault_policy policy;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--listen") {
+            listen_port = static_cast<std::uint16_t>(std::stoul(value()));
+            have_listen = true;
+        } else if (arg == "--connect") {
+            if (!util::parse_host_port(value(), upstream))
+                return usage(argv[0], "--connect: bad host:port");
+            have_upstream = true;
+        } else if (arg == "--seed")
+            seed = std::stoull(value());
+        else if (arg == "--kill-after") {
+            if (!parse_range(value(), policy.kill_lo, policy.kill_hi))
+                return usage(argv[0], "--kill-after: bad MIN:MAX");
+        } else if (arg == "--flip-prob")
+            policy.flip_prob = std::stod(value());
+        else if (arg == "--dup-prob")
+            policy.dup_prob = std::stod(value());
+        else if (arg == "--delay-ms") {
+            if (!parse_range(value(), policy.delay_lo, policy.delay_hi))
+                return usage(argv[0], "--delay-ms: bad MIN:MAX");
+        } else if (arg == "--help" || arg == "-h")
+            return usage(argv[0]);
+        else
+            return usage(argv[0], ("unknown argument " + arg).c_str());
+    }
+    if (!have_listen || !have_upstream)
+        return usage(argv[0], "--listen and --connect are required");
+
+    util::ignore_sigpipe();
+    struct sigaction action{};
+    action.sa_handler = handle_signal;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+
+    util::Tcp_listener listener = util::Tcp_listener::listen(listen_port);
+    std::printf("jstream_proxy: listening on %u\n", unsigned{listener.port()});
+    std::fflush(stdout);
+
+    std::vector<Connection> connections;
+    std::uint64_t ordinal = 0;
+    while (!g_stop.load(std::memory_order_relaxed)) {
+        for (;;) {
+            util::Tcp_socket client = listener.accept();
+            if (!client.valid())
+                break;
+            util::Tcp_socket up = util::Tcp_socket::connect(
+                upstream, std::chrono::milliseconds{1000});
+            if (!up.valid()) {
+                // Upstream down: drop the client; the worker's backoff
+                // will route it back here when the coordinator returns.
+                continue;
+            }
+            connections.emplace_back(std::move(client), std::move(up),
+                                     seed ^ ++ordinal, policy);
+        }
+        for (auto it = connections.begin(); it != connections.end();) {
+            if (forward(*it, policy, true) && forward(*it, policy, false))
+                ++it;
+            else
+                it = connections.erase(it);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{2});
+    }
+    return 0;
+}

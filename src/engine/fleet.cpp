@@ -1,0 +1,240 @@
+#include "engine/fleet.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "engine/journal.h" // stamp_line / check_stamped_line / grid_fingerprint
+
+namespace anc::engine {
+
+namespace {
+
+std::string header_payload(const Fleet_header& header)
+{
+    char buffer[128];
+    std::snprintf(buffer, sizeof buffer,
+                  "H grid=%016" PRIx64 " base_seed=%" PRIu64 " tasks=%zu shards=%zu",
+                  header.grid_hash, header.base_seed, header.tasks,
+                  header.shards);
+    return buffer;
+}
+
+std::string record_payload(const Fleet_record& record)
+{
+    char buffer[160];
+    std::snprintf(buffer, sizeof buffer,
+                  "S shard=%zu status=%s attempts=%zu slot=%zu wm=%" PRIu64,
+                  record.shard, to_string(record.status), record.attempts,
+                  record.slot, record.watermark);
+    return buffer;
+}
+
+bool parse_status(const std::string& text, Fleet_shard_status& out)
+{
+    if (text == "pending")
+        out = Fleet_shard_status::pending;
+    else if (text == "running")
+        out = Fleet_shard_status::running;
+    else if (text == "done")
+        out = Fleet_shard_status::done;
+    else if (text == "failed")
+        out = Fleet_shard_status::failed;
+    else
+        return false;
+    return true;
+}
+
+bool parse_header_line(const std::string& payload, Fleet_header& header)
+{
+    unsigned long long grid = 0, seed = 0, tasks = 0, shards = 0;
+    if (std::sscanf(payload.c_str(),
+                    "H grid=%llx base_seed=%llu tasks=%llu shards=%llu", &grid,
+                    &seed, &tasks, &shards)
+        != 4)
+        return false;
+    header.grid_hash = grid;
+    header.base_seed = seed;
+    header.tasks = static_cast<std::size_t>(tasks);
+    header.shards = static_cast<std::size_t>(shards);
+    return true;
+}
+
+bool parse_record_line(const std::string& payload, Fleet_record& record)
+{
+    char status[16] = {};
+    unsigned long long shard = 0, attempts = 0, slot = 0, wm = 0;
+    if (std::sscanf(payload.c_str(),
+                    "S shard=%llu status=%15[a-z] attempts=%llu slot=%llu wm=%llu",
+                    &shard, status, &attempts, &slot, &wm)
+        != 5)
+        return false;
+    if (shard < 1)
+        return false;
+    Fleet_shard_status parsed;
+    if (!parse_status(status, parsed))
+        return false;
+    record.shard = static_cast<std::size_t>(shard);
+    record.status = parsed;
+    record.attempts = static_cast<std::size_t>(attempts);
+    record.slot = static_cast<std::size_t>(slot);
+    record.watermark = wm;
+    return true;
+}
+
+} // namespace
+
+const char* to_string(Fleet_shard_status status)
+{
+    switch (status) {
+    case Fleet_shard_status::pending: return "pending";
+    case Fleet_shard_status::running: return "running";
+    case Fleet_shard_status::done: return "done";
+    case Fleet_shard_status::failed: return "failed";
+    }
+    return "pending";
+}
+
+Fleet_journal::Fleet_journal(const std::string& path, const Fleet_header& header,
+                             bool truncate)
+    : path_{path}
+{
+    int flags = O_WRONLY | O_CREAT | O_APPEND;
+    if (truncate)
+        flags |= O_TRUNC;
+    fd_ = ::open(path.c_str(), flags, 0644);
+    if (fd_ < 0)
+        throw std::runtime_error{"Fleet_journal: cannot open " + path};
+    if (truncate) {
+        const std::string preamble =
+            std::string{fleet_magic} + "\n" + stamp_line(header_payload(header));
+        if (::write(fd_, preamble.data(), preamble.size())
+            != static_cast<ssize_t>(preamble.size())) {
+            ::close(fd_);
+            fd_ = -1;
+            throw std::runtime_error{"Fleet_journal: cannot write header to "
+                                     + path};
+        }
+        if (::fsync(fd_) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+            throw std::runtime_error{"Fleet_journal: fsync failed on " + path};
+        }
+    }
+}
+
+Fleet_journal::~Fleet_journal()
+{
+    if (fd_ >= 0) {
+        ::fsync(fd_); // best-effort
+        ::close(fd_);
+    }
+}
+
+void Fleet_journal::write_line(const std::string& payload)
+{
+    const std::string line = stamp_line(payload);
+    if (::write(fd_, line.data(), line.size()) != static_cast<ssize_t>(line.size()))
+        throw std::runtime_error{"Fleet_journal: append failed on " + path_};
+    // Unconditional fsync: supervision events are rare and each one is
+    // exactly what a restarted coordinator needs to not redo work.
+    if (::fsync(fd_) != 0)
+        throw std::runtime_error{"Fleet_journal: fsync failed on " + path_};
+}
+
+void Fleet_journal::record(const Fleet_record& record)
+{
+    write_line(record_payload(record));
+}
+
+void Fleet_journal::record_generation(std::size_t generation)
+{
+    char buffer[48];
+    std::snprintf(buffer, sizeof buffer, "R generation=%zu", generation);
+    write_line(buffer);
+}
+
+Fleet_state load_fleet(const std::string& path)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in)
+        throw std::runtime_error{"load_fleet: cannot open " + path};
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    std::vector<std::string> lines;
+    std::size_t torn = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t newline = text.find('\n', pos);
+        if (newline == std::string::npos) {
+            torn = 1;
+            break;
+        }
+        lines.push_back(text.substr(pos, newline - pos));
+        pos = newline + 1;
+    }
+    if (lines.empty() || lines.front() != fleet_magic)
+        throw std::runtime_error{"load_fleet: " + path + " is not a "
+                                 + fleet_magic + " file"};
+
+    Fleet_state state;
+    state.dropped_lines = torn;
+    bool have_header = false;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::string payload;
+        if (!check_stamped_line(lines[i], payload) || payload.empty()) {
+            ++state.dropped_lines;
+            continue;
+        }
+        if (payload.front() == 'H') {
+            if (!have_header && parse_header_line(payload, state.header))
+                have_header = true;
+            else if (!have_header)
+                ++state.dropped_lines;
+        } else if (payload.front() == 'S') {
+            Fleet_record record;
+            if (parse_record_line(payload, record))
+                state.shards[record.shard] = record; // last writer wins
+            else
+                ++state.dropped_lines;
+        } else if (payload.front() == 'R') {
+            ++state.generations;
+        } else {
+            ++state.dropped_lines;
+        }
+    }
+    if (!have_header)
+        throw std::runtime_error{"load_fleet: " + path
+                                 + " has no valid header line"};
+    return state;
+}
+
+bool fleet_compatible(const Fleet_header& header, const Sweep_grid& grid,
+                      std::uint64_t base_seed, std::size_t tasks,
+                      std::size_t shards, std::string* why)
+{
+    const auto fail = [&](const std::string& reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    if (header.grid_hash != grid_fingerprint(grid))
+        return fail("grid fingerprint mismatch (different axes or axis values)");
+    if (header.base_seed != base_seed)
+        return fail("base seed mismatch");
+    if (header.tasks != tasks)
+        return fail("task count mismatch");
+    if (header.shards != shards)
+        return fail("shard count mismatch");
+    return true;
+}
+
+} // namespace anc::engine

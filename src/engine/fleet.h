@@ -1,0 +1,98 @@
+// `anc.fleet.v1` — the coordinator's own crash-state journal.
+//
+// The shard journals (anc.journal.v1) already make WORKER death
+// recoverable; this file makes the COORDINATOR's death recoverable.
+// It is a tiny append-only record of supervision state — shard status,
+// attempt counts, liveness watermarks, slot assignments — fsync'd on
+// every append (events are rare: launches, exits, adoptions; never
+// per-task).  A restarted coordinator loads it, re-adopts shards that
+// were last seen running (their workers may still be alive, streaming
+// into the mirrors or appending locally), and carries attempt counts
+// forward so the relaunch-escalation budget survives the restart.
+//
+// Format, sharing the journal line discipline (engine/journal.h
+// stamp_line/check_stamped_line): line 1 is the magic, then CRC-stamped
+// payloads —
+//   H grid=<hex16> base_seed=N tasks=N shards=N     (once, at create)
+//   R generation=N                                  (each coordinator start)
+//   S shard=K status=<pending|running|done|failed> attempts=N slot=N wm=N
+// Loading keeps the LAST record per shard (later lines supersede) and
+// drops torn/corrupt lines exactly like the task journal loader.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "engine/sweep.h"
+
+namespace anc::engine {
+
+inline constexpr const char* fleet_magic = "anc.fleet.v1";
+
+struct Fleet_header {
+    std::uint64_t grid_hash = 0;
+    std::uint64_t base_seed = 1;
+    std::size_t tasks = 0;
+    std::size_t shards = 1;
+};
+
+enum class Fleet_shard_status : std::uint8_t { pending, running, done, failed };
+
+const char* to_string(Fleet_shard_status status);
+
+struct Fleet_record {
+    std::size_t shard = 1; ///< 1-based, like the journal shard spec
+    Fleet_shard_status status = Fleet_shard_status::pending;
+    std::size_t attempts = 0;
+    std::size_t slot = 0;
+    std::uint64_t watermark = 0; ///< journal entries seen at record time
+};
+
+struct Fleet_state {
+    Fleet_header header;
+    /// Last record per shard, in shard order.
+    std::map<std::size_t, Fleet_record> shards;
+    /// Coordinator starts recorded (R lines), this load's not included.
+    std::size_t generations = 0;
+    std::size_t dropped_lines = 0;
+};
+
+/// Append-only writer; every append is one write(2) + fsync (state
+/// changes are rare, durability is the point).  `truncate` starts a
+/// fresh file (magic + header); otherwise appends after an existing
+/// compatible header — the restart case.  Throws on I/O failure.
+class Fleet_journal {
+public:
+    Fleet_journal(const std::string& path, const Fleet_header& header,
+                  bool truncate);
+    ~Fleet_journal();
+
+    Fleet_journal(const Fleet_journal&) = delete;
+    Fleet_journal& operator=(const Fleet_journal&) = delete;
+
+    void record(const Fleet_record& record);
+    /// Stamp a coordinator start (generation = count of prior starts).
+    void record_generation(std::size_t generation);
+
+private:
+    void write_line(const std::string& payload);
+
+    int fd_ = -1;
+    std::string path_;
+};
+
+/// Parse a fleet file.  Throws when it cannot be opened, the magic is
+/// wrong, or no valid header survives (same contract as load_journal:
+/// a file torn inside its header holds nothing worth keeping).
+Fleet_state load_fleet(const std::string& path);
+
+/// True when `header` matches this invocation (same grid, seed, task
+/// count, shard count); `why` receives the mismatch reason.
+bool fleet_compatible(const Fleet_header& header, const Sweep_grid& grid,
+                      std::uint64_t base_seed, std::size_t tasks,
+                      std::size_t shards, std::string* why = nullptr);
+
+} // namespace anc::engine

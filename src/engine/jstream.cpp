@@ -1,0 +1,715 @@
+#include "engine/jstream.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "engine/coordinator.h" // shard_journal_path
+#include "engine/journal.h"     // journal_crc32, classify_journal_line
+
+namespace anc::engine {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+void put_u32(std::string& out, std::uint32_t value)
+{
+    out += static_cast<char>(value & 0xff);
+    out += static_cast<char>((value >> 8) & 0xff);
+    out += static_cast<char>((value >> 16) & 0xff);
+    out += static_cast<char>((value >> 24) & 0xff);
+}
+
+void put_u64(std::string& out, std::uint64_t value)
+{
+    put_u32(out, static_cast<std::uint32_t>(value));
+    put_u32(out, static_cast<std::uint32_t>(value >> 32));
+}
+
+std::uint32_t get_u32(const char* data)
+{
+    const auto* b = reinterpret_cast<const unsigned char*>(data);
+    return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8)
+        | (static_cast<std::uint32_t>(b[2]) << 16)
+        | (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(const char* data)
+{
+    return static_cast<std::uint64_t>(get_u32(data))
+        | (static_cast<std::uint64_t>(get_u32(data + 4)) << 32);
+}
+
+bool valid_type(std::uint8_t type)
+{
+    return type == static_cast<std::uint8_t>(Frame_type::hello)
+        || type == static_cast<std::uint8_t>(Frame_type::line)
+        || type == static_cast<std::uint8_t>(Frame_type::ack);
+}
+
+/// Split `text` at '\n' into complete lines, leaving a torn tail
+/// unconsumed; returns bytes consumed.
+std::size_t take_lines(const std::string& text, std::vector<std::string>& lines)
+{
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t newline = text.find('\n', pos);
+        if (newline == std::string::npos)
+            break;
+        lines.push_back(text.substr(pos, newline - pos));
+        pos = newline + 1;
+    }
+    return pos;
+}
+
+} // namespace
+
+// ------------------------------------------------------------- framing
+
+std::string encode_frame(Frame_type type, const std::string& payload)
+{
+    std::string body;
+    body.reserve(5 + payload.size());
+    body += static_cast<char>(type);
+    put_u32(body, static_cast<std::uint32_t>(payload.size()));
+    body += payload;
+
+    std::string out;
+    out.reserve(8 + body.size());
+    put_u32(out, jstream_magic);
+    out += body;
+    put_u32(out, journal_crc32(body.data(), body.size()));
+    return out;
+}
+
+bool Frame_decoder::next(Frame& frame)
+{
+    if (corrupt_)
+        return false;
+    // Compact lazily so long sessions do not grow the buffer forever.
+    if (consumed_ > (1u << 16) && consumed_ >= buffer_.size() / 2) {
+        buffer_.erase(0, consumed_);
+        consumed_ = 0;
+    }
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < 9) // magic + type + length
+        return false;
+    const char* head = buffer_.data() + consumed_;
+    if (get_u32(head) != jstream_magic) {
+        corrupt_ = true;
+        return false;
+    }
+    const std::uint8_t type = static_cast<std::uint8_t>(head[4]);
+    const std::uint32_t length = get_u32(head + 5);
+    if (!valid_type(type) || length > jstream_max_payload) {
+        corrupt_ = true;
+        return false;
+    }
+    const std::size_t total = 9 + static_cast<std::size_t>(length) + 4;
+    if (available < total)
+        return false;
+    const std::uint32_t stored = get_u32(head + 9 + length);
+    if (journal_crc32(head + 4, 5 + length) != stored) {
+        corrupt_ = true;
+        return false;
+    }
+    frame.type = static_cast<Frame_type>(type);
+    frame.payload.assign(head + 9, length);
+    consumed_ += total;
+    return true;
+}
+
+std::string hello_payload(std::size_t shard_index, std::size_t shard_count,
+                          std::uint64_t token)
+{
+    char buffer[96];
+    std::snprintf(buffer, sizeof buffer, "shard=%zu/%zu token=%llu", shard_index,
+                  shard_count, static_cast<unsigned long long>(token));
+    return buffer;
+}
+
+bool parse_hello(const std::string& payload, std::size_t& shard_index,
+                 std::size_t& shard_count, std::uint64_t& token)
+{
+    unsigned long long k = 0, n = 0, t = 0;
+    if (std::sscanf(payload.c_str(), "shard=%llu/%llu token=%llu", &k, &n, &t) != 3)
+        return false;
+    if (k < 1 || n < 1 || k > n)
+        return false;
+    shard_index = static_cast<std::size_t>(k);
+    shard_count = static_cast<std::size_t>(n);
+    token = t;
+    return true;
+}
+
+std::string ack_payload(std::uint64_t lines, std::uint64_t token)
+{
+    std::string out;
+    out.reserve(16);
+    put_u64(out, lines);
+    put_u64(out, token);
+    return out;
+}
+
+bool parse_ack(const std::string& payload, std::uint64_t& lines,
+               std::uint64_t& token)
+{
+    if (payload.size() != 16)
+        return false;
+    lines = get_u64(payload.data());
+    token = get_u64(payload.data() + 8);
+    return true;
+}
+
+// -------------------------------------------------------------- sender
+
+struct Jstream_sender::Impl {
+    enum class Phase { idle, handshaking, streaming };
+
+    Config config;
+    std::string path;
+    Jstream_sender_stats& stats;
+
+    Phase phase = Phase::idle;
+    util::Tcp_socket socket;
+    Frame_decoder decoder;
+    std::string inbox;
+    util::Backoff backoff;
+    clock::time_point next_attempt{}; ///< epoch = try immediately
+    clock::time_point phase_deadline{};
+
+    std::uint64_t token_counter = 0;
+    std::uint64_t expect_token = 0; ///< handshake ack we are waiting for
+    std::uint64_t probe_token = 0;  ///< finish() durability probe
+    bool probe_acked = false;
+    std::size_t probe_lines_sent = 0; ///< lines_sent when the probe left
+
+    int fd = -1;                    ///< local journal, lazily opened
+    std::uint64_t cursor_lines = 0; ///< complete lines already sent
+    std::uint64_t cursor_offset = 0;
+
+    Impl(Config cfg, std::string journal_path, Jstream_sender_stats& s)
+        : config{std::move(cfg)}, path{std::move(journal_path)}, stats{s},
+          backoff{config.backoff,
+                  0x9e1ad7u ^ static_cast<std::uint64_t>(config.shard_index)}
+    {
+    }
+
+    ~Impl()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    bool ensure_journal_open()
+    {
+        if (fd >= 0)
+            return true;
+        fd = ::open(path.c_str(), O_RDONLY);
+        return fd >= 0;
+    }
+
+    /// Count complete lines in the local journal and the byte offset
+    /// just past line `stop_at` (or past the last complete line when
+    /// the file is shorter).  Used once per handshake to place the
+    /// cursor at the listener's watermark.
+    std::uint64_t scan_lines(std::uint64_t stop_at, std::uint64_t& offset_out)
+    {
+        std::uint64_t lines = 0;
+        std::uint64_t offset = 0;
+        offset_out = 0;
+        if (fd < 0)
+            return 0;
+        char buffer[1 << 16];
+        ssize_t got;
+        std::uint64_t file_pos = 0;
+        while ((got = ::pread(fd, buffer, sizeof buffer,
+                              static_cast<off_t>(file_pos))) > 0) {
+            for (ssize_t i = 0; i < got; ++i) {
+                ++file_pos;
+                if (buffer[i] == '\n') {
+                    ++lines;
+                    offset = file_pos;
+                    if (lines == stop_at)
+                        offset_out = offset;
+                }
+            }
+        }
+        if (stop_at >= lines)
+            offset_out = offset;
+        return lines;
+    }
+
+    void disconnect()
+    {
+        socket.close();
+        decoder = {};
+        inbox.clear();
+        phase = Phase::idle;
+        probe_acked = false;
+        next_attempt = clock::now() + backoff.next();
+        ++stats.backoff_waits;
+    }
+
+    bool send_frame(Frame_type type, const std::string& payload)
+    {
+        const std::string wire = encode_frame(type, payload);
+        return socket.send_all(wire.data(), wire.size(), config.io_timeout);
+    }
+
+    /// Drain buffered acks; false when the connection died or went
+    /// corrupt (caller should disconnect).
+    bool drain_acks(std::uint64_t* handshake_lines)
+    {
+        inbox.clear();
+        const auto status = socket.recv_available(inbox);
+        if (status == util::Tcp_socket::Recv_status::closed
+            || status == util::Tcp_socket::Recv_status::error)
+            return false;
+        if (!inbox.empty())
+            decoder.feed(inbox);
+        Frame frame;
+        while (decoder.next(frame)) {
+            if (frame.type != Frame_type::ack)
+                continue;
+            std::uint64_t lines = 0, token = 0;
+            if (!parse_ack(frame.payload, lines, token))
+                return false;
+            if (phase == Phase::handshaking && token == expect_token) {
+                if (handshake_lines)
+                    *handshake_lines = lines;
+                phase = Phase::streaming;
+            }
+            if (probe_token != 0 && token == probe_token)
+                probe_acked = true;
+        }
+        return !decoder.corrupt();
+    }
+
+    void begin_connect()
+    {
+        socket = util::Tcp_socket::connect(config.peer, config.io_timeout);
+        if (!socket.valid()) {
+            ++stats.connect_failures;
+            next_attempt = clock::now() + backoff.next();
+            ++stats.backoff_waits;
+            return;
+        }
+        expect_token = ++token_counter;
+        probe_token = 0;
+        probe_acked = false;
+        if (!send_frame(Frame_type::hello,
+                        hello_payload(config.shard_index, config.shard_count,
+                                      expect_token))) {
+            disconnect();
+            return;
+        }
+        phase = Phase::handshaking;
+        phase_deadline = clock::now() + config.io_timeout;
+    }
+
+    void finish_handshake(std::uint64_t ack_lines)
+    {
+        // Place the cursor at the listener's watermark — or rewind to
+        // zero when our file is shorter (a relaunched worker whose
+        // fresh journal trails the mirror; the listener's content
+        // dedup absorbs the overlap).
+        ensure_journal_open();
+        std::uint64_t offset = 0;
+        const std::uint64_t own_lines = scan_lines(ack_lines, offset);
+        std::uint64_t new_cursor;
+        if (ack_lines <= own_lines) {
+            new_cursor = ack_lines;
+        } else {
+            new_cursor = 0;
+            offset = 0;
+        }
+        if (stats.connects > 0 && new_cursor < cursor_lines)
+            stats.replayed_lines +=
+                static_cast<std::size_t>(cursor_lines - new_cursor);
+        cursor_lines = new_cursor;
+        cursor_offset = offset;
+        ++stats.connects;
+        if (stats.connects > 1)
+            ++stats.reconnects;
+        backoff.reset();
+    }
+
+    /// Stream new complete journal lines from the cursor.
+    bool stream_new_lines()
+    {
+        if (!ensure_journal_open())
+            return true; // no journal yet — nothing to stream
+        char buffer[1 << 16];
+        for (;;) {
+            const ssize_t got = ::pread(fd, buffer, sizeof buffer,
+                                        static_cast<off_t>(cursor_offset));
+            if (got <= 0)
+                return true;
+            std::string chunk{buffer, static_cast<std::size_t>(got)};
+            std::vector<std::string> lines;
+            const std::size_t used = take_lines(chunk, lines);
+            if (used == 0)
+                return true; // torn tail — wait for the rest
+            for (const std::string& line : lines) {
+                if (!send_frame(Frame_type::line, line))
+                    return false;
+                ++stats.lines_sent;
+            }
+            cursor_offset += used;
+            cursor_lines += lines.size();
+        }
+    }
+
+    void step()
+    {
+        switch (phase) {
+        case Phase::idle:
+            if (clock::now() >= next_attempt)
+                begin_connect();
+            if (phase != Phase::handshaking)
+                break;
+            [[fallthrough]];
+        case Phase::handshaking: {
+            std::uint64_t ack_lines = 0;
+            if (!drain_acks(&ack_lines)) {
+                disconnect();
+                break;
+            }
+            if (phase == Phase::streaming) {
+                finish_handshake(ack_lines);
+            } else if (clock::now() >= phase_deadline) {
+                disconnect();
+                break;
+            }
+            if (phase != Phase::streaming)
+                break;
+            [[fallthrough]];
+        }
+        case Phase::streaming:
+            if (!drain_acks(nullptr) || !stream_new_lines())
+                disconnect();
+            break;
+        }
+    }
+};
+
+Jstream_sender::Jstream_sender(Config config, std::string journal_path)
+    : impl_{std::make_unique<Impl>(std::move(config), std::move(journal_path),
+                                   stats_)}
+{
+    util::ignore_sigpipe();
+}
+
+Jstream_sender::~Jstream_sender() = default;
+
+void Jstream_sender::pump() { impl_->step(); }
+
+bool Jstream_sender::connected() const
+{
+    return impl_->phase == Impl::Phase::streaming;
+}
+
+bool Jstream_sender::finish(std::chrono::milliseconds budget)
+{
+    const auto deadline = clock::now() + budget;
+    // The outstanding probe lives in the Impl (not this call frame):
+    // finish() is commonly interleaved with the listener's poll loop,
+    // so the ack for a probe regularly lands during a LATER finish()
+    // call — which must honor it, not discard it for a fresh token.
+    // disconnect() clears probe_token, restarting the probe after a
+    // reconnect.
+    do {
+        impl_->step();
+        if (impl_->phase == Impl::Phase::streaming) {
+            if (impl_->probe_acked
+                && impl_->stats.lines_sent == impl_->probe_lines_sent) {
+                stats_.synced = true;
+                return true;
+            }
+            if (impl_->probe_token == 0 || impl_->probe_acked) {
+                // No probe in flight, or the acked one is stale (lines
+                // went out after it left): prove delivery with a fresh
+                // HELLO — the listener processes frames in order, so
+                // echoing this token means every prior LINE is
+                // mirrored.
+                impl_->probe_token = ++impl_->token_counter;
+                impl_->probe_acked = false;
+                impl_->probe_lines_sent = impl_->stats.lines_sent;
+                if (!impl_->send_frame(
+                        Frame_type::hello,
+                        hello_payload(impl_->config.shard_index,
+                                      impl_->config.shard_count,
+                                      impl_->probe_token))) {
+                    impl_->disconnect();
+                    continue;
+                }
+            }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds{2});
+    } while (clock::now() < deadline);
+    return false;
+}
+
+// ------------------------------------------------------------ listener
+
+struct Jstream_listener::Impl {
+    struct Mirror {
+        std::string path;
+        int fd = -1;
+        bool scanned = false;
+        bool have_magic = false;
+        bool have_header = false;
+        bool needs_newline = false; ///< file ends in a torn line
+        std::set<std::uint64_t> indices;
+        std::uint64_t lines = 0;
+    };
+
+    struct Connection {
+        util::Tcp_socket socket;
+        Frame_decoder decoder;
+        std::size_t shard = 0; ///< 0 until a valid HELLO
+        std::uint64_t last_token = 0;
+    };
+
+    util::Tcp_listener listener;
+    std::string mirror_dir;
+    std::size_t shard_count;
+    Jstream_listener_stats& stats;
+    std::vector<std::unique_ptr<Connection>> connections;
+    std::map<std::size_t, Mirror> mirrors;
+    std::set<std::size_t> shards_seen;
+    std::string inbox;
+
+    Impl(std::uint16_t port, std::string dir, std::size_t shards,
+         Jstream_listener_stats& s)
+        : listener{util::Tcp_listener::listen(port)}, mirror_dir{std::move(dir)},
+          shard_count{shards}, stats{s}
+    {
+    }
+
+    ~Impl()
+    {
+        for (auto& [shard, mirror] : mirrors)
+            if (mirror.fd >= 0)
+                ::close(mirror.fd);
+    }
+
+    /// Rebuild dedup state from whatever mirror file already exists —
+    /// the restarted-coordinator path.  Counts only complete lines; a
+    /// torn tail (a crash mid-append) is terminated with a bare '\n'
+    /// before the first new append so it cannot splice with fresh data.
+    void scan(Mirror& mirror)
+    {
+        mirror.scanned = true;
+        std::string text;
+        const int fd = ::open(mirror.path.c_str(), O_RDONLY);
+        if (fd >= 0) {
+            char buffer[1 << 16];
+            ssize_t got;
+            while ((got = ::read(fd, buffer, sizeof buffer)) > 0)
+                text.append(buffer, static_cast<std::size_t>(got));
+            ::close(fd);
+        }
+        std::vector<std::string> lines;
+        const std::size_t used = take_lines(text, lines);
+        mirror.needs_newline = used < text.size();
+        for (const std::string& line : lines) {
+            ++mirror.lines;
+            std::uint64_t index = 0;
+            switch (classify_journal_line(line, &index)) {
+            case Journal_line_kind::magic:
+                mirror.have_magic = true;
+                break;
+            case Journal_line_kind::header:
+                mirror.have_header = true;
+                break;
+            case Journal_line_kind::task:
+                mirror.indices.insert(index);
+                break;
+            case Journal_line_kind::invalid:
+                break;
+            }
+        }
+    }
+
+    Mirror& mirror_for(std::size_t shard)
+    {
+        auto [it, inserted] = mirrors.try_emplace(shard);
+        Mirror& mirror = it->second;
+        if (inserted)
+            mirror.path = shard_journal_path(mirror_dir, shard);
+        if (!mirror.scanned)
+            scan(mirror);
+        return mirror;
+    }
+
+    bool append(Mirror& mirror, const std::string& line)
+    {
+        if (mirror.fd < 0) {
+            mirror.fd = ::open(mirror.path.c_str(),
+                               O_WRONLY | O_CREAT | O_APPEND, 0644);
+            if (mirror.fd < 0)
+                return false;
+        }
+        std::string out;
+        out.reserve(line.size() + 2);
+        if (mirror.needs_newline) {
+            // Terminate the torn tail first so it becomes one corrupt
+            // line the tailer drops, instead of splicing with ours.
+            out += '\n';
+            mirror.needs_newline = false;
+            ++mirror.lines;
+        }
+        out += line;
+        out += '\n';
+        ssize_t wrote;
+        do {
+            wrote = ::write(mirror.fd, out.data(), out.size());
+        } while (wrote < 0 && errno == EINTR);
+        if (wrote != static_cast<ssize_t>(out.size()))
+            return false;
+        ++mirror.lines;
+        ++stats.lines_appended;
+        return true;
+    }
+
+    void ingest_line(Mirror& mirror, const std::string& line)
+    {
+        ++stats.lines_received;
+        std::uint64_t index = 0;
+        switch (classify_journal_line(line, &index)) {
+        case Journal_line_kind::magic:
+            if (mirror.have_magic) {
+                ++stats.replayed_lines;
+            } else if (append(mirror, line)) {
+                mirror.have_magic = true;
+            }
+            break;
+        case Journal_line_kind::header:
+            if (mirror.have_header) {
+                ++stats.replayed_lines;
+            } else if (append(mirror, line)) {
+                mirror.have_header = true;
+            }
+            break;
+        case Journal_line_kind::task:
+            if (mirror.indices.count(index)) {
+                ++stats.replayed_lines;
+            } else if (append(mirror, line)) {
+                mirror.indices.insert(index);
+            }
+            break;
+        case Journal_line_kind::invalid:
+            // The frame CRC held but the line inside is not valid
+            // journal content; never mirror it (the sender's own file
+            // keeps it for the --resume path).
+            ++stats.invalid_lines;
+            break;
+        }
+    }
+
+    /// Returns false when the connection must be closed.
+    bool service(Connection& conn)
+    {
+        inbox.clear();
+        const auto status = conn.socket.recv_available(inbox);
+        if (status == util::Tcp_socket::Recv_status::error)
+            return false;
+        const bool peer_closed = status == util::Tcp_socket::Recv_status::closed;
+        if (!inbox.empty())
+            conn.decoder.feed(inbox);
+
+        bool processed = false;
+        Frame frame;
+        while (conn.decoder.next(frame)) {
+            if (frame.type == Frame_type::hello) {
+                std::size_t k = 0, n = 0;
+                std::uint64_t token = 0;
+                if (!parse_hello(frame.payload, k, n, token) || n != shard_count) {
+                    ++stats.dropped_frames;
+                    return false;
+                }
+                // A new HELLO for a shard someone else is streaming
+                // supersedes the old connection (relaunch winner).
+                for (auto& other : connections)
+                    if (other.get() != &conn && other->shard == k)
+                        other->socket.close();
+                const bool seen = !shards_seen.insert(k).second;
+                if (conn.shard == 0) {
+                    ++stats.connects;
+                    if (seen)
+                        ++stats.reconnects;
+                }
+                conn.shard = k;
+                conn.last_token = token;
+                mirror_for(k);
+                processed = true;
+            } else if (frame.type == Frame_type::line) {
+                if (conn.shard == 0) {
+                    ++stats.dropped_frames; // LINE before HELLO
+                    return false;
+                }
+                ingest_line(mirror_for(conn.shard), frame.payload);
+                processed = true;
+            }
+            // ACK frames from a worker are meaningless; ignored.
+        }
+        if (conn.decoder.corrupt()) {
+            ++stats.dropped_frames;
+            return false;
+        }
+        if (processed && conn.shard != 0) {
+            const Mirror& mirror = mirror_for(conn.shard);
+            const std::string wire = encode_frame(
+                Frame_type::ack, ack_payload(mirror.lines, conn.last_token));
+            if (!conn.socket.send_all(wire.data(), wire.size(),
+                                      std::chrono::milliseconds{250}))
+                return false;
+            ++stats.acks_sent;
+        }
+        return !peer_closed;
+    }
+
+    void poll()
+    {
+        for (;;) {
+            util::Tcp_socket incoming = listener.accept();
+            if (!incoming.valid())
+                break;
+            auto conn = std::make_unique<Connection>();
+            conn->socket = std::move(incoming);
+            connections.push_back(std::move(conn));
+        }
+        for (auto& conn : connections)
+            if (conn->socket.valid() && !service(*conn))
+                conn->socket.close();
+        connections.erase(
+            std::remove_if(connections.begin(), connections.end(),
+                           [](const std::unique_ptr<Connection>& c) {
+                               return !c->socket.valid();
+                           }),
+            connections.end());
+    }
+};
+
+Jstream_listener::Jstream_listener(std::uint16_t port, std::string mirror_dir,
+                                   std::size_t shard_count)
+    : impl_{std::make_unique<Impl>(port, std::move(mirror_dir), shard_count,
+                                   stats_)}
+{
+    util::ignore_sigpipe();
+}
+
+Jstream_listener::~Jstream_listener() = default;
+
+std::uint16_t Jstream_listener::port() const { return impl_->listener.port(); }
+
+void Jstream_listener::poll() { impl_->poll(); }
+
+} // namespace anc::engine

@@ -1,0 +1,210 @@
+// `anc.jstream.v1` — the journal transport: workers stream their
+// anc.journal.v1 lines to the coordinator over TCP, so a fleet no
+// longer needs a shared filesystem.
+//
+// Design center: the worker's LOCAL journal file stays the source of
+// truth (crash-safe, fsync'd — engine/journal.h); the stream is a
+// best-effort replica of it.  The coordinator's listener appends
+// received lines to a per-shard MIRROR journal at the exact path a
+// local worker would have written (coordinator.h shard_journal_path),
+// so the existing Journal_tailer / reorder-merge machinery consumes
+// remote shards with no code knowing the difference — and merged bytes
+// stay identical to a single-process run.
+//
+// Wire format (all integers little-endian):
+//
+//   frame   := magic:u32 type:u8 length:u32 payload:length crc:u32
+//   crc     := CRC-32/IEEE over type|length|payload (journal_crc32)
+//   HELLO   (worker → coordinator)  payload "shard=K/N token=T"
+//   LINE    (worker → coordinator)  payload = one raw journal line,
+//                                   WITHOUT the trailing newline
+//   ACK     (coordinator → worker)  payload = lines:u64 token:u64
+//
+// A receiver that sees a bad magic, an oversized length, or a CRC
+// mismatch drops the CONNECTION (there is no mid-stream resync); the
+// worker reconnects with backoff and replays.  Replay needs no sender
+// state: the ACK carries the mirror's current line count, the sender
+// rewinds its cursor to it (or to zero when its own file is shorter —
+// a relaunched worker with a fresh journal), and the listener dedups
+// by CONTENT (task index / header-once / magic-once), so duplicated
+// and overlapping replays — even two senders alternating on one shard,
+// an orphan racing its replacement — are harmless.  The `token` echoes
+// the most recent HELLO on the connection; a sender that wants a
+// durability point (end-of-run flush) sends a fresh HELLO and waits
+// for its token to come back: frames are processed in order, so the
+// echoed token proves every prior LINE was mirrored.
+//
+// Threading: both ends are single-threaded poll-style objects.  The
+// sender is pumped from the executor's serialized on_complete hook;
+// the listener from the coordinator's poll cycle.  Nothing blocks past
+// the configured io timeout.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/backoff.h"
+#include "util/net.h"
+
+namespace anc::engine {
+
+// ------------------------------------------------------------- framing
+
+inline constexpr std::uint32_t jstream_magic = 0x314a4e41; // "ANJ1" LE
+/// Journal lines are bounded by task payloads (a few KiB); anything
+/// past this is framing corruption, not data.
+inline constexpr std::size_t jstream_max_payload = 1u << 20;
+
+enum class Frame_type : std::uint8_t { hello = 1, line = 2, ack = 3 };
+
+struct Frame {
+    Frame_type type = Frame_type::line;
+    std::string payload;
+};
+
+/// One frame in wire form.
+std::string encode_frame(Frame_type type, const std::string& payload);
+
+std::string hello_payload(std::size_t shard_index, std::size_t shard_count,
+                          std::uint64_t token);
+bool parse_hello(const std::string& payload, std::size_t& shard_index,
+                 std::size_t& shard_count, std::uint64_t& token);
+
+std::string ack_payload(std::uint64_t lines, std::uint64_t token);
+bool parse_ack(const std::string& payload, std::uint64_t& lines,
+               std::uint64_t& token);
+
+/// Incremental frame extractor over a reassembled byte stream.
+class Frame_decoder {
+public:
+    void feed(const std::string& bytes) { buffer_ += bytes; }
+
+    /// True when a complete, CRC-valid frame was extracted into
+    /// `frame`.  False when more bytes are needed — or when the stream
+    /// is corrupt (bad magic / oversized length / CRC mismatch), which
+    /// latches corrupt(): the connection is unusable and must be
+    /// dropped.
+    bool next(Frame& frame);
+
+    bool corrupt() const { return corrupt_; }
+
+private:
+    std::string buffer_;
+    std::size_t consumed_ = 0;
+    bool corrupt_ = false;
+};
+
+// -------------------------------------------------------------- sender
+
+struct Jstream_sender_stats {
+    std::size_t connects = 0;        ///< completed handshakes
+    std::size_t reconnects = 0;      ///< handshakes after the first
+    std::size_t connect_failures = 0;
+    std::size_t lines_sent = 0;      ///< LINE frames put on the wire
+    std::size_t replayed_lines = 0;  ///< of those, resent after a rewind
+    std::size_t backoff_waits = 0;   ///< reconnect delays scheduled
+    bool synced = false;             ///< finish() proved the mirror caught up
+};
+
+/// Streams a journal file's lines to a listener as they appear.
+///
+/// pump() is cheap and never blocks beyond Config::io_timeout: the
+/// connection lifecycle (connect → handshake → streaming) is a
+/// non-blocking state machine advanced a step per call, and a dead
+/// coordinator costs a backoff-gated connect attempt per window, not a
+/// stall — the sweep always makes progress on local journaling alone.
+class Jstream_sender {
+public:
+    struct Config {
+        util::Host_port peer;
+        std::size_t shard_index = 1;
+        std::size_t shard_count = 1;
+        /// Reconnect delays; seeded per shard so a restarted fleet
+        /// does not stampede.
+        util::Backoff_policy backoff{std::chrono::milliseconds{100},
+                                     std::chrono::milliseconds{2000}};
+        /// Bound on any single blocking step (bulk send, connect poll).
+        std::chrono::milliseconds io_timeout{1000};
+    };
+
+    Jstream_sender(Config config, std::string journal_path);
+    ~Jstream_sender();
+
+    Jstream_sender(const Jstream_sender&) = delete;
+    Jstream_sender& operator=(const Jstream_sender&) = delete;
+
+    /// Advance the state machine: progress the connect/handshake,
+    /// stream any new complete journal lines, drain acks.  Call after
+    /// every journal append (and opportunistically).  Never throws.
+    void pump();
+
+    /// Drive pump() until the listener has acknowledged everything in
+    /// the journal file or `budget` elapses.  True on full sync (also
+    /// recorded in stats().synced).  A false return is not data loss —
+    /// the local journal holds everything; the coordinator recovers it
+    /// on relaunch with --resume.
+    bool finish(std::chrono::milliseconds budget);
+
+    const Jstream_sender_stats& stats() const { return stats_; }
+    bool connected() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    Jstream_sender_stats stats_;
+};
+
+// ------------------------------------------------------------ listener
+
+struct Jstream_listener_stats {
+    std::size_t connects = 0;    ///< valid HELLOs accepted
+    std::size_t reconnects = 0;  ///< of those, for a shard seen before
+    std::size_t lines_received = 0;
+    std::size_t lines_appended = 0;  ///< survived dedup, mirrored to disk
+    std::size_t replayed_lines = 0;  ///< duplicates dropped by dedup
+    std::size_t invalid_lines = 0;   ///< CRC/parse-failed lines never mirrored
+    std::size_t dropped_frames = 0;  ///< framing corruption → connection drop
+    std::size_t acks_sent = 0;
+};
+
+/// Accepts worker connections and mirrors their journal lines into
+/// `<mirror_dir>/shard<K>.anj`.  Owns nothing about shard lifecycle —
+/// the coordinator's tailers watch the mirror files exactly as they
+/// watch local workers' journals.
+///
+/// Dedup state per shard is rebuilt by scanning the existing mirror
+/// file on first contact, so a RESTARTED coordinator (fresh listener,
+/// surviving mirror files) continues exactly where the old one
+/// stopped.
+class Jstream_listener {
+public:
+    /// Binds immediately (throws on failure, like Tcp_listener); port
+    /// 0 picks an ephemeral port — read it back via port().
+    Jstream_listener(std::uint16_t port, std::string mirror_dir,
+                     std::size_t shard_count);
+    ~Jstream_listener();
+
+    Jstream_listener(const Jstream_listener&) = delete;
+    Jstream_listener& operator=(const Jstream_listener&) = delete;
+
+    std::uint16_t port() const;
+
+    /// Accept pending connections, ingest frames, mirror fresh lines,
+    /// send acks.  Never throws, never blocks.
+    void poll();
+
+    const Jstream_listener_stats& stats() const { return stats_; }
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    Jstream_listener_stats stats_;
+};
+
+} // namespace anc::engine

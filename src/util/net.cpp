@@ -1,0 +1,322 @@
+#include "util/net.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace anc::util {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+bool set_nonblocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+/// poll(2) one fd for `events`, retrying EINTR against a fixed
+/// deadline.  Returns the revents (0 on timeout, -1 on poll failure).
+int poll_until(int fd, short events, clock::time_point deadline)
+{
+    for (;;) {
+        const auto now = clock::now();
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - now);
+        if (left.count() < 0)
+            return 0;
+        struct pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = events;
+        const int got = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (got == 0)
+            return 0;
+        return pfd.revents;
+    }
+}
+
+} // namespace
+
+void ignore_sigpipe()
+{
+    // signal(2) is async-signal-safe enough for an idempotent SIG_IGN;
+    // calling it repeatedly is harmless.
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool parse_host_port(const std::string& text, Host_port& out)
+{
+    const auto colon = text.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+        return false;
+    const std::string host = text.substr(0, colon);
+    const std::string port_text = text.substr(colon + 1);
+    if (port_text.empty() ||
+        port_text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    const long port = std::strtol(port_text.c_str(), nullptr, 10);
+    if (port < 1 || port > 65535)
+        return false;
+    out.host = host;
+    out.port = static_cast<std::uint16_t>(port);
+    return true;
+}
+
+// ------------------------------------------------------------ Tcp_socket
+
+Tcp_socket::Tcp_socket(int fd) : fd_{fd}
+{
+    if (fd_ >= 0)
+        set_nonblocking(fd_);
+}
+
+Tcp_socket::~Tcp_socket() { close(); }
+
+Tcp_socket::Tcp_socket(Tcp_socket&& other) noexcept : fd_{other.fd_}
+{
+    other.fd_ = -1;
+}
+
+Tcp_socket& Tcp_socket::operator=(Tcp_socket&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Tcp_socket Tcp_socket::connect(const Host_port& peer,
+                               std::chrono::milliseconds timeout)
+{
+    ignore_sigpipe();
+    const auto deadline = clock::now() + timeout;
+
+    struct addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* info = nullptr;
+    const std::string port_text = std::to_string(peer.port);
+    if (::getaddrinfo(peer.host.c_str(), port_text.c_str(), &hints, &info) != 0)
+        return {};
+
+    Tcp_socket result;
+    for (struct addrinfo* it = info; it != nullptr; it = it->ai_next) {
+        const int fd = ::socket(it->ai_family, it->ai_socktype | SOCK_CLOEXEC,
+                                it->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (!set_nonblocking(fd)) {
+            ::close(fd);
+            continue;
+        }
+        int rc;
+        do {
+            rc = ::connect(fd, it->ai_addr, it->ai_addrlen);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0 && errno == EINPROGRESS) {
+            const int revents = poll_until(fd, POLLOUT, deadline);
+            if (revents <= 0 || (revents & (POLLERR | POLLHUP))) {
+                ::close(fd);
+                continue;
+            }
+            int soerr = 0;
+            socklen_t len = sizeof soerr;
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 ||
+                soerr != 0) {
+                ::close(fd);
+                continue;
+            }
+            rc = 0;
+        }
+        if (rc < 0) {
+            ::close(fd);
+            continue;
+        }
+        // Journal lines are small and latency is the point of
+        // streaming; Nagle would batch them pointlessly.
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        result.fd_ = fd;
+        break;
+    }
+    ::freeaddrinfo(info);
+    return result;
+}
+
+bool Tcp_socket::send_all(const void* data, std::size_t size,
+                          std::chrono::milliseconds timeout)
+{
+    if (fd_ < 0)
+        return false;
+    const auto deadline = clock::now() + timeout;
+    const char* cursor = static_cast<const char*>(data);
+    std::size_t left = size;
+    while (left > 0) {
+        const ssize_t sent = ::send(fd_, cursor, left, MSG_NOSIGNAL);
+        if (sent > 0) {
+            cursor += sent;
+            left -= static_cast<std::size_t>(sent);
+            continue;
+        }
+        if (sent < 0 && errno == EINTR)
+            continue;
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            const int revents = poll_until(fd_, POLLOUT, deadline);
+            if (revents <= 0 || (revents & (POLLERR | POLLHUP)))
+                return false;
+            continue;
+        }
+        return false;
+    }
+    return true;
+}
+
+Tcp_socket::Recv_status Tcp_socket::recv_available(std::string& into,
+                                                   std::size_t max_bytes)
+{
+    if (fd_ < 0)
+        return Recv_status::error;
+    bool any = false;
+    char buffer[4096];
+    while (max_bytes > 0) {
+        const std::size_t want = std::min(max_bytes, sizeof buffer);
+        const ssize_t got = ::recv(fd_, buffer, want, 0);
+        if (got > 0) {
+            into.append(buffer, static_cast<std::size_t>(got));
+            max_bytes -= static_cast<std::size_t>(got);
+            any = true;
+            continue;
+        }
+        if (got == 0)
+            return Recv_status::closed;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return any ? Recv_status::data : Recv_status::none;
+        return Recv_status::error;
+    }
+    return Recv_status::data;
+}
+
+void Tcp_socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// ---------------------------------------------------------- Tcp_listener
+
+Tcp_listener::~Tcp_listener() { close(); }
+
+Tcp_listener::Tcp_listener(Tcp_listener&& other) noexcept
+    : fd_{other.fd_}, port_{other.port_}
+{
+    other.fd_ = -1;
+    other.port_ = 0;
+}
+
+Tcp_listener& Tcp_listener::operator=(Tcp_listener&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        port_ = other.port_;
+        other.fd_ = -1;
+        other.port_ = 0;
+    }
+    return *this;
+}
+
+Tcp_listener Tcp_listener::listen(std::uint16_t port)
+{
+    ignore_sigpipe();
+    // CLOEXEC everywhere: worker children forked by the coordinator
+    // must not inherit the listening socket, or a SIGKILLed
+    // coordinator's port stays bound by its surviving fleet and the
+    // restarted coordinator cannot re-listen.
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw std::runtime_error{"Tcp_listener: socket() failed"};
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (!set_nonblocking(fd)) {
+        ::close(fd);
+        throw std::runtime_error{"Tcp_listener: O_NONBLOCK failed"};
+    }
+
+    struct sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) < 0) {
+        ::close(fd);
+        throw std::runtime_error{"Tcp_listener: cannot bind port " +
+                                 std::to_string(port)};
+    }
+    if (::listen(fd, 64) < 0) {
+        ::close(fd);
+        throw std::runtime_error{"Tcp_listener: listen() failed"};
+    }
+
+    struct sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) < 0) {
+        ::close(fd);
+        throw std::runtime_error{"Tcp_listener: getsockname() failed"};
+    }
+
+    Tcp_listener result;
+    result.fd_ = fd;
+    result.port_ = ntohs(bound.sin_port);
+    return result;
+}
+
+Tcp_socket Tcp_listener::accept()
+{
+    if (fd_ < 0)
+        return {};
+    for (;;) {
+        const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd >= 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+            return Tcp_socket{fd};
+        }
+        if (errno == EINTR)
+            continue;
+        return {};
+    }
+}
+
+void Tcp_listener::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        port_ = 0;
+    }
+}
+
+} // namespace anc::util

@@ -1,0 +1,119 @@
+// Minimal TCP wrappers for the anc.jstream.v1 journal transport
+// (engine/jstream.h): a non-blocking connected socket and a
+// non-blocking accepting listener, plus the host:port parser the CLIs
+// share.
+//
+// Design rules, inherited from the coordinator's single-threaded poll
+// loop (engine/coordinator.cpp):
+//   - nothing here ever blocks indefinitely — connects and bulk sends
+//     take explicit deadlines, receives only drain what is buffered,
+//     accept returns "nothing pending";
+//   - a peer dying mid-write must never raise SIGPIPE into the
+//     process (MSG_NOSIGNAL on every send, plus ignore_sigpipe() as a
+//     belt-and-braces process-wide guard installed by connect/listen);
+//   - every syscall loop retries EINTR.
+// Errors are values, not exceptions: an invalid socket, a false
+// send_all.  Only listener setup throws (a bad --listen port is a
+// configuration error the CLI should die loudly on).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace anc::util {
+
+/// Process-wide SIG_IGN for SIGPIPE; idempotent, called by socket
+/// constructors so no CLI can forget it.  (Sends also pass
+/// MSG_NOSIGNAL; this guard covers third-party writes to dead pipes,
+/// e.g. a worker's stdout after the coordinator died.)
+void ignore_sigpipe();
+
+struct Host_port {
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+/// "host:port" → parts.  False on a missing/empty host, a missing
+/// colon, or a port outside [1, 65535].
+bool parse_host_port(const std::string& text, Host_port& out);
+
+/// A connected stream socket, non-blocking, move-only; closed by the
+/// destructor.  Default-constructed handles are invalid (valid() is
+/// false and every operation fails benignly).
+class Tcp_socket {
+public:
+    Tcp_socket() = default;
+    /// Adopt an already-open descriptor (from accept); switched to
+    /// non-blocking.
+    explicit Tcp_socket(int fd);
+    ~Tcp_socket();
+    Tcp_socket(Tcp_socket&& other) noexcept;
+    Tcp_socket& operator=(Tcp_socket&& other) noexcept;
+    Tcp_socket(const Tcp_socket&) = delete;
+    Tcp_socket& operator=(const Tcp_socket&) = delete;
+
+    /// Blocking-with-deadline connect (non-blocking connect + poll +
+    /// SO_ERROR).  Returns an invalid socket on resolution failure,
+    /// refusal, or timeout.
+    static Tcp_socket connect(const Host_port& peer,
+                              std::chrono::milliseconds timeout);
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /// Write the whole buffer, polling through partial writes and
+    /// EAGAIN up to the deadline.  False on error or timeout — the
+    /// stream position is then indeterminate and the caller must drop
+    /// the connection (jstream framing has no mid-stream resync).
+    bool send_all(const void* data, std::size_t size,
+                  std::chrono::milliseconds timeout);
+
+    enum class Recv_status { data, none, closed, error };
+
+    /// Drain whatever is already buffered (never blocks): appends up
+    /// to max_bytes to `into`.  `none` = nothing pending; `closed` =
+    /// orderly EOF; `error` = connection reset or failed.
+    Recv_status recv_available(std::string& into,
+                               std::size_t max_bytes = 1 << 16);
+
+    void close();
+
+private:
+    int fd_ = -1;
+};
+
+/// A non-blocking accepting socket bound to 127.0.0.1-any (INADDR_ANY)
+/// with SO_REUSEADDR, so a restarted coordinator can re-bind its port
+/// while old worker connections are still draining.
+class Tcp_listener {
+public:
+    Tcp_listener() = default;
+    ~Tcp_listener();
+    Tcp_listener(Tcp_listener&& other) noexcept;
+    Tcp_listener& operator=(Tcp_listener&& other) noexcept;
+    Tcp_listener(const Tcp_listener&) = delete;
+    Tcp_listener& operator=(const Tcp_listener&) = delete;
+
+    /// Bind + listen; port 0 asks the kernel for an ephemeral port
+    /// (read it back via port()).  Throws std::runtime_error on
+    /// failure — a bad listen address is a configuration error.
+    static Tcp_listener listen(std::uint16_t port);
+
+    bool valid() const { return fd_ >= 0; }
+    /// The bound port (resolves ephemeral port 0 requests).
+    std::uint16_t port() const { return port_; }
+
+    /// One pending connection, or an invalid socket when none is
+    /// queued.  Never blocks.
+    Tcp_socket accept();
+
+    void close();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace anc::util

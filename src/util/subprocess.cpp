@@ -1,5 +1,6 @@
 #include "util/subprocess.h"
 
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <stdexcept>
@@ -9,9 +10,35 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "util/net.h"
+
 namespace anc::util {
 
 namespace {
+
+/// waitpid with the EINTR retry every reaping path needs: the
+/// coordinator handles SIGINT/SIGTERM, and a signal landing mid-reap
+/// must not make a live child look unreapable (or a blocking wait
+/// spuriously fail).
+pid_t waitpid_retry(pid_t pid, int* status, int flags)
+{
+    pid_t got;
+    do {
+        got = ::waitpid(pid, status, flags);
+    } while (got < 0 && errno == EINTR);
+    return got;
+}
+
+/// Signal the child's whole process group, falling back to the child
+/// alone if the group is gone.  Workers are launched through wrappers
+/// (/bin/sh -c, ssh) whose descendants must not outlive a SIGKILL —
+/// an orphaned grandchild keeps inherited pipes/ports open and makes
+/// a killed worker look half-alive to everything downstream.
+void kill_tree(pid_t pid, int signum)
+{
+    if (::kill(-pid, signum) != 0)
+        ::kill(pid, signum);
+}
 
 /// Open `path` for appending and dup2 it onto `target_fd`; called in
 /// the child between fork and exec, so failures must not throw — they
@@ -37,6 +64,11 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
     if (argv.empty())
         throw std::runtime_error{"Subprocess::spawn: empty argv"};
 
+    // A worker dying mid-pipe must never SIGPIPE the supervisor; the
+    // guard is process-wide and idempotent, and spawn() is the one
+    // choke point every supervisor passes through.
+    ignore_sigpipe();
+
     // execvp wants a mutable char* array; build it before the fork so
     // the child does no allocation between fork and exec.
     std::vector<char*> cargv;
@@ -49,6 +81,9 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
     if (pid < 0)
         throw std::runtime_error{"Subprocess::spawn: fork failed"};
     if (pid == 0) {
+        // Own process group, so kill() can reach every descendant the
+        // command spawns (sh -c wrappers, ssh transports).
+        ::setpgid(0, 0);
         redirect_or_die(options.stdout_path, STDOUT_FILENO);
         redirect_or_die(options.stderr_path, STDERR_FILENO);
         ::execvp(cargv[0], cargv.data());
@@ -58,6 +93,12 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
         ::_exit(127);
     }
 
+    // Mirror the child's setpgid here too: whichever side runs first
+    // establishes the group, so a kill() issued immediately after
+    // spawn() still reaches the whole tree (EACCES after exec means
+    // the child already did it — fine).
+    ::setpgid(pid, pid);
+
     Subprocess child;
     child.pid_ = pid;
     return child;
@@ -66,9 +107,9 @@ Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
 Subprocess::~Subprocess()
 {
     if (running()) {
-        ::kill(pid_, SIGKILL);
+        kill_tree(pid_, SIGKILL);
         int status = 0;
-        ::waitpid(pid_, &status, 0);
+        waitpid_retry(pid_, &status, 0);
     }
 }
 
@@ -83,9 +124,9 @@ Subprocess& Subprocess::operator=(Subprocess&& other) noexcept
 {
     if (this != &other) {
         if (running()) {
-            ::kill(pid_, SIGKILL);
+            kill_tree(pid_, SIGKILL);
             int status = 0;
-            ::waitpid(pid_, &status, 0);
+            waitpid_retry(pid_, &status, 0);
         }
         pid_ = other.pid_;
         reaped_ = other.reaped_;
@@ -103,7 +144,7 @@ bool Subprocess::try_wait()
     if (pid_ <= 0)
         return false;
     int status = 0;
-    const pid_t got = ::waitpid(pid_, &status, WNOHANG);
+    const pid_t got = waitpid_retry(pid_, &status, WNOHANG);
     if (got == pid_) {
         raw_status_ = status;
         reaped_ = true;
@@ -117,7 +158,7 @@ int Subprocess::wait()
         if (pid_ <= 0)
             throw std::runtime_error{"Subprocess::wait: no child"};
         int status = 0;
-        if (::waitpid(pid_, &status, 0) != pid_)
+        if (waitpid_retry(pid_, &status, 0) != pid_)
             throw std::runtime_error{"Subprocess::wait: waitpid failed"};
         raw_status_ = status;
         reaped_ = true;
@@ -139,7 +180,7 @@ bool Subprocess::wait_for(std::chrono::milliseconds timeout)
 void Subprocess::kill(int signum) const
 {
     if (running())
-        ::kill(pid_, signum);
+        kill_tree(pid_, signum);
 }
 
 void Subprocess::detach()

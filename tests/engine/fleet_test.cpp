@@ -1,0 +1,188 @@
+// anc.fleet.v1 (engine/fleet.h): the coordinator's own crash journal.
+// Same hardening bar as anc.journal.v1 — torn lines dropped, last
+// record per shard wins, incompatible headers refused — because this
+// file is what lets a SIGKILLed coordinator restart without redoing
+// (or corrupting) its fleet's work.
+
+#include "engine/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "engine/journal.h"
+
+namespace anc::engine {
+namespace {
+
+struct Temp_path {
+    explicit Temp_path(const std::string& name) : path{testing::TempDir() + name}
+    {
+        std::remove(path.c_str());
+    }
+    ~Temp_path() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+Fleet_header header()
+{
+    Fleet_header h;
+    h.grid_hash = 0xabcdef0123456789ull;
+    h.base_seed = 77;
+    h.tasks = 24;
+    h.shards = 4;
+    return h;
+}
+
+Fleet_record record(std::size_t shard, Fleet_shard_status status,
+                    std::size_t attempts, std::size_t slot, std::uint64_t wm)
+{
+    Fleet_record r;
+    r.shard = shard;
+    r.status = status;
+    r.attempts = attempts;
+    r.slot = slot;
+    r.watermark = wm;
+    return r;
+}
+
+TEST(Fleet, RoundTripsHeaderAndRecords)
+{
+    Temp_path file{"fleet_roundtrip.anf"};
+    {
+        Fleet_journal journal{file.path, header(), /*truncate=*/true};
+        journal.record_generation(1);
+        journal.record(record(1, Fleet_shard_status::running, 1, 0, 5));
+        journal.record(record(2, Fleet_shard_status::done, 1, 1, 6));
+    }
+    const Fleet_state state = load_fleet(file.path);
+    EXPECT_EQ(state.header.grid_hash, header().grid_hash);
+    EXPECT_EQ(state.header.base_seed, 77u);
+    EXPECT_EQ(state.header.tasks, 24u);
+    EXPECT_EQ(state.header.shards, 4u);
+    EXPECT_EQ(state.generations, 1u);
+    EXPECT_EQ(state.dropped_lines, 0u);
+    ASSERT_EQ(state.shards.size(), 2u);
+    EXPECT_EQ(state.shards.at(1).status, Fleet_shard_status::running);
+    EXPECT_EQ(state.shards.at(1).watermark, 5u);
+    EXPECT_EQ(state.shards.at(2).status, Fleet_shard_status::done);
+    EXPECT_EQ(state.shards.at(2).slot, 1u);
+}
+
+TEST(Fleet, LastRecordPerShardWins)
+{
+    Temp_path file{"fleet_lastwins.anf"};
+    {
+        Fleet_journal journal{file.path, header(), /*truncate=*/true};
+        journal.record(record(3, Fleet_shard_status::running, 1, 0, 2));
+        journal.record(record(3, Fleet_shard_status::running, 1, 0, 9));
+        journal.record(record(3, Fleet_shard_status::done, 1, 0, 12));
+    }
+    const Fleet_state state = load_fleet(file.path);
+    ASSERT_EQ(state.shards.size(), 1u);
+    EXPECT_EQ(state.shards.at(3).status, Fleet_shard_status::done);
+    EXPECT_EQ(state.shards.at(3).watermark, 12u);
+}
+
+TEST(Fleet, TornFinalLineIsDroppedNotFatal)
+{
+    Temp_path file{"fleet_torn.anf"};
+    {
+        Fleet_journal journal{file.path, header(), /*truncate=*/true};
+        journal.record(record(1, Fleet_shard_status::done, 1, 0, 6));
+        journal.record(record(2, Fleet_shard_status::running, 2, 1, 3));
+    }
+    // Tear the last line mid-write (SIGKILL during append).
+    std::string bytes;
+    {
+        std::ifstream in{file.path, std::ios::binary};
+        bytes.assign(std::istreambuf_iterator<char>{in}, {});
+    }
+    std::ofstream{file.path, std::ios::binary | std::ios::trunc}
+        << bytes.substr(0, bytes.size() - 7);
+
+    const Fleet_state state = load_fleet(file.path);
+    EXPECT_GE(state.dropped_lines, 1u);
+    ASSERT_EQ(state.shards.size(), 1u); // shard 2's record was the torn one
+    EXPECT_EQ(state.shards.at(1).status, Fleet_shard_status::done);
+}
+
+TEST(Fleet, CorruptMiddleLineIsSkipped)
+{
+    Temp_path file{"fleet_corrupt.anf"};
+    {
+        Fleet_journal journal{file.path, header(), /*truncate=*/true};
+        journal.record(record(1, Fleet_shard_status::running, 1, 0, 1));
+        journal.record(record(2, Fleet_shard_status::running, 1, 1, 1));
+    }
+    std::string bytes;
+    {
+        std::ifstream in{file.path, std::ios::binary};
+        bytes.assign(std::istreambuf_iterator<char>{in}, {});
+    }
+    // Flip a byte inside shard 1's record (the third line).
+    std::size_t line_start = bytes.find('\n', bytes.find('\n') + 1) + 1;
+    bytes[line_start + 12] ^= 0x20;
+    std::ofstream{file.path, std::ios::binary | std::ios::trunc} << bytes;
+
+    const Fleet_state state = load_fleet(file.path);
+    EXPECT_EQ(state.dropped_lines, 1u);
+    ASSERT_EQ(state.shards.size(), 1u);
+    EXPECT_EQ(state.shards.count(2), 1u); // the clean record survived
+}
+
+TEST(Fleet, LoadRefusesNonFleetFiles)
+{
+    Temp_path file{"fleet_notafleet.anf"};
+    std::ofstream{file.path} << "anc.journal.v1\nsomething else\n";
+    EXPECT_THROW(load_fleet(file.path), std::runtime_error);
+    EXPECT_THROW(load_fleet(file.path + ".missing"), std::runtime_error);
+}
+
+TEST(Fleet, CompatibilityChecksEveryHeaderField)
+{
+    Sweep_grid grid;
+    grid.scenarios = {"alice_bob"};
+    grid.snr_db = {10.0};
+    Fleet_header h;
+    h.grid_hash = grid_fingerprint(grid);
+    h.base_seed = 7;
+    h.tasks = 12;
+    h.shards = 4;
+
+    std::string why;
+    EXPECT_TRUE(fleet_compatible(h, grid, 7, 12, 4, &why));
+    EXPECT_FALSE(fleet_compatible(h, grid, 8, 12, 4, &why));
+    EXPECT_NE(why.find("seed"), std::string::npos);
+    EXPECT_FALSE(fleet_compatible(h, grid, 7, 13, 4, &why));
+    EXPECT_FALSE(fleet_compatible(h, grid, 7, 12, 5, &why));
+    Sweep_grid other = grid;
+    other.snr_db = {20.0};
+    EXPECT_FALSE(fleet_compatible(h, other, 7, 12, 4, &why));
+}
+
+TEST(Fleet, AppendModeContinuesAnExistingJournal)
+{
+    Temp_path file{"fleet_append.anf"};
+    {
+        Fleet_journal journal{file.path, header(), /*truncate=*/true};
+        journal.record_generation(1);
+        journal.record(record(1, Fleet_shard_status::running, 1, 0, 3));
+    }
+    {
+        // A restarted coordinator appends (truncate=false): prior
+        // records survive, generation count grows.
+        Fleet_journal journal{file.path, header(), /*truncate=*/false};
+        journal.record_generation(2);
+        journal.record(record(1, Fleet_shard_status::done, 1, 0, 6));
+    }
+    const Fleet_state state = load_fleet(file.path);
+    EXPECT_EQ(state.generations, 2u);
+    EXPECT_EQ(state.shards.at(1).status, Fleet_shard_status::done);
+}
+
+} // namespace
+} // namespace anc::engine

@@ -1,0 +1,406 @@
+// anc.jstream.v1 (engine/jstream.h): frame codec hardening in the
+// journal_fuzz style (truncation at every byte, every single-bit flip,
+// duplicated frames), then the sender↔listener loop — byte-identical
+// mirrors, reconnect-and-replay across a listener restart, and the
+// content dedup that makes overlapping replays harmless.
+
+#include "engine/jstream.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/coordinator.h" // shard_journal_path
+#include "engine/engine.h"
+#include "engine/journal.h"
+#include "util/rng.h"
+
+namespace anc::engine {
+namespace {
+
+using std::chrono::milliseconds;
+
+Scenario_registry noisy_registry()
+{
+    Scenario_registry registry;
+    registry.add(std::make_unique<Function_scenario>(
+        "noisy", std::vector<std::string>{"anc", "traditional"},
+        [](const Scenario_config& config, std::uint64_t seed) {
+            Pcg32 rng{seed};
+            Scenario_result result;
+            result.metrics.packets_attempted = config.exchanges;
+            result.metrics.packets_delivered = rng.next_in_range(
+                1, static_cast<std::uint32_t>(config.exchanges));
+            result.metrics.packet_ber.add(rng.next_double() * 0.05);
+            result.scalars["iters"] = rng.next_double() * 1e9;
+            return result;
+        }));
+    return registry;
+}
+
+struct Temp_dir {
+    explicit Temp_dir(const std::string& name) : path{testing::TempDir() + name}
+    {
+        ::system(("rm -rf '" + path + "' && mkdir -p '" + path + "'").c_str());
+    }
+    ~Temp_dir() { ::system(("rm -rf '" + path + "'").c_str()); }
+    std::string path;
+};
+
+/// A real worker-side journal: magic + header + one entry per task.
+void build_journal(const std::string& path, std::size_t repetitions = 3)
+{
+    const Scenario_registry registry = noisy_registry();
+    Sweep_grid grid;
+    grid.scenarios = {"noisy"};
+    grid.snr_db = {10.0, 20.0};
+    grid.repetitions = repetitions;
+    const std::vector<Sweep_task> tasks = expand(grid, registry);
+    Journal_writer writer{
+        path, Journal_header{grid_fingerprint(grid), 77, tasks.size(), 1, 1},
+        /*truncate=*/true};
+    Executor_config config;
+    config.threads = 1;
+    config.base_seed = 77;
+    config.on_complete = [&writer](const Task_result& r) { writer.append(r); };
+    run_sweep(tasks, registry, config);
+    writer.flush();
+}
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in{path, std::ios::binary};
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+// --------------------------------------------------------------- codec
+
+TEST(JstreamCodec, FramesRoundTripThroughTheDecoder)
+{
+    const std::string wire = encode_frame(Frame_type::hello, hello_payload(2, 8, 42))
+                             + encode_frame(Frame_type::line, "a journal line")
+                             + encode_frame(Frame_type::ack, ack_payload(17, 42));
+
+    Frame_decoder decoder;
+    decoder.feed(wire);
+    Frame frame;
+    ASSERT_TRUE(decoder.next(frame));
+    EXPECT_EQ(frame.type, Frame_type::hello);
+    std::size_t shard = 0, shards = 0;
+    std::uint64_t token = 0;
+    ASSERT_TRUE(parse_hello(frame.payload, shard, shards, token));
+    EXPECT_EQ(shard, 2u);
+    EXPECT_EQ(shards, 8u);
+    EXPECT_EQ(token, 42u);
+
+    ASSERT_TRUE(decoder.next(frame));
+    EXPECT_EQ(frame.type, Frame_type::line);
+    EXPECT_EQ(frame.payload, "a journal line");
+
+    ASSERT_TRUE(decoder.next(frame));
+    EXPECT_EQ(frame.type, Frame_type::ack);
+    std::uint64_t lines = 0;
+    ASSERT_TRUE(parse_ack(frame.payload, lines, token));
+    EXPECT_EQ(lines, 17u);
+    EXPECT_EQ(token, 42u);
+
+    EXPECT_FALSE(decoder.next(frame));
+    EXPECT_FALSE(decoder.corrupt());
+}
+
+TEST(JstreamCodec, ByteAtATimeFeedDecodesIdentically)
+{
+    const std::string wire = encode_frame(Frame_type::line, "drip-fed payload");
+    Frame_decoder decoder;
+    Frame frame;
+    std::size_t decoded = 0;
+    for (char byte : wire) {
+        decoder.feed(std::string(1, byte));
+        while (decoder.next(frame)) {
+            ++decoded;
+            EXPECT_EQ(frame.payload, "drip-fed payload");
+        }
+    }
+    EXPECT_EQ(decoded, 1u);
+    EXPECT_FALSE(decoder.corrupt());
+}
+
+TEST(JstreamCodec, TruncationAtEveryByteIsIncompleteNeverCorrupt)
+{
+    const std::string wire = encode_frame(Frame_type::line, "truncate me");
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        Frame_decoder decoder;
+        decoder.feed(wire.substr(0, cut));
+        Frame frame;
+        EXPECT_FALSE(decoder.next(frame)) << "cut at byte " << cut;
+        // A prefix of a valid frame is "not yet", never "broken" — the
+        // sender will deliver the rest (or the connection dies and the
+        // whole frame is replayed).
+        EXPECT_FALSE(decoder.corrupt()) << "cut at byte " << cut;
+    }
+}
+
+TEST(JstreamCodec, EverySingleBitFlipIsRejected)
+{
+    const std::string original = encode_frame(Frame_type::line, "bit flip target");
+    // A valid trailer frame follows, so a flip in the length field that
+    // inflates the frame has real bytes to swallow — the decoder must
+    // still not emit a bogus frame from them.
+    const std::string trailer = encode_frame(Frame_type::line, "trailer");
+
+    for (std::size_t bit = 0; bit < original.size() * 8; ++bit) {
+        std::string flipped = original;
+        flipped[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(flipped[bit / 8]) ^ (1u << (bit % 8)));
+
+        Frame_decoder decoder;
+        decoder.feed(flipped + trailer);
+        Frame frame;
+        while (decoder.next(frame)) {
+            // Any frame that does surface must be untampered — CRC-32
+            // catches every single-bit error, so the only acceptable
+            // decode is the trailer (after the flipped frame was
+            // somehow skipped, which framing never does) — or nothing.
+            FAIL() << "bit " << bit << " yielded a frame: '" << frame.payload
+                   << "'";
+        }
+        // Either the corruption was detected outright, or the flip hit
+        // the length field and left the decoder starving for bytes that
+        // will never come (the connection then times out and drops).
+        if (!decoder.corrupt()) {
+            decoder.feed(std::string(jstream_max_payload, 'x'));
+            while (decoder.next(frame))
+                FAIL() << "bit " << bit << " eventually yielded a frame";
+            EXPECT_TRUE(decoder.corrupt()) << "bit " << bit;
+        }
+    }
+}
+
+TEST(JstreamCodec, DuplicatedFramesDecodeAsTwoIdenticalFrames)
+{
+    const std::string wire = encode_frame(Frame_type::line, "dup");
+    Frame_decoder decoder;
+    decoder.feed(wire + wire);
+    Frame a, b, extra;
+    ASSERT_TRUE(decoder.next(a));
+    ASSERT_TRUE(decoder.next(b));
+    EXPECT_EQ(a.payload, b.payload);
+    EXPECT_FALSE(decoder.next(extra));
+    EXPECT_FALSE(decoder.corrupt());
+}
+
+// ---------------------------------------------------- sender ↔ listener
+
+/// Pump both ends until the mirror matches `expect_bytes` or ~5 s pass.
+bool pump_until_mirrored(Jstream_sender& sender, Jstream_listener& listener,
+                         const std::string& mirror_path,
+                         const std::string& expect_bytes)
+{
+    for (int i = 0; i < 2500; ++i) {
+        sender.pump();
+        listener.poll();
+        if (slurp(mirror_path) == expect_bytes)
+            return true;
+        std::this_thread::sleep_for(milliseconds{2});
+    }
+    return false;
+}
+
+TEST(Jstream, StreamsAJournalByteForByte)
+{
+    Temp_dir dir{"jstream_e2e"};
+    const std::string journal = dir.path + "/worker.anj";
+    build_journal(journal);
+
+    Jstream_listener listener{0, dir.path, 1};
+    Jstream_sender::Config config;
+    config.peer = {"127.0.0.1", listener.port()};
+    Jstream_sender sender{config, journal};
+
+    const std::string mirror = shard_journal_path(dir.path, 1);
+    ASSERT_TRUE(pump_until_mirrored(sender, listener, mirror, slurp(journal)));
+
+    // finish() must prove sync via the token-echo probe.
+    bool synced = false;
+    for (int i = 0; i < 100 && !synced; ++i) {
+        synced = sender.finish(milliseconds{50});
+        listener.poll();
+    }
+    EXPECT_TRUE(synced);
+    EXPECT_TRUE(sender.stats().synced);
+    EXPECT_GE(sender.stats().connects, 1u);
+    EXPECT_EQ(listener.stats().invalid_lines, 0u);
+    EXPECT_EQ(slurp(mirror), slurp(journal));
+}
+
+TEST(Jstream, SurvivesListenerRestartOnTheSamePort)
+{
+    Temp_dir dir{"jstream_restart"};
+    const std::string full_path = dir.path + "/full.anj";
+    build_journal(full_path);
+    const std::string bytes = slurp(full_path);
+    const std::string mirror = shard_journal_path(dir.path, 1);
+
+    // The worker's journal starts as a PREFIX of the final file (the
+    // sweep is mid-run) and grows during the coordinator's downtime —
+    // the lines appended while nobody listens must arrive after the
+    // restart.
+    std::size_t cut = bytes.find('\n');
+    for (int lines = 1; lines < 4; ++lines)
+        cut = bytes.find('\n', cut + 1);
+    const std::string journal = dir.path + "/worker.anj";
+    {
+        std::ofstream out{journal, std::ios::binary};
+        out << bytes.substr(0, cut + 1);
+    }
+
+    // Phase 1: stream the prefix, then kill the listener.
+    auto listener = std::make_unique<Jstream_listener>(0, dir.path, 1);
+    const std::uint16_t port = listener->port();
+    Jstream_sender::Config config;
+    config.peer = {"127.0.0.1", port};
+    config.backoff.initial = milliseconds{5};
+    config.backoff.max = milliseconds{20};
+    Jstream_sender sender{config, journal};
+    ASSERT_TRUE(
+        pump_until_mirrored(sender, *listener, mirror, bytes.substr(0, cut + 1)));
+    listener.reset(); // coordinator dies; mirror file survives
+
+    // The sweep continues: the journal grows, pumps against the dead
+    // port must neither throw nor hang.
+    {
+        std::ofstream out{journal, std::ios::binary | std::ios::app};
+        out << bytes.substr(cut + 1);
+    }
+    for (int i = 0; i < 20; ++i) {
+        sender.pump();
+        std::this_thread::sleep_for(milliseconds{2});
+    }
+
+    // Phase 2: restarted coordinator, same port, rescans the mirror.
+    listener = std::make_unique<Jstream_listener>(port, dir.path, 1);
+    ASSERT_TRUE(pump_until_mirrored(sender, *listener, mirror, bytes));
+    EXPECT_EQ(slurp(mirror), bytes);
+    EXPECT_GE(sender.stats().reconnects, 1u);
+}
+
+TEST(Jstream, FullReplayIntoAPopulatedMirrorIsDeduplicated)
+{
+    Temp_dir dir{"jstream_dedup"};
+    const std::string full_path = dir.path + "/full.anj";
+    build_journal(full_path);
+    const std::string bytes = slurp(full_path);
+
+    // The mirror already holds EVERYTHING (a previous worker attempt
+    // finished and streamed it all); THIS sender is a relaunch with a
+    // shorter journal.  The ack (mirror lines > sender lines) rewinds
+    // the cursor to zero — a full replay — and the content dedup must
+    // drop every duplicate without appending a byte.
+    const std::string mirror = shard_journal_path(dir.path, 1);
+    {
+        std::ofstream out{mirror, std::ios::binary};
+        out << bytes;
+    }
+    std::size_t cut = bytes.find('\n');
+    for (int lines = 1; lines < 3; ++lines)
+        cut = bytes.find('\n', cut + 1);
+    const std::string journal = dir.path + "/worker.anj";
+    {
+        std::ofstream out{journal, std::ios::binary};
+        out << bytes.substr(0, cut + 1);
+    }
+
+    Jstream_listener listener{0, dir.path, 1};
+    Jstream_sender::Config config;
+    config.peer = {"127.0.0.1", listener.port()};
+    Jstream_sender sender{config, journal};
+
+    bool synced = false;
+    for (int i = 0; i < 500 && !synced; ++i) {
+        sender.pump();
+        listener.poll();
+        synced = sender.finish(milliseconds{20});
+    }
+    EXPECT_TRUE(synced);
+    EXPECT_EQ(slurp(mirror), bytes); // not one byte appended
+    EXPECT_EQ(listener.stats().lines_appended, 0u);
+    EXPECT_GT(listener.stats().replayed_lines, 0u);
+}
+
+TEST(Jstream, TornMirrorTailIsNeutralizedNotSplicedInto)
+{
+    Temp_dir dir{"jstream_torn"};
+    const std::string journal = dir.path + "/worker.anj";
+    build_journal(journal);
+    const Journal_contents full = load_journal(journal);
+
+    // The mirror died mid-append: its last line is a prefix of a task
+    // line, no trailing newline.  Streaming into it must not splice the
+    // next line onto the fragment (which would permanently lose a task
+    // — the fragment's index would count as "seen" while its line is
+    // corrupt).
+    const std::string bytes = slurp(journal);
+    const std::size_t last_line_start = bytes.rfind('\n', bytes.size() - 2) + 1;
+    const std::string torn =
+        bytes.substr(0, last_line_start + (bytes.size() - last_line_start) / 2);
+    const std::string mirror = shard_journal_path(dir.path, 1);
+    {
+        std::ofstream out{mirror, std::ios::binary};
+        out << torn;
+    }
+
+    Jstream_listener listener{0, dir.path, 1};
+    Jstream_sender::Config config;
+    config.peer = {"127.0.0.1", listener.port()};
+    Jstream_sender sender{config, journal};
+    bool synced = false;
+    for (int i = 0; i < 500 && !synced; ++i) {
+        sender.pump();
+        listener.poll();
+        synced = sender.finish(milliseconds{20});
+    }
+    ASSERT_TRUE(synced);
+
+    // Every task is recoverable from the mirror; the neutralized
+    // fragment is the one dropped line.
+    const Journal_contents mirrored = load_journal(mirror);
+    EXPECT_EQ(mirrored.entries.size(), full.entries.size());
+    EXPECT_EQ(mirrored.dropped_lines, 1u);
+}
+
+TEST(Jstream, RejectsAWrongShardCountHandshake)
+{
+    Temp_dir dir{"jstream_badhello"};
+    const std::string journal = dir.path + "/worker.anj";
+    build_journal(journal);
+
+    Jstream_listener listener{0, dir.path, /*shard_count=*/4};
+    Jstream_sender::Config config;
+    config.peer = {"127.0.0.1", listener.port()};
+    config.shard_index = 1;
+    config.shard_count = 8; // fleet mismatch: the listener expects /4
+    config.backoff.initial = milliseconds{1};
+    config.backoff.max = milliseconds{5};
+    Jstream_sender sender{config, journal};
+
+    for (int i = 0; i < 50; ++i) {
+        sender.pump();
+        listener.poll();
+        std::this_thread::sleep_for(milliseconds{1});
+    }
+    EXPECT_GT(listener.stats().dropped_frames, 0u);
+    EXPECT_EQ(listener.stats().lines_appended, 0u);
+    EXPECT_FALSE(sender.stats().synced);
+}
+
+} // namespace
+} // namespace anc::engine

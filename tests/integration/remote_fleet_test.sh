@@ -1,0 +1,163 @@
+#!/bin/sh
+# Remote-fleet chaos test (ENGINE.md "Remote workers"): run a sweep as a
+# streaming fleet — workers journal into a "remote" directory and stream
+# anc.jstream.v1 lines to the coordinator through a fault-injecting
+# proxy — while the harness SIGKILLs random workers, SIGKILLs and
+# restarts the proxy (severed links), and SIGKILLs and restarts the
+# coordinator itself (anc.fleet.v1 re-adoption).  The merged artifacts
+# must stay byte-identical to an uninterrupted single-process anc_sweep
+# run at both the 1- and 8-worker configurations.
+#
+# Fault rates are the survivable ones: connections live long enough
+# (--kill-after in bytes) for frames to land, so the retry/replay
+# machinery converges instead of burning the attempt budget.
+#
+# usage: remote_fleet_test.sh /path/to/anc_coordinator /path/to/anc_sweep \
+#            /path/to/jstream_proxy
+set -eu
+
+USAGE="usage: remote_fleet_test.sh COORD SWEEP PROXY"
+COORD=${1:?$USAGE}
+SWEEP=${2:?$USAGE}
+PROXY=${3:?$USAGE}
+WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/anc_remote_fleet.XXXXXX")
+COORD_PID=
+PROXY_PID=
+cleanup() {
+    [ -n "$COORD_PID" ] && kill -KILL "$COORD_PID" 2>/dev/null
+    [ -n "$PROXY_PID" ] && kill -KILL "$PROXY_PID" 2>/dev/null
+    # Reap orphaned workers: their argv carries the remote journal dir.
+    pkill -KILL -f "$WORKDIR/" 2>/dev/null || true
+    wait 2>/dev/null
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+cd "$WORKDIR"
+
+# Sized so each task costs a noticeable fraction of a second: the fleet
+# legs must still be RUNNING when the harness starts killing things, or
+# the chaos is vacuous.
+GRID="--scenario alice_bob --snr 10:38:4 --repetitions 4 --exchanges 100 \
+      --payload-bits 2048 --seed 777"
+
+echo "== uninterrupted single-process baseline"
+# shellcheck disable=SC2086   # GRID is a flag list
+"$SWEEP" $GRID --quiet --threads 2 --json baseline.json \
+    --csv baseline_agg.csv --tasks-csv baseline_tasks.csv
+
+# Ports: derived from the PID so parallel ctest runs do not collide.
+PORT_BASE=$(( 21000 + ($$ % 20000) ))
+
+start_proxy() {
+    # $1 = proxy listen port, $2 = coordinator listen port
+    "$PROXY" --listen "$1" --connect "127.0.0.1:$2" --seed 42 \
+        --kill-after 8000:30000 --flip-prob 0.05 --dup-prob 0.2 \
+        > "proxy_$1.log" 2>&1 &
+    PROXY_PID=$!
+    for _ in $(seq 1 50); do
+        grep -q "listening" "proxy_$1.log" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "FAIL: proxy never came up on port $1" >&2
+    exit 1
+}
+
+start_coord() {
+    # $1 = workers, $2 = shards, $3 = coord port, $4 = proxy port,
+    # $5 = work dir, $6 = log file.  Workers stream through the proxy.
+    TEMPLATE="exec {worker} {grid} --quiet --threads {threads} \
+--shard {shard}/{shards} {journal_flag} {journal} --journal-stream {stream}"
+    # shellcheck disable=SC2086
+    "$COORD" --worker "$SWEEP" --launch-template "$TEMPLATE" \
+        --workers "$1" --shards "$2" --work-dir "$5" \
+        --listen "$3" --worker-stream "127.0.0.1:$4" \
+        --worker-journal-dir "$5/remote" \
+        --shard-retries 12 --heartbeat-ms 10000 --startup-timeout-ms 8000 \
+        --relaunch-initial-ms 50 --relaunch-max-ms 500 --poll-ms 20 \
+        $GRID --quiet \
+        --json "$6.json" --csv "$6_agg.csv" --tasks-csv "$6_tasks.csv" \
+        --metrics-json "$6_metrics.json" 2> "$6.log" &
+    COORD_PID=$!
+}
+
+kill_one_worker() {
+    # Workers (not the coordinator) carry the remote journal dir in
+    # their argv via the launch template's {journal}.
+    VICTIM=$(pgrep -f "$1/remote/shard" | head -n 1)
+    if [ -n "$VICTIM" ] && kill -KILL "$VICTIM" 2>/dev/null; then
+        echo "   SIGKILLed worker pid $VICTIM"
+    fi
+}
+
+# chaos_run LEG WORKERS SHARDS: full fault menu — worker SIGKILLs, one
+# proxy SIGKILL+restart (severed streams), one coordinator
+# SIGKILL+restart (fleet re-adoption) — then byte-compare everything.
+chaos_run() {
+    LEG=$1; WORKERS=$2; SHARDS=$3
+    CDIR="$WORKDIR/wd_$LEG"
+    COORD_PORT=$(( PORT_BASE + LEG * 2 ))
+    PROXY_PORT=$(( PORT_BASE + LEG * 2 + 1 ))
+    echo "== chaos leg $LEG: $WORKERS workers, $SHARDS shards" \
+         "(coord :$COORD_PORT, proxy :$PROXY_PORT)"
+
+    start_proxy "$PROXY_PORT" "$COORD_PORT"
+    start_coord "$WORKERS" "$SHARDS" "$COORD_PORT" "$PROXY_PORT" \
+        "$CDIR" "out_$LEG"
+
+    sleep 0.7
+    kill_one_worker "$CDIR"
+
+    # The coordinator dies mid-run; its workers (own process groups)
+    # survive and keep streaming into a dead port until the restarted
+    # coordinator re-adopts them via fleet.anf.
+    sleep 0.7
+    if kill -0 "$COORD_PID" 2>/dev/null; then
+        kill -KILL "$COORD_PID" 2>/dev/null || true
+        wait "$COORD_PID" 2>/dev/null || true
+        echo "   SIGKILLed coordinator; restarting over the same work dir"
+    else
+        echo "   coordinator already finished; restart still must be a no-op"
+    fi
+    start_coord "$WORKERS" "$SHARDS" "$COORD_PORT" "$PROXY_PORT" \
+        "$CDIR" "out_$LEG"
+
+    # Sever every in-flight stream: kill the proxy, bring it back on the
+    # same port.  Senders must reconnect (backoff) and replay from the
+    # coordinator's acknowledged watermark.
+    sleep 0.7
+    kill -KILL "$PROXY_PID" 2>/dev/null || true
+    wait "$PROXY_PID" 2>/dev/null || true
+    PROXY_PID=
+    sleep 0.5
+    start_proxy "$PROXY_PORT" "$COORD_PORT"
+
+    kill_one_worker "$CDIR"
+
+    STATUS=0
+    wait "$COORD_PID" || STATUS=$?
+    COORD_PID=
+    if [ "$STATUS" != 0 ]; then
+        echo "FAIL: coordinator exited $STATUS" >&2
+        cat "out_$LEG.log" >&2
+        exit 1
+    fi
+    kill -KILL "$PROXY_PID" 2>/dev/null || true
+    wait "$PROXY_PID" 2>/dev/null || true
+    PROXY_PID=
+
+    cmp baseline.json "out_$LEG.json"
+    cmp baseline_agg.csv "out_${LEG}_agg.csv"
+    cmp baseline_tasks.csv "out_${LEG}_tasks.csv"
+    grep -q '"schema":"anc.metrics.v1"' "out_${LEG}_metrics.json"
+    grep -q '"transport":' "out_${LEG}_metrics.json"
+    grep -q '"adoptions":' "out_${LEG}_metrics.json"
+    # The fleet journal must show both coordinator generations.
+    [ -f "$CDIR/fleet.anf" ]
+    echo "   byte-identical (leg $LEG)"
+}
+
+chaos_run 1 1 2
+chaos_run 2 8 8
+
+echo "PASS: streamed fleet byte-identical under worker kills, severed" \
+     "links, and a coordinator restart at 1 and 8 workers"

@@ -1,0 +1,156 @@
+// util/net.h: the non-blocking TCP primitives under the jstream
+// transport.  Everything runs over loopback with ephemeral ports, so
+// the suite is hermetic; the SIGPIPE test is the load-bearing one —
+// a worker writing to a dead coordinator must get an error code, not
+// a process kill.
+
+#include "util/net.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace anc::util {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(Net, ParseHostPort)
+{
+    Host_port hp;
+    EXPECT_TRUE(parse_host_port("127.0.0.1:9000", hp));
+    EXPECT_EQ(hp.host, "127.0.0.1");
+    EXPECT_EQ(hp.port, 9000);
+
+    EXPECT_TRUE(parse_host_port("example.com:1", hp));
+    EXPECT_EQ(hp.host, "example.com");
+    EXPECT_EQ(hp.port, 1);
+
+    EXPECT_FALSE(parse_host_port("", hp));
+    EXPECT_FALSE(parse_host_port("nocolon", hp));
+    EXPECT_FALSE(parse_host_port(":9000", hp));
+    EXPECT_FALSE(parse_host_port("host:", hp));
+    EXPECT_FALSE(parse_host_port("host:0", hp));
+    EXPECT_FALSE(parse_host_port("host:65536", hp));
+    EXPECT_FALSE(parse_host_port("host:12ab", hp));
+}
+
+TEST(Net, ListenerPicksEphemeralPortAndAcceptsNonBlocking)
+{
+    Tcp_listener listener = Tcp_listener::listen(0);
+    EXPECT_GT(listener.port(), 0);
+
+    // Nothing connecting yet: accept returns an invalid socket, never
+    // blocks.
+    Tcp_socket none = listener.accept();
+    EXPECT_FALSE(none.valid());
+}
+
+TEST(Net, LoopbackRoundTrip)
+{
+    Tcp_listener listener = Tcp_listener::listen(0);
+    Tcp_socket client = Tcp_socket::connect(
+        Host_port{"127.0.0.1", listener.port()}, milliseconds{1000});
+    ASSERT_TRUE(client.valid());
+
+    Tcp_socket server;
+    for (int i = 0; i < 100 && !server.valid(); ++i) {
+        server = listener.accept();
+        if (!server.valid())
+            std::this_thread::sleep_for(milliseconds{5});
+    }
+    ASSERT_TRUE(server.valid());
+
+    const std::string message = "hello over loopback";
+    ASSERT_TRUE(client.send_all(message.data(), message.size(), milliseconds{1000}));
+
+    std::string received;
+    for (int i = 0; i < 200 && received.size() < message.size(); ++i) {
+        std::string chunk;
+        const auto status = server.recv_available(chunk);
+        ASSERT_NE(status, Tcp_socket::Recv_status::error);
+        received += chunk;
+        if (received.size() < message.size())
+            std::this_thread::sleep_for(milliseconds{2});
+    }
+    EXPECT_EQ(received, message);
+}
+
+TEST(Net, RecvReportsPeerClose)
+{
+    Tcp_listener listener = Tcp_listener::listen(0);
+    Tcp_socket client = Tcp_socket::connect(
+        Host_port{"127.0.0.1", listener.port()}, milliseconds{1000});
+    ASSERT_TRUE(client.valid());
+
+    Tcp_socket server;
+    for (int i = 0; i < 100 && !server.valid(); ++i) {
+        server = listener.accept();
+        if (!server.valid())
+            std::this_thread::sleep_for(milliseconds{5});
+    }
+    ASSERT_TRUE(server.valid());
+
+    client = Tcp_socket{}; // close the client end
+
+    Tcp_socket::Recv_status status = Tcp_socket::Recv_status::none;
+    for (int i = 0; i < 200 && status == Tcp_socket::Recv_status::none; ++i) {
+        std::string chunk;
+        status = server.recv_available(chunk);
+        if (status == Tcp_socket::Recv_status::none)
+            std::this_thread::sleep_for(milliseconds{2});
+    }
+    EXPECT_EQ(status, Tcp_socket::Recv_status::closed);
+}
+
+TEST(Net, WriteAfterPeerCloseFailsInsteadOfKillingTheProcess)
+{
+    ignore_sigpipe();
+    Tcp_listener listener = Tcp_listener::listen(0);
+    Tcp_socket client = Tcp_socket::connect(
+        Host_port{"127.0.0.1", listener.port()}, milliseconds{1000});
+    ASSERT_TRUE(client.valid());
+
+    Tcp_socket server;
+    for (int i = 0; i < 100 && !server.valid(); ++i) {
+        server = listener.accept();
+        if (!server.valid())
+            std::this_thread::sleep_for(milliseconds{5});
+    }
+    ASSERT_TRUE(server.valid());
+    server = Tcp_socket{}; // peer vanishes (a SIGKILLed coordinator)
+
+    // The first write may land in the kernel buffer; keep writing until
+    // the RST comes back.  Reaching the assertion AT ALL is the test:
+    // without MSG_NOSIGNAL/SIG_IGN this raises SIGPIPE and the process
+    // dies.
+    const std::string junk(4096, 'x');
+    bool ok = true;
+    for (int i = 0; i < 200 && ok; ++i) {
+        ok = client.send_all(junk.data(), junk.size(), milliseconds{100});
+        std::this_thread::sleep_for(milliseconds{1});
+    }
+    EXPECT_FALSE(ok);
+}
+
+TEST(Net, ConnectToDeadPortFailsFast)
+{
+    // Bind-then-close: the port was just proven unused, so connect gets
+    // a refusal, not a hang.
+    std::uint16_t dead_port = 0;
+    {
+        Tcp_listener probe = Tcp_listener::listen(0);
+        dead_port = probe.port();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    Tcp_socket socket = Tcp_socket::connect(Host_port{"127.0.0.1", dead_port},
+                                            milliseconds{2000});
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_FALSE(socket.valid());
+    EXPECT_LT(elapsed, std::chrono::seconds{2});
+}
+
+} // namespace
+} // namespace anc::util
